@@ -1,0 +1,127 @@
+/// Table 3 (Appendix A) — Analytical cost model vs. measured bytes written
+/// to NVM per insert / update / delete for every engine.
+///
+/// The paper's model (T = tuple size, F = one fixed field, V = one varlen
+/// field, p = pointer, B = CoW B+tree node) predicts, e.g., InP writes
+/// ~3T per insert (memory + log + table) while NVM-InP writes ~T + 2p.
+/// We measure dirty-line write-backs (stores * 64 B) around batches of
+/// single-op transactions; absolute values include line-granularity
+/// rounding, so the *ordering* and rough ratios are what should match.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nvmdb;
+using namespace nvmdb::bench;
+
+namespace {
+
+constexpr uint64_t kOpsPerPhase = 400;
+
+struct Measured {
+  double insert_bytes;
+  double update_bytes;
+  double delete_bytes;
+};
+
+Measured MeasureEngine(EngineKind engine) {
+  DatabaseConfig cfg = MakeDbConfig(engine);
+  cfg.num_partitions = 1;
+  cfg.engine_config.group_commit_size = 1;  // per-txn durability
+  Database db(cfg);
+  const TableDef def = YcsbWorkload::MakeTableDef();
+  db.CreateTable(def);
+  StorageEngine* e = db.partition(0);
+  Random rng(3);
+
+  auto tuple_for = [&](uint64_t key) {
+    Tuple t(&def.schema);
+    t.SetU64(0, key);
+    for (size_t c = 1; c <= 10; c++) t.SetString(c, rng.String(100));
+    return t;
+  };
+
+  // Warm up with a base population so updates/deletes hit existing data
+  // and the trees have realistic depth.
+  for (uint64_t key = 10000; key < 12000; key++) {
+    const uint64_t txn = e->Begin();
+    e->Insert(txn, 1, tuple_for(key));
+    e->Commit(txn);
+  }
+  // Group commit is 1, so per-txn durability is already forced; FlushAll
+  // (not Drain) closes each phase — Drain would trigger checkpoints and
+  // MemTable flushes whose full-database writes would swamp the per-op
+  // measurement.
+  db.device()->FlushAll();
+
+  Measured m{};
+  {
+    CounterSampler sampler(db.device());
+    for (uint64_t key = 0; key < kOpsPerPhase; key++) {
+      const uint64_t txn = e->Begin();
+      e->Insert(txn, 1, tuple_for(key));
+      e->Commit(txn);
+    }
+    db.device()->FlushAll();
+    m.insert_bytes = sampler.Delta().stores * 64.0 / kOpsPerPhase;
+  }
+  {
+    CounterSampler sampler(db.device());
+    for (uint64_t key = 0; key < kOpsPerPhase; key++) {
+      const uint64_t txn = e->Begin();
+      // The model's update: one fixed-length field + one varlen field.
+      std::vector<ColumnUpdate> up;
+      up.push_back({1, Value::Str(rng.String(100))});
+      e->Update(txn, 1, key, up);
+      e->Commit(txn);
+    }
+    db.device()->FlushAll();
+    m.update_bytes = sampler.Delta().stores * 64.0 / kOpsPerPhase;
+  }
+  {
+    CounterSampler sampler(db.device());
+    for (uint64_t key = 0; key < kOpsPerPhase; key++) {
+      const uint64_t txn = e->Begin();
+      e->Delete(txn, 1, key);
+      e->Commit(txn);
+    }
+    db.device()->FlushAll();
+    m.delete_bytes = sampler.Delta().stores * 64.0 / kOpsPerPhase;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Table 3: bytes written to NVM per operation — model vs. measured");
+  // Model parameters for the YCSB tuple.
+  const double T = 1088, F = 8, V = 100, p = 8, B = 4096;
+  struct ModelRow {
+    const char* engine;
+    double ins, upd, del;
+  };
+  const ModelRow model[] = {
+      {"InP", 3 * T, 4 * (F + V), T},           // mem+log+table / 2x images
+      {"CoW", 2 * B + T, 2 * B + (F + V), 2 * B},  // node copies dominate
+      {"Log", 2 * T + T, 4 * (F + V), T},       // theta ~= 1 at this scale
+      {"NVM-InP", T + 2 * p, F + V + F + 2 * p, 2 * p},
+      {"NVM-CoW", T + B + p, T + F + V + B + p, B},
+      {"NVM-Log", T + 2 * p, F + V + F + 2 * p, 2 * p},
+  };
+  printf("%-10s | %22s | %22s | %22s\n", "engine", "insert (model/meas)",
+         "update (model/meas)", "delete (model/meas)");
+  for (size_t i = 0; i < AllEngines().size(); i++) {
+    const Measured m = MeasureEngine(AllEngines()[i]);
+    printf("%-10s | %10.0f / %8.0f | %10.0f / %8.0f | %10.0f / %8.0f\n",
+           model[i].engine, model[i].ins, m.insert_bytes, model[i].upd,
+           m.update_bytes, model[i].del, m.delete_bytes);
+    fflush(stdout);
+  }
+  printf(
+      "\nPaper shape: traditional engines duplicate data (multiples of T\n"
+      "or B per op); NVM-aware engines write roughly one copy plus\n"
+      "pointers — the basis of their 2x wear reduction (Appendix A).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// Device wear — the paper's second headline: NVM-aware engines reduce
+/// "the amount of wear due to write operations by up to 2x" (Abstract,
+/// Section 7). NVM cells endure a bounded number of writes (Table 1), so
+/// we report per-engine total line-writes plus the wear *distribution*
+/// (hottest line vs mean), which the allocator's rotating placement and
+/// the engines' reduced duplication both improve.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nvmdb;
+using namespace nvmdb::bench;
+
+namespace {
+
+WearStats MeasureWear(EngineKind engine, YcsbMixture mixture) {
+  DatabaseConfig cfg = MakeDbConfig(engine);
+  auto db = std::make_unique<Database>(cfg);
+  YcsbConfig ycfg;
+  ycfg.num_tuples = Scale().ycsb_tuples / 2;
+  ycfg.num_txns = Scale().ycsb_txns / 2;
+  ycfg.num_partitions = cfg.num_partitions;
+  ycfg.mixture = mixture;
+  YcsbWorkload workload(ycfg);
+  if (!workload.Load(db.get()).ok()) return {};
+  const WearStats before = db->device()->wear();
+  Coordinator(db.get()).Run(workload.GenerateQueues());
+  db->Drain();
+  db->device()->FlushAll();
+  WearStats after = db->device()->wear();
+  after.total_line_writes -= before.total_line_writes;
+  return after;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("NVM device wear, YCSB (line writes during the run)");
+  for (YcsbMixture mixture :
+       {YcsbMixture::kBalanced, YcsbMixture::kWriteHeavy}) {
+    printf("\n--- %s workload ---\n", YcsbMixtureName(mixture));
+    printf("%-10s %16s %14s %12s\n", "engine", "line writes",
+           "hottest line", "hotspot");
+    uint64_t traditional[3] = {0, 0, 0};
+    int idx = 0;
+    for (EngineKind engine : AllEngines()) {
+      const WearStats wear = MeasureWear(engine, mixture);
+      printf("%-10s %16llu %14llu %11.1fx\n", EngineKindName(engine),
+             (unsigned long long)wear.total_line_writes,
+             (unsigned long long)wear.max_line_writes,
+             wear.hotspot_factor);
+      fflush(stdout);
+      if (idx < 3) {
+        traditional[idx] = wear.total_line_writes;
+      } else if (traditional[idx - 3] > 0) {
+        printf("%-10s   vs traditional: %.2fx fewer writes\n", "",
+               static_cast<double>(traditional[idx - 3]) /
+                   static_cast<double>(wear.total_line_writes));
+      }
+      idx++;
+    }
+  }
+  printf(
+      "\nPaper shape: NVM-aware engines write up to ~2x less to the\n"
+      "device (no duplicated log images / page copies), extending its\n"
+      "lifetime (Abstract, Sections 5.3/7).\n"
+      "Note the NVM engines' high hotspot factor: it is the NV-WAL's\n"
+      "anchor word, rewritten on every append/truncate — a single hot\n"
+      "metadata line that device-level wear leveling (or anchor rotation)\n"
+      "must absorb; bulk data wear is spread by the allocator's rotating\n"
+      "placement.\n");
+  return 0;
+}

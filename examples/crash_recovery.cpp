@@ -1,0 +1,81 @@
+/// Crash-recovery walkthrough: the Fig. 12 experiment as a story. Runs the
+/// same committed workload on a traditional engine and its NVM-aware
+/// variant, kills the database, and shows why one replays history while
+/// the other restarts almost instantly.
+///
+/// Usage: example_crash_recovery [txns]
+#include <cstdio>
+#include <cstdlib>
+
+#include "testbed/coordinator.h"
+#include "testbed/stats.h"
+#include "workload/ycsb.h"
+
+using namespace nvmdb;
+
+namespace {
+
+void Demo(EngineKind kind, uint64_t txns) {
+  DatabaseConfig cfg;
+  cfg.num_partitions = 1;
+  cfg.nvm_capacity = 256ull * 1024 * 1024;
+  cfg.engine = kind;
+  // Every transaction goes to the durable log; no checkpoints/flushes, so
+  // the recovery window covers the whole run.
+  cfg.engine_config.group_commit_size = 1;
+  cfg.engine_config.memtable_threshold_bytes = 1ull << 40;
+  Database db(cfg);
+
+  YcsbConfig ycfg;
+  ycfg.num_tuples = 2000;
+  ycfg.num_txns = txns;
+  ycfg.num_partitions = 1;
+  ycfg.mixture = YcsbMixture::kBalanced;
+  YcsbWorkload workload(ycfg);
+  if (!workload.Load(&db).ok()) {
+    fprintf(stderr, "load failed\n");
+    exit(1);
+  }
+  Coordinator(&db).Run(workload.GenerateQueues());
+
+  // Leave one transaction in flight, then pull the plug.
+  StorageEngine* engine = db.partition(0);
+  const uint64_t in_flight = engine->Begin();
+  engine->Update(in_flight, YcsbWorkload::kTableId, 0,
+                 {{3, Value::U64(0xDEAD)}});
+  db.Crash();
+
+  const uint64_t ns = db.Recover();
+  printf("%-10s %8llu committed txns -> recovery %10.3f ms\n",
+         EngineKindName(kind), (unsigned long long)txns, ns / 1e6);
+
+  // The in-flight update was rolled back; committed data is intact.
+  engine = db.partition(0);
+  const uint64_t check = engine->Begin();
+  Tuple t;
+  if (engine->Select(check, YcsbWorkload::kTableId, 0, &t).ok()) {
+    if (t.GetU64(3) == 0xDEAD) {
+      printf("  ERROR: uncommitted update survived!\n");
+    }
+  }
+  engine->Commit(check);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t base = argc > 1 ? strtoull(argv[1], nullptr, 10) : 1000;
+  printf("Recovery latency vs transactions executed since the last "
+         "checkpoint (Fig. 12):\n\n");
+  for (const uint64_t txns : {base, base * 4, base * 16}) {
+    Demo(EngineKind::kInP, txns);     // redo from WAL + index rebuild
+    Demo(EngineKind::kNvmInP, txns);  // undo-only: flat, sub-millisecond
+    printf("\n");
+  }
+  printf(
+      "InP replays the log (latency grows with history) and rebuilds its\n"
+      "indexes; NVM-InP only undoes the in-flight transaction via its\n"
+      "non-volatile undo log, so recovery cost is independent of history\n"
+      "(Sections 3.1 / 4.1).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// Engine shootout: all six storage engines on one YCSB mixture, printing
+/// the paper's headline comparison (throughput, wear, footprint) in a
+/// single table. A miniature of Figs. 5/10/14 in one run.
+///
+/// Usage: example_engine_shootout [mixture: ro|rh|ba|wh]
+#include <cstdio>
+#include <cstring>
+
+#include "testbed/coordinator.h"
+#include "testbed/stats.h"
+#include "workload/ycsb.h"
+
+using namespace nvmdb;
+
+int main(int argc, char** argv) {
+  YcsbMixture mixture = YcsbMixture::kBalanced;
+  if (argc > 1) {
+    if (strcmp(argv[1], "ro") == 0) mixture = YcsbMixture::kReadOnly;
+    if (strcmp(argv[1], "rh") == 0) mixture = YcsbMixture::kReadHeavy;
+    if (strcmp(argv[1], "ba") == 0) mixture = YcsbMixture::kBalanced;
+    if (strcmp(argv[1], "wh") == 0) mixture = YcsbMixture::kWriteHeavy;
+  }
+  printf("YCSB %s, low skew, low-NVM latency (2x DRAM)\n\n",
+         YcsbMixtureName(mixture));
+  printf("%-10s %14s %14s %14s %12s\n", "engine", "txn/sec", "NVM stores",
+         "stores vs InP", "footprint");
+
+  uint64_t baseline_stores = 0;
+  const EngineKind kinds[] = {EngineKind::kInP,    EngineKind::kCoW,
+                              EngineKind::kLog,    EngineKind::kNvmInP,
+                              EngineKind::kNvmCoW, EngineKind::kNvmLog};
+  for (EngineKind kind : kinds) {
+    DatabaseConfig cfg;
+    cfg.num_partitions = 2;
+    cfg.nvm_capacity = 512ull * 1024 * 1024;
+    cfg.latency = NvmLatencyConfig::LowNvm();
+    cfg.latency.use_clwb = true;
+    cfg.cache.capacity_bytes = 1 << 20;
+    cfg.engine = kind;
+    Database db(cfg);
+
+    YcsbConfig ycfg;
+    ycfg.num_tuples = 5000;
+    ycfg.num_txns = 8000;
+    ycfg.num_partitions = cfg.num_partitions;
+    ycfg.mixture = mixture;
+    YcsbWorkload workload(ycfg);
+    if (!workload.Load(&db).ok()) {
+      fprintf(stderr, "load failed for %s\n", EngineKindName(kind));
+      continue;
+    }
+    CounterSampler sampler(db.device());
+    const RunResult result =
+        Coordinator(&db).Run(workload.GenerateQueues());
+    const CounterDelta delta = sampler.Delta();
+    if (kind == EngineKind::kInP) baseline_stores = delta.stores;
+
+    char rel[32];
+    snprintf(rel, sizeof(rel), "%.2fx",
+             baseline_stores == 0
+                 ? 0.0
+                 : static_cast<double>(delta.stores) /
+                       static_cast<double>(baseline_stores));
+    printf("%-10s %14.0f %14llu %14s %12s\n", EngineKindName(kind),
+           result.Throughput(cfg.num_partitions),
+           (unsigned long long)delta.stores, rel,
+           FormatBytes(db.Footprint().total()).c_str());
+  }
+  printf(
+      "\nPaper headline (Section 7): NVM-aware engines deliver up to 5.5x\n"
+      "the throughput of their traditional counterparts while writing\n"
+      "roughly half as much to the NVM device; NVM-InP wins overall.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// YCSB tour: load the paper's key-value workload and compare two engines
+/// (traditional copy-on-write vs. its NVM-aware variant) on one mixture,
+/// printing throughput, NVM traffic, and storage footprint side by side.
+///
+/// Usage: example_ycsb_tour [tuples] [txns]
+#include <cstdio>
+#include <cstdlib>
+
+#include "testbed/coordinator.h"
+#include "testbed/stats.h"
+#include "workload/ycsb.h"
+
+using namespace nvmdb;
+
+namespace {
+
+struct TourResult {
+  double throughput;
+  CounterDelta counters;
+  FootprintStats footprint;
+};
+
+TourResult RunEngine(EngineKind kind, uint64_t tuples, uint64_t txns) {
+  DatabaseConfig cfg;
+  cfg.num_partitions = 2;
+  cfg.nvm_capacity = 512ull * 1024 * 1024;
+  cfg.latency = NvmLatencyConfig::LowNvm();  // the paper's 2x profile
+  cfg.latency.use_clwb = true;
+  cfg.cache.capacity_bytes = 1 << 20;
+  cfg.engine = kind;
+  Database db(cfg);
+
+  YcsbConfig ycfg;
+  ycfg.num_tuples = tuples;
+  ycfg.num_txns = txns;
+  ycfg.num_partitions = cfg.num_partitions;
+  ycfg.mixture = YcsbMixture::kBalanced;
+  ycfg.skew = YcsbSkew::kLow;
+  YcsbWorkload workload(ycfg);
+  if (!workload.Load(&db).ok()) {
+    fprintf(stderr, "load failed\n");
+    exit(1);
+  }
+
+  CounterSampler sampler(db.device());
+  Coordinator coordinator(&db);
+  const RunResult result = coordinator.Run(workload.GenerateQueues());
+
+  TourResult out;
+  out.throughput = result.Throughput(cfg.num_partitions);
+  out.counters = sampler.Delta();
+  out.footprint = db.Footprint();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t tuples = argc > 1 ? strtoull(argv[1], nullptr, 10) : 5000;
+  const uint64_t txns = argc > 2 ? strtoull(argv[2], nullptr, 10) : 8000;
+  printf("YCSB balanced mixture, low skew: %llu tuples (~%llu MB), "
+         "%llu txns, low-NVM latency\n\n",
+         (unsigned long long)tuples, (unsigned long long)(tuples / 1000),
+         (unsigned long long)txns);
+
+  printf("%-10s %14s %12s %12s %12s\n", "engine", "txn/sec", "NVM loads",
+         "NVM stores", "footprint");
+  for (EngineKind kind : {EngineKind::kCoW, EngineKind::kNvmCoW}) {
+    const TourResult r = RunEngine(kind, tuples, txns);
+    printf("%-10s %14.0f %12llu %12llu %12s\n", EngineKindName(kind),
+           r.throughput, (unsigned long long)r.counters.loads,
+           (unsigned long long)r.counters.stores,
+           FormatBytes(r.footprint.total()).c_str());
+  }
+  printf(
+      "\nThe NVM-aware variant skips the filesystem and the page cache,\n"
+      "stores tuples once (pointers in the directory), and commits with an\n"
+      "atomic durable write of the master record (Section 4.2).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "common/bloom_filter.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvmdb {
+namespace {
+
+uint64_t Hash64(const void* data, size_t n, uint64_t seed) {
+  // FNV-1a 64-bit with a seed mix; adequate spread for filter probing.
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 14695981039346656037ULL ^ (seed * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < n; i++) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  size_t bits = std::max<size_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bits + 7) / 8, 0);
+  // k = ln(2) * bits/n, clamped to a sane range.
+  num_probes_ = static_cast<int>(bits_per_key * 0.69);
+  num_probes_ = std::clamp(num_probes_, 1, 30);
+}
+
+BloomFilter BloomFilter::Deserialize(const Slice& data) {
+  BloomFilter f;
+  if (data.size() < 1) {
+    f.num_probes_ = 1;
+    f.bits_.assign(8, 0);
+    return f;
+  }
+  f.num_probes_ = static_cast<uint8_t>(data[data.size() - 1]);
+  if (f.num_probes_ < 1) f.num_probes_ = 1;
+  f.bits_.assign(data.data(), data.data() + data.size() - 1);
+  if (f.bits_.empty()) f.bits_.assign(8, 0);
+  return f;
+}
+
+void BloomFilter::AddHash(uint64_t h) {
+  const uint64_t delta = (h >> 17) | (h << 47);
+  const size_t bits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; i++) {
+    const size_t pos = h % bits;
+    bits_[pos / 8] |= static_cast<uint8_t>(1u << (pos % 8));
+    h += delta;
+  }
+}
+
+bool BloomFilter::MayContainHash(uint64_t h) const {
+  const uint64_t delta = (h >> 17) | (h << 47);
+  const size_t bits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; i++) {
+    const size_t pos = h % bits;
+    if ((bits_[pos / 8] & (1u << (pos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+void BloomFilter::Add(const Slice& key) {
+  AddHash(Hash64(key.data(), key.size(), 0));
+}
+
+void BloomFilter::Add(uint64_t key) { AddHash(Hash64(&key, sizeof(key), 0)); }
+
+bool BloomFilter::MayContain(const Slice& key) const {
+  return MayContainHash(Hash64(key.data(), key.size(), 0));
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  return MayContainHash(Hash64(&key, sizeof(key), 0));
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  out.push_back(static_cast<char>(num_probes_));
+  return out;
+}
+
+}  // namespace nvmdb

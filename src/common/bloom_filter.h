@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace nvmdb {
+
+/// Standard Bloom filter with double hashing (Kirsch–Mitzenmacher).
+/// The Log/NVM-Log engines attach one to every SSTable / immutable
+/// MemTable to skip runs that cannot contain a key (Section 3.3 / 4.3).
+class BloomFilter {
+ public:
+  /// `bits_per_key` controls the false-positive rate (10 => ~1%).
+  explicit BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  /// Reconstructs a filter from its serialized form.
+  static BloomFilter Deserialize(const Slice& data);
+
+  void Add(const Slice& key);
+  void Add(uint64_t key);
+
+  /// False positives possible, false negatives are not.
+  bool MayContain(const Slice& key) const;
+  bool MayContain(uint64_t key) const;
+
+  std::string Serialize() const;
+
+  size_t bit_count() const { return bits_.size() * 8; }
+  size_t memory_bytes() const { return bits_.size(); }
+
+ private:
+  BloomFilter() = default;
+
+  void AddHash(uint64_t h);
+  bool MayContainHash(uint64_t h) const;
+
+  std::vector<uint8_t> bits_;
+  int num_probes_ = 0;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,123 @@
+#include "common/compress.h"
+
+#include <cstring>
+#include <vector>
+
+namespace nvmdb {
+namespace {
+
+constexpr uint8_t kLiteralOp = 0x00;
+constexpr uint8_t kMatchOp = 0x01;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 255 + kMinMatch;
+constexpr size_t kWindow = 64 * 1024;
+constexpr size_t kHashBits = 15;
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const char** p, const char* end, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*p < end && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(**p);
+    (*p)++;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+uint32_t HashQuad(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(std::string* out, const char* base, size_t start,
+                  size_t end) {
+  if (end <= start) return;
+  out->push_back(static_cast<char>(kLiteralOp));
+  PutVarint(out, end - start);
+  out->append(base + start, end - start);
+}
+
+}  // namespace
+
+std::string LzCompress(const Slice& input) {
+  std::string out;
+  const char* data = input.data();
+  const size_t n = input.size();
+  PutVarint(&out, n);  // uncompressed size header
+  if (n == 0) return out;
+
+  std::vector<int64_t> head(1u << kHashBits, -1);
+  size_t i = 0;
+  size_t literal_start = 0;
+  while (i + kMinMatch <= n) {
+    const uint32_t h = HashQuad(data + i);
+    const int64_t cand = head[h];
+    head[h] = static_cast<int64_t>(i);
+    if (cand >= 0 && i - static_cast<size_t>(cand) <= kWindow &&
+        memcmp(data + cand, data + i, kMinMatch) == 0) {
+      size_t len = kMinMatch;
+      const size_t max_len =
+          (n - i) < kMaxMatch ? (n - i) : kMaxMatch;
+      while (len < max_len && data[cand + len] == data[i + len]) len++;
+      EmitLiterals(&out, data, literal_start, i);
+      out.push_back(static_cast<char>(kMatchOp));
+      PutVarint(&out, len - kMinMatch);
+      PutVarint(&out, i - static_cast<size_t>(cand));
+      i += len;
+      literal_start = i;
+    } else {
+      i++;
+    }
+  }
+  EmitLiterals(&out, data, literal_start, n);
+  return out;
+}
+
+bool LzDecompress(const Slice& input, std::string* output) {
+  output->clear();
+  const char* p = input.data();
+  const char* end = p + input.size();
+  uint64_t expected = 0;
+  if (!GetVarint(&p, end, &expected)) return false;
+  output->reserve(expected);
+  while (p < end) {
+    const uint8_t op = static_cast<uint8_t>(*p++);
+    if (op == kLiteralOp) {
+      uint64_t len = 0;
+      if (!GetVarint(&p, end, &len)) return false;
+      if (static_cast<uint64_t>(end - p) < len) return false;
+      output->append(p, len);
+      p += len;
+    } else if (op == kMatchOp) {
+      uint64_t len = 0, dist = 0;
+      if (!GetVarint(&p, end, &len)) return false;
+      if (!GetVarint(&p, end, &dist)) return false;
+      len += kMinMatch;
+      if (dist == 0 || dist > output->size()) return false;
+      // Byte-by-byte copy: matches may overlap their own output.
+      size_t src = output->size() - dist;
+      for (uint64_t k = 0; k < len; k++) {
+        output->push_back((*output)[src + k]);
+      }
+    } else {
+      return false;
+    }
+  }
+  return output->size() == expected;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "common/slice.h"
+
+namespace nvmdb {
+
+/// Built-in LZ-class byte compressor. Stands in for the gzip the paper uses
+/// on InP checkpoints (Section 3.1) — only the footprint reduction matters
+/// for the reproduction, not the exact codec.
+///
+/// Format: sequence of ops. Literal run: 0x00 <varint len> <bytes>.
+/// Match: 0x01 <varint len> <varint distance>. Greedy hash-chain matcher.
+std::string LzCompress(const Slice& input);
+
+/// Inverse of LzCompress. Returns false on malformed input.
+bool LzDecompress(const Slice& input, std::string* output);
+
+}  // namespace nvmdb

@@ -1,0 +1,25 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+namespace nvmdb {
+
+uint64_t EnvU64(const char* name, uint64_t default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return strtoull(v, nullptr, 10);
+}
+
+double EnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return strtod(v, nullptr);
+}
+
+std::string EnvString(const char* name, const std::string& default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return v;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nvmdb {
+
+/// Read scale/tuning parameters from the environment so the benchmark
+/// suite can be dialed up to paper scale (`NVMDB_SCALE=...`) or down for
+/// CI without recompiling.
+uint64_t EnvU64(const char* name, uint64_t default_value);
+double EnvDouble(const char* name, double default_value);
+std::string EnvString(const char* name, const std::string& default_value);
+
+}  // namespace nvmdb

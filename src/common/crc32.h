@@ -1,0 +1,12 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvmdb {
+
+/// CRC-32C (Castagnoli) over a byte range. Used by the WAL and SSTable
+/// formats to detect torn/partial writes during recovery.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace nvmdb

@@ -1,0 +1,56 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <string>
+
+namespace nvmdb {
+
+HotspotGenerator::HotspotGenerator(uint64_t num_keys, double hot_data_fraction,
+                                   double hot_access_fraction, uint64_t seed)
+    : rng_(seed),
+      num_keys_(num_keys),
+      hot_keys_(static_cast<uint64_t>(
+          static_cast<double>(num_keys) * hot_data_fraction)),
+      hot_access_fraction_(hot_access_fraction) {
+  if (hot_keys_ == 0) hot_keys_ = 1;
+  if (hot_keys_ > num_keys_) hot_keys_ = num_keys_;
+}
+
+uint64_t HotspotGenerator::Next() {
+  if (rng_.NextDouble() < hot_access_fraction_) {
+    return rng_.Uniform(hot_keys_);
+  }
+  const uint64_t cold = num_keys_ - hot_keys_;
+  if (cold == 0) return rng_.Uniform(hot_keys_);
+  return hot_keys_ + rng_.Uniform(cold);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_keys, double theta,
+                                   uint64_t seed)
+    : rng_(seed), n_(num_keys), theta_(theta) {
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace nvmdb

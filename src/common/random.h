@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvmdb {
+
+/// Fast, reproducible PRNG (xorshift64*). Deterministic across platforms so
+/// benchmark workloads are identical between engine runs, which is required
+/// for comparing storage footprints and read/write amplification (Section 5.1
+/// of the paper fixes the workload across engines).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability pct/100.
+  bool Percent(uint32_t pct) { return Uniform(100) < pct; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random printable-ASCII string of exactly `len` bytes.
+  std::string String(size_t len) {
+    std::string s(len, ' ');
+    for (size_t i = 0; i < len; i++) {
+      s[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Generator producing the paper's two-level hotspot access skew:
+/// `hot_access_pct`% of the draws fall within the first `hot_data_pct`% of
+/// the key space (e.g. Low Skew: 50% of accesses -> 20% of tuples,
+/// High Skew: 90% -> 10%).
+class HotspotGenerator {
+ public:
+  HotspotGenerator(uint64_t num_keys, double hot_data_fraction,
+                   double hot_access_fraction, uint64_t seed = 7);
+
+  uint64_t Next();
+
+  uint64_t num_keys() const { return num_keys_; }
+
+ private:
+  Random rng_;
+  uint64_t num_keys_;
+  uint64_t hot_keys_;
+  double hot_access_fraction_;
+};
+
+/// Classic Zipfian generator (YCSB-style) for supplementary sweeps.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t num_keys, double theta = 0.99, uint64_t seed = 7);
+
+  uint64_t Next();
+
+ private:
+  Random rng_;
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+
+  static double Zeta(uint64_t n, double theta);
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,36 @@
+#include "common/status.h"
+
+namespace nvmdb {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kOutOfSpace:
+      name = "OutOfSpace";
+      break;
+    case Code::kAborted:
+      name = "Aborted";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+  }
+  if (msg_.empty()) return name;
+  return std::string(name) + ": " + msg_;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nvmdb {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nvmdb

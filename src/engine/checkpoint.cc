@@ -1,0 +1,67 @@
+#include "engine/checkpoint.h"
+
+#include <cstring>
+
+#include "common/compress.h"
+#include "common/crc32.h"
+
+namespace nvmdb {
+
+Status WriteCheckpoint(Pmfs* fs, const std::string& file_name,
+                       const std::string& payload) {
+  const std::string compressed = LzCompress(payload);
+  std::string out;
+  const uint32_t crc = Crc32c(compressed.data(), compressed.size());
+  const uint64_t len = compressed.size();
+  out.append(reinterpret_cast<const char*>(&crc), 4);
+  out.append(reinterpret_cast<const char*>(&len), 8);
+  out.append(compressed);
+
+  // Write to a temp file and swap in: a crash mid-checkpoint must not
+  // destroy the previous checkpoint.
+  const std::string tmp = file_name + ".tmp";
+  fs->Delete(tmp);
+  Pmfs::Fd fd = fs->Open(tmp, /*create=*/true, StorageTag::kCheckpoint);
+  if (fd < 0) return Status::IOError("checkpoint open");
+  Status s = fs->Write(fd, 0, out.data(), out.size());
+  if (s.ok()) s = fs->Fsync(fd);
+  fs->Close(fd);
+  if (!s.ok()) return s;
+  fs->Delete(file_name);
+  // Rename-by-copy: rewrite under the final name (pmfs has no rename).
+  fd = fs->Open(file_name, /*create=*/true, StorageTag::kCheckpoint);
+  if (fd < 0) return Status::IOError("checkpoint final open");
+  s = fs->Write(fd, 0, out.data(), out.size());
+  if (s.ok()) s = fs->Fsync(fd);
+  fs->Close(fd);
+  fs->Delete(tmp);
+  return s;
+}
+
+Status ReadCheckpoint(Pmfs* fs, const std::string& file_name,
+                      std::string* payload) {
+  if (!fs->Exists(file_name)) return Status::NotFound(file_name);
+  Pmfs::Fd fd = fs->Open(file_name, /*create=*/false);
+  if (fd < 0) return Status::IOError("checkpoint open");
+  const uint64_t size = fs->Size(fd);
+  std::string data(size, '\0');
+  size_t got = 0;
+  Status s = fs->Read(fd, 0, data.data(), size, &got);
+  fs->Close(fd);
+  if (!s.ok()) return s;
+  if (got < 12) return Status::Corruption("checkpoint too small");
+  uint32_t crc;
+  uint64_t len;
+  memcpy(&crc, data.data(), 4);
+  memcpy(&len, data.data() + 4, 8);
+  if (got < 12 + len) return Status::Corruption("checkpoint truncated");
+  if (Crc32c(data.data() + 12, len) != crc) {
+    return Status::Corruption("checkpoint crc mismatch");
+  }
+  if (!LzDecompress(Slice(data.data() + 12, len), payload)) {
+    return Status::Corruption("checkpoint decompress");
+  }
+  return Status::OK();
+}
+
+}  // namespace nvmdb

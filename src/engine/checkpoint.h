@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "nvm/pmfs.h"
+
+namespace nvmdb {
+
+/// Compressed checkpoint files for the InP engine (Section 3.1: the paper
+/// gzips checkpoints on the filesystem to reduce their NVM footprint; we
+/// use the built-in LZ codec). Format: u32 crc over the compressed bytes,
+/// u64 compressed length, compressed payload.
+Status WriteCheckpoint(Pmfs* fs, const std::string& file_name,
+                       const std::string& payload);
+
+/// Returns NotFound if absent, Corruption on a damaged/torn file.
+Status ReadCheckpoint(Pmfs* fs, const std::string& file_name,
+                      std::string* payload);
+
+}  // namespace nvmdb

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "engine/storage_engine.h"
+#include "index/cow_btree.h"
+
+namespace nvmdb {
+
+/// Traditional copy-on-write (shadow paging) engine (Section 3.2), modeled
+/// after LMDB: the entire database — every table's tuples, fully inlined
+/// in the HDD/SSD-optimized format, plus all secondary-index entries —
+/// lives in one copy-on-write B+tree stored in a filesystem file with an
+/// in-memory page cache. There is no WAL: a group commit flushes the dirty
+/// pages and atomically repoints the master record. There is no recovery
+/// process either — after a crash the master record still points at a
+/// consistent current directory.
+class CowEngine : public StorageEngine {
+ public:
+  explicit CowEngine(const EngineConfig& config);
+
+  EngineKind kind() const override { return EngineKind::kCoW; }
+
+  Status CreateTable(const TableDef& def) override;
+  Status Commit(uint64_t txn_id) override;
+  Status Abort(uint64_t txn_id) override;
+  Status Insert(uint64_t txn_id, uint32_t table_id,
+                const Tuple& tuple) override;
+  Status Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                const std::vector<ColumnUpdate>& updates) override;
+  Status Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) override;
+  Status Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                Tuple* out) override;
+  Status ScanRange(uint64_t txn_id, uint32_t table_id, uint64_t lo,
+                   uint64_t hi,
+                   const std::function<bool(uint64_t, const Tuple&)>& fn)
+      override;
+  Status SelectSecondary(uint64_t txn_id, uint32_t table_id,
+                         uint32_t index_id,
+                         const std::vector<Value>& key_values,
+                         std::vector<Tuple>* out) override;
+  Status Recover() override;
+  /// Forces the pending group commit to storage.
+  Status Checkpoint() override;
+  FootprintStats Footprint() const override;
+  FootprintStats VolatileFootprint() const override {
+    FootprintStats stats;
+    stats.other_bytes = store_->CacheBytes();
+    return stats;
+  }
+
+  uint64_t LastDurableTxn() const override { return last_durable_txn_; }
+
+ protected:
+  // NVM-CoW derives from this engine and swaps the page store + the tuple
+  // representation (pointers instead of inlined tuples).
+  struct TableInfo {
+    TableDef def;
+  };
+
+  // Volatile per-transaction inverse ops for txn-level abort inside a
+  // group-commit batch.
+  struct InverseOp {
+    uint64_t global_key;
+    bool had_value;
+    std::string old_value;
+  };
+
+  TableInfo* GetTable(uint32_t table_id);
+  const SecondaryIndexDef* GetIndexDef(const TableInfo& table,
+                                       uint32_t index_id) const;
+  void JournalPut(uint64_t gkey);
+  Status PutSecondaryEntries(const TableInfo& table, const Tuple& tuple,
+                             uint64_t pk);
+  void DeleteSecondaryEntries(const TableInfo& table, const Tuple& tuple,
+                              uint64_t pk);
+  void FlushBatch();
+
+  // Tuple representation hooks overridden by NVM-CoW.
+  virtual std::string EncodeTupleValue(uint32_t table_id,
+                                       const Tuple& tuple, Status* status);
+  virtual Tuple DecodeTupleValue(uint32_t table_id, const Slice& value);
+  /// Called when a tuple value is replaced or removed by update/delete.
+  virtual void OnValueReplaced(uint32_t table_id,
+                               const std::string& old_value) {
+    (void)table_id;
+    (void)old_value;
+  }
+  /// Per-transaction outcome hooks.
+  virtual void OnTxnCommitHook() {}
+  virtual void OnTxnAbortHook() {}
+  /// Batch-commit hooks: before the master swap (NVM-CoW persists pending
+  /// tuple copies here) and after it (deferred space reclamation).
+  virtual void OnBatchFlush() {}
+  virtual void OnBatchFlushed() {}
+
+  /// Derived-engine constructor supplying a custom page store.
+  CowEngine(const EngineConfig& config, std::unique_ptr<PageStore> store);
+
+  EngineConfig config_;
+  std::unique_ptr<PageStore> store_;
+  std::unique_ptr<CowBTree> tree_;
+  std::map<uint32_t, TableInfo> tables_;
+
+  std::vector<InverseOp> txn_journal_;
+  size_t txns_in_batch_ = 0;
+  uint64_t last_committed_txn_ = 0;
+  uint64_t last_durable_txn_ = 0;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+namespace nvmdb {
+
+/// Key-space packing for the copy-on-write engines, which store the whole
+/// database (every table's primary data plus secondary-index entries) in a
+/// single shadow-paged B+tree so the master record commits everything
+/// atomically (Section 3.2: "each database is stored in a separate file").
+///
+/// Layout: [ table_id : 6 bits ][ index_id : 2 bits ][ local : 56 bits ]
+/// index_id 0 is the primary index. Primary keys must therefore fit 56
+/// bits (the workloads use <= 48).
+inline uint64_t GlobalKey(uint32_t table_id, uint32_t index_id,
+                          uint64_t local) {
+  return (static_cast<uint64_t>(table_id & 0x3F) << 58) |
+         (static_cast<uint64_t>(index_id & 0x3) << 56) |
+         (local & 0x00FFFFFFFFFFFFFFULL);
+}
+
+inline uint64_t GlobalKeyLo(uint32_t table_id, uint32_t index_id) {
+  return GlobalKey(table_id, index_id, 0);
+}
+inline uint64_t GlobalKeyHi(uint32_t table_id, uint32_t index_id) {
+  return GlobalKey(table_id, index_id, 0x00FFFFFFFFFFFFFFULL);
+}
+inline uint64_t LocalKey(uint64_t global) {
+  return global & 0x00FFFFFFFFFFFFFFULL;
+}
+
+/// Secondary-index composite confined to 56 bits for the global key space:
+/// 40 bits of key hash + 16 low bits of the primary key as discriminator.
+/// Collisions are possible and harmless — lookups verify candidates
+/// against the actual column values.
+inline uint64_t SecComposite56(uint64_t hash48, uint64_t pk) {
+  return ((hash48 >> 8) << 16) | (pk & 0xFFFF);
+}
+inline uint64_t SecComposite56Lo(uint64_t hash48) {
+  return (hash48 >> 8) << 16;
+}
+inline uint64_t SecComposite56Hi(uint64_t hash48) {
+  return ((hash48 >> 8) << 16) | 0xFFFF;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,429 @@
+#include "engine/log_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nvmdb {
+
+LogEngine::LogEngine(const EngineConfig& config)
+    : config_(config), fs_(config.fs), allocator_(config.allocator) {
+  allocator_->set_eager_state_sync(false);
+  wal_ = std::make_unique<Wal>(fs_, config_.namespace_prefix + ".log.wal",
+                               config_.group_commit_size);
+}
+
+Status LogEngine::CreateTable(const TableDef& def) {
+  Table& table = tables_[def.table_id];
+  table.def = def;
+  table.mem = std::make_unique<MemTable>(allocator_,
+                                         config_.btree_node_bytes);
+  table.lsm = std::make_unique<LsmTree>(
+      fs_, &table.def.schema,
+      config_.namespace_prefix + ".log.t" + std::to_string(def.table_id),
+      config_.lsm_level0_limit);
+  NvmDevice* device = allocator_->device();
+  auto hook = [device](const void* p, size_t n, bool w) {
+    device->TouchVirtual(p, n, w);
+  };
+  for (const auto& sec : def.secondary_indexes) {
+    auto tree = std::make_unique<BTree<uint64_t, uint64_t>>(
+        config_.btree_node_bytes);
+    tree->SetAccessHook(hook);
+    table.secondaries[sec.index_id] = std::move(tree);
+  }
+  return Status::OK();
+}
+
+LogEngine::Table* LogEngine::GetTable(uint32_t table_id) {
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+bool LogEngine::GetTuple(Table* table, uint64_t key, Tuple* out) {
+  // Tuple coalescing: gather records newest-first from the MemTable, then
+  // from the LSM runs, stopping at the first conclusive record.
+  std::vector<DeltaRecord> records;
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    table->mem->Collect(key, &records);
+  }
+  const bool concluded =
+      !records.empty() && records.back().kind != DeltaKind::kDelta;
+  if (!concluded) {
+    ScopedTimer t(this, TimeCategory::kStorage);
+    table->lsm->Collect(key, &records);
+  }
+  return MaterializeNewestFirst(table->def.schema, records, out);
+}
+
+bool LogEngine::KeyExists(Table* table, uint64_t key) {
+  Tuple unused(&table->def.schema);
+  return GetTuple(table, key, &unused);
+}
+
+Status LogEngine::Insert(uint64_t txn_id, uint32_t table_id,
+                         const Tuple& tuple) {
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  const uint64_t key = tuple.Key();
+  if (KeyExists(table, key)) return Status::InvalidArgument("duplicate key");
+
+  const std::string serialized = tuple.SerializeInlined();
+  {
+    ScopedTimer t(this, TimeCategory::kRecovery);
+    LogRecord record;
+    record.op = LogOp::kInsert;
+    record.txn_id = txn_id;
+    record.table_id = table_id;
+    record.key = key;
+    record.after = serialized;
+    wal_->Append(record);
+  }
+  TxnAction action;
+  action.table_id = table_id;
+  action.key = key;
+  {
+    ScopedTimer t(this, TimeCategory::kStorage);
+    action.record_off =
+        table->mem->Push(key, DeltaKind::kFull, Slice(serialized));
+  }
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    for (const auto& sec : table->def.secondary_indexes) {
+      const uint64_t comp =
+          SecondaryComposite(SecondaryKeyHash(tuple, sec), key);
+      table->secondaries[sec.index_id]->Insert(comp, key);
+      action.sec_added.emplace_back(sec.index_id, comp);
+    }
+  }
+  txn_actions_.push_back(std::move(action));
+  return Status::OK();
+}
+
+Status LogEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                         const std::vector<ColumnUpdate>& updates) {
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+
+  bool touches_secondary = false;
+  for (const ColumnUpdate& u : updates) {
+    for (const auto& sec : table->def.secondary_indexes) {
+      for (size_t c : sec.key_columns) {
+        if (c == u.column) touches_secondary = true;
+      }
+    }
+  }
+
+  Tuple old_tuple(&table->def.schema);
+  if (!GetTuple(table, key, &old_tuple)) return Status::NotFound();
+
+  const std::string delta = EncodeUpdates(table->def.schema, updates);
+  {
+    ScopedTimer t(this, TimeCategory::kRecovery);
+    LogRecord record;
+    record.op = LogOp::kUpdate;
+    record.txn_id = txn_id;
+    record.table_id = table_id;
+    record.key = key;
+    record.before = old_tuple.SerializeInlined();
+    record.after = delta;
+    wal_->Append(record);
+  }
+  TxnAction action;
+  action.table_id = table_id;
+  action.key = key;
+  {
+    ScopedTimer t(this, TimeCategory::kStorage);
+    action.record_off = table->mem->Push(key, DeltaKind::kDelta,
+                                         Slice(delta));
+  }
+  if (touches_secondary) {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    Tuple new_tuple = old_tuple;
+    ApplyUpdates(&new_tuple, updates);
+    for (const auto& sec : table->def.secondary_indexes) {
+      const uint64_t old_comp =
+          SecondaryComposite(SecondaryKeyHash(old_tuple, sec), key);
+      const uint64_t new_comp =
+          SecondaryComposite(SecondaryKeyHash(new_tuple, sec), key);
+      if (old_comp == new_comp) continue;
+      table->secondaries[sec.index_id]->Erase(old_comp);
+      table->secondaries[sec.index_id]->Insert(new_comp, key);
+      action.sec_removed.emplace_back(sec.index_id, old_comp);
+      action.sec_added.emplace_back(sec.index_id, new_comp);
+    }
+  }
+  txn_actions_.push_back(std::move(action));
+  return Status::OK();
+}
+
+Status LogEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  Tuple old_tuple(&table->def.schema);
+  if (!GetTuple(table, key, &old_tuple)) return Status::NotFound();
+
+  {
+    ScopedTimer t(this, TimeCategory::kRecovery);
+    LogRecord record;
+    record.op = LogOp::kDelete;
+    record.txn_id = txn_id;
+    record.table_id = table_id;
+    record.key = key;
+    record.before = old_tuple.SerializeInlined();
+    wal_->Append(record);
+  }
+  TxnAction action;
+  action.table_id = table_id;
+  action.key = key;
+  {
+    ScopedTimer t(this, TimeCategory::kStorage);
+    // Tombstone marker in the MemTable (Table 2).
+    action.record_off =
+        table->mem->Push(key, DeltaKind::kTombstone, Slice());
+  }
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    for (const auto& sec : table->def.secondary_indexes) {
+      const uint64_t comp =
+          SecondaryComposite(SecondaryKeyHash(old_tuple, sec), key);
+      table->secondaries[sec.index_id]->Erase(comp);
+      action.sec_removed.emplace_back(sec.index_id, comp);
+    }
+  }
+  txn_actions_.push_back(std::move(action));
+  return Status::OK();
+}
+
+Status LogEngine::Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                         Tuple* out) {
+  (void)txn_id;
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  if (!GetTuple(table, key, out)) return Status::NotFound();
+  return Status::OK();
+}
+
+Status LogEngine::ScanRange(
+    uint64_t txn_id, uint32_t table_id, uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, const Tuple&)>& fn) {
+  (void)txn_id;
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  std::vector<uint64_t> keys;
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    table->mem->CollectKeysInRange(lo, hi, &keys);
+    table->lsm->CollectKeysInRange(lo, hi, &keys);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  for (uint64_t key : keys) {
+    Tuple t(&table->def.schema);
+    if (!GetTuple(table, key, &t)) continue;  // dead key
+    if (!fn(key, t)) break;
+  }
+  return Status::OK();
+}
+
+Status LogEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
+                                  uint32_t index_id,
+                                  const std::vector<Value>& key_values,
+                                  std::vector<Tuple>* out) {
+  (void)txn_id;
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  auto sec_it = table->secondaries.find(index_id);
+  if (sec_it == table->secondaries.end()) {
+    return Status::InvalidArgument("no such index");
+  }
+  const SecondaryIndexDef* def = nullptr;
+  for (const auto& d : table->def.secondary_indexes) {
+    if (d.index_id == index_id) def = &d;
+  }
+  const uint64_t h = SecondaryKeyHash(table->def.schema, *def, key_values);
+  std::vector<uint64_t> pks;
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    sec_it->second->Scan(SecondaryRangeLo(h), SecondaryRangeHi(h),
+                         [&pks](uint64_t, const uint64_t& pk) {
+                           pks.push_back(pk);
+                           return true;
+                         });
+  }
+  for (uint64_t pk : pks) {
+    Tuple t(&table->def.schema);
+    if (!GetTuple(table, pk, &t)) continue;
+    if (SecondaryKeyHash(t, *def) == h) out->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+void LogEngine::FlushAllMemTables() {
+  ScopedTimer t(this, TimeCategory::kStorage);
+  for (auto& [table_id, table] : tables_) {
+    (void)table_id;
+    if (table.mem->KeyCount() == 0) continue;
+    std::vector<std::pair<uint64_t, DeltaRecord>> entries;
+    table.mem->ForEachKey(
+        [&](uint64_t key, const std::vector<DeltaRecord>& records) {
+          entries.emplace_back(
+              key, CoalesceNewestFirst(table.def.schema, records));
+        });
+    auto sst =
+        SsTable::Build(fs_, table.lsm->NextFlushFileName(), entries);
+    assert(sst != nullptr);
+    table.lsm->AddLevel0(std::move(sst));
+    table.mem->ReleaseAll();
+    table.lsm->MaybeCompact();
+  }
+  // MemTable contents are now durable in SSTables; the WAL can shrink.
+  wal_->Flush();
+  wal_->Truncate();
+}
+
+Status LogEngine::Commit(uint64_t txn_id) {
+  {
+    ScopedTimer t(this, TimeCategory::kRecovery);
+    wal_->LogCommit(txn_id);
+  }
+  txn_actions_.clear();
+  committed_txns_++;
+  active_txn_ = 0;
+  if (TotalMemTableBytes() > config_.memtable_threshold_bytes) {
+    FlushAllMemTables();
+  }
+  return Status::OK();
+}
+
+Status LogEngine::Abort(uint64_t txn_id) {
+  {
+    ScopedTimer t(this, TimeCategory::kRecovery);
+    LogRecord record;
+    record.op = LogOp::kAbort;
+    record.txn_id = txn_id;
+    wal_->Append(record);
+  }
+  for (auto it = txn_actions_.rbegin(); it != txn_actions_.rend(); ++it) {
+    Table* table = GetTable(it->table_id);
+    table->mem->PopNewest(it->key, it->record_off);
+    for (const auto& [idx, comp] : it->sec_added) {
+      table->secondaries[idx]->Erase(comp);
+    }
+    for (const auto& [idx, comp] : it->sec_removed) {
+      table->secondaries[idx]->Insert(comp, it->key);
+    }
+  }
+  txn_actions_.clear();
+  active_txn_ = 0;
+  return Status::OK();
+}
+
+Status LogEngine::Checkpoint() {
+  FlushAllMemTables();
+  return Status::OK();
+}
+
+size_t LogEngine::TotalMemTableBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, table] : tables_) {
+    (void)id;
+    bytes += table.mem->ApproxBytes();
+  }
+  return bytes;
+}
+
+void LogEngine::RebuildSecondaryIndexes() {
+  for (auto& [table_id, table] : tables_) {
+    (void)table_id;
+    if (table.def.secondary_indexes.empty()) continue;
+    std::vector<uint64_t> keys;
+    table.mem->CollectKeysInRange(0, ~0ull, &keys);
+    table.lsm->CollectKeysInRange(0, ~0ull, &keys);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (uint64_t key : keys) {
+      Tuple t(&table.def.schema);
+      if (!GetTuple(&table, key, &t)) continue;
+      for (const auto& sec : table.def.secondary_indexes) {
+        table.secondaries[sec.index_id]->Insert(
+            SecondaryComposite(SecondaryKeyHash(t, sec), key), key);
+      }
+    }
+  }
+}
+
+Status LogEngine::Recover() {
+  ScopedTimer timer(this, TimeCategory::kRecovery);
+  // Re-open the SSTables, then rebuild the MemTable from the WAL: replay
+  // committed transactions only (Section 3.3's recovery).
+  for (auto& [id, table] : tables_) {
+    (void)id;
+    Status s = table.lsm->Recover();
+    if (!s.ok()) return s;
+  }
+  const std::vector<LogRecord> records = wal_->ReadAll();
+  std::vector<uint64_t> committed;
+  for (const LogRecord& r : records) {
+    if (r.op == LogOp::kCommit) committed.push_back(r.txn_id);
+    if (r.txn_id >= next_txn_id_) next_txn_id_ = r.txn_id + 1;
+  }
+  auto is_committed = [&committed](uint64_t txn) {
+    for (uint64_t c : committed) {
+      if (c == txn) return true;
+    }
+    return false;
+  };
+  for (const LogRecord& r : records) {
+    if (!is_committed(r.txn_id)) continue;
+    Table* table = GetTable(r.table_id);
+    if (table == nullptr) continue;
+    switch (r.op) {
+      case LogOp::kInsert:
+        table->mem->Push(r.key, DeltaKind::kFull, Slice(r.after));
+        break;
+      case LogOp::kUpdate:
+        table->mem->Push(r.key, DeltaKind::kDelta, Slice(r.after));
+        break;
+      case LogOp::kDelete:
+        table->mem->Push(r.key, DeltaKind::kTombstone, Slice());
+        break;
+      default:
+        break;
+    }
+  }
+  RebuildSecondaryIndexes();
+  return Status::OK();
+}
+
+FootprintStats LogEngine::VolatileFootprint() const {
+  FootprintStats stats;
+  for (const auto& [id, table] : tables_) {
+    (void)id;
+    for (const auto& [sid, sec] : table.secondaries) {
+      (void)sid;
+      stats.index_bytes += sec->MemoryBytes();
+    }
+  }
+  return stats;
+}
+
+FootprintStats LogEngine::Footprint() const {
+  FootprintStats stats;
+  const AllocatorStats alloc = allocator_->stats();
+  // MemTable records live in allocator memory tagged kTable.
+  stats.other_bytes =
+      alloc.used_by_tag[static_cast<size_t>(StorageTag::kTable)];
+  stats.log_bytes = wal_->DurableSizeBytes();
+  for (const auto& [id, table] : tables_) {
+    (void)id;
+    stats.table_bytes += table.lsm->FileBytes();
+    for (const auto& [sid, sec] : table.secondaries) {
+      (void)sid;
+      stats.index_bytes += sec->MemoryBytes();
+    }
+  }
+  return stats;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "engine/storage_engine.h"
+#include "engine/wal.h"
+#include "index/stx_btree.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/memtable.h"
+
+namespace nvmdb {
+
+/// Traditional log-structured-updates engine (Section 3.3), modeled after
+/// LevelDB: updates batch in a MemTable; when it exceeds a threshold it is
+/// flushed to the filesystem as an immutable SSTable with a Bloom filter;
+/// a leveled compaction bounds read amplification. A filesystem WAL makes
+/// MemTable contents recoverable. Reads pay tuple coalescing: entries for
+/// a key may be spread across the MemTable and several runs.
+class LogEngine : public StorageEngine {
+ public:
+  explicit LogEngine(const EngineConfig& config);
+
+  EngineKind kind() const override { return EngineKind::kLog; }
+
+  Status CreateTable(const TableDef& def) override;
+  Status Commit(uint64_t txn_id) override;
+  Status Abort(uint64_t txn_id) override;
+  Status Insert(uint64_t txn_id, uint32_t table_id,
+                const Tuple& tuple) override;
+  Status Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                const std::vector<ColumnUpdate>& updates) override;
+  Status Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) override;
+  Status Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                Tuple* out) override;
+  Status ScanRange(uint64_t txn_id, uint32_t table_id, uint64_t lo,
+                   uint64_t hi,
+                   const std::function<bool(uint64_t, const Tuple&)>& fn)
+      override;
+  Status SelectSecondary(uint64_t txn_id, uint32_t table_id,
+                         uint32_t index_id,
+                         const std::vector<Value>& key_values,
+                         std::vector<Tuple>* out) override;
+  Status Recover() override;
+  /// Force-flush all MemTables to SSTables and truncate the WAL.
+  Status Checkpoint() override;
+  FootprintStats Footprint() const override;
+  FootprintStats VolatileFootprint() const override;
+
+  uint64_t LastDurableTxn() const override {
+    return wal_->last_durable_txn();
+  }
+
+ private:
+  struct Table {
+    TableDef def;
+    std::unique_ptr<MemTable> mem;
+    std::unique_ptr<LsmTree> lsm;
+    // Volatile secondary indexes over the whole table, rebuilt on recovery.
+    std::map<uint32_t, std::unique_ptr<BTree<uint64_t, uint64_t>>>
+        secondaries;
+  };
+
+  struct TxnAction {
+    uint32_t table_id;
+    uint64_t key;
+    uint64_t record_off;  // record pushed into the MemTable
+    // Secondary entries touched (for undo).
+    std::vector<std::pair<uint32_t, uint64_t>> sec_added;    // idx, comp
+    std::vector<std::pair<uint32_t, uint64_t>> sec_removed;  // idx, comp
+  };
+
+  Table* GetTable(uint32_t table_id);
+  /// Reconstruct a tuple by coalescing MemTable + LSM records.
+  bool GetTuple(Table* table, uint64_t key, Tuple* out);
+  bool KeyExists(Table* table, uint64_t key);
+  void FlushAllMemTables();
+  void RebuildSecondaryIndexes();
+  size_t TotalMemTableBytes() const;
+
+  EngineConfig config_;
+  Pmfs* fs_;
+  PmemAllocator* allocator_;
+  std::unique_ptr<Wal> wal_;
+  std::map<uint32_t, Table> tables_;
+  std::vector<TxnAction> txn_actions_;
+};
+
+}  // namespace nvmdb

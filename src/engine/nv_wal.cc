@@ -1,0 +1,114 @@
+#include "engine/nv_wal.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace nvmdb {
+
+NvWal::NvWal(PmemAllocator* allocator, const std::string& name)
+    : allocator_(allocator), device_(allocator->device()) {
+  head_slot_ = allocator_->GetRoot(name);
+  if (head_slot_ == 0) {
+    head_slot_ = allocator_->Alloc(sizeof(uint64_t), StorageTag::kLog);
+    assert(head_slot_ != 0);
+    device_->AtomicPersistWrite64(head_slot_, 0);
+    allocator_->MarkPersisted(head_slot_);
+    allocator_->SetRoot(name, head_slot_);
+  }
+}
+
+uint64_t NvWal::head() const {
+  uint64_t h = 0;
+  device_->Read(head_slot_, &h, 8);
+  return h;
+}
+
+uint64_t NvWal::Push(const void* payload, size_t n) {
+  // sync_header=false: PersistPayloadAndMark below covers the header.
+  const uint64_t entry_off = allocator_->Alloc(
+      sizeof(EntryHeader) + n, StorageTag::kLog, /*sync_header=*/false);
+  assert(entry_off != 0);
+  EntryHeader hdr;
+  hdr.next = head();
+  hdr.length = static_cast<uint32_t>(n);
+  hdr.pad = 0;
+  device_->Write(entry_off, &hdr, sizeof(hdr));
+  if (n > 0) device_->Write(entry_off + sizeof(hdr), payload, n);
+  // Entry first, head swap second: a crash before the swap leaves the
+  // entry unreachable and allocator recovery reclaims it (it is still in
+  // the allocated-not-persisted state until MarkPersisted below).
+  allocator_->PersistPayloadAndMark(entry_off, sizeof(hdr) + n);
+  device_->AtomicPersistWrite64(head_slot_, entry_off);
+  mirror_.push_back(entry_off);
+  return entry_off;
+}
+
+void NvWal::ForEach(
+    const std::function<void(const uint8_t*, size_t)>& fn) const {
+  uint64_t off = head();
+  while (off != 0) {
+    // Stop if the entry's slot is not in the persisted state: either a
+    // truncation was interrupted (entries already freed) or the slot was
+    // reclaimed by recovery.
+    if (allocator_->StateOf(off) != PmemAllocator::SlotState::kPersisted) {
+      break;
+    }
+    EntryHeader hdr;
+    device_->Read(off, &hdr, sizeof(hdr));
+    device_->TouchRead(device_->PtrAt(off + sizeof(hdr)), hdr.length);
+    fn(static_cast<const uint8_t*>(device_->PtrAt(off + sizeof(hdr))),
+       hdr.length);
+    off = hdr.next;
+  }
+}
+
+void NvWal::Clear() {
+  // Truncation uses the volatile mirror of the entry list when available
+  // (steady state), avoiding NVM re-reads of entries that were just
+  // flushed out of the cache by their own persists. After a restart the
+  // mirror is empty and the persistent list is walked instead.
+  std::vector<uint64_t> entries;
+  if (!mirror_.empty()) {
+    entries.swap(mirror_);
+  } else {
+    uint64_t off = head();
+    while (off != 0) {
+      if (allocator_->StateOf(off) !=
+          PmemAllocator::SlotState::kPersisted) {
+        break;
+      }
+      EntryHeader hdr;
+      device_->Read(off, &hdr, sizeof(hdr));
+      entries.push_back(off);
+      off = hdr.next;
+    }
+  }
+  device_->AtomicPersistWrite64(head_slot_, 0);
+  for (uint64_t e : entries) allocator_->Free(e);
+}
+
+bool NvWal::Empty() const { return head() == 0; }
+
+size_t NvWal::EntryCount() const {
+  size_t n = 0;
+  ForEach([&n](const uint8_t*, size_t) { n++; });
+  return n;
+}
+
+uint64_t NvWal::NvmBytes() const {
+  uint64_t bytes = sizeof(uint64_t);
+  uint64_t off = head();
+  while (off != 0) {
+    if (allocator_->StateOf(off) != PmemAllocator::SlotState::kPersisted) {
+      break;
+    }
+    EntryHeader hdr;
+    device_->Read(off, &hdr, sizeof(hdr));
+    bytes += sizeof(EntryHeader) + hdr.length;
+    off = hdr.next;
+  }
+  return bytes;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nvm/pmem_allocator.h"
+
+namespace nvmdb {
+
+/// Non-volatile write-ahead log: a persistent linked list of entries in
+/// NVM, appended with an atomic durable write of the list head
+/// (Section 4.1). The NVM-aware engines keep only *undo* information here
+/// — pointers and before-values, never full after-images — because
+/// committed data is persisted in place. The list therefore only ever
+/// contains the active transaction's entries and is truncated at commit.
+class NvWal {
+ public:
+  /// Attach to (or create) the WAL registered under `name`.
+  NvWal(PmemAllocator* allocator, const std::string& name);
+
+  /// Append an entry holding `n` opaque payload bytes. The entry is fully
+  /// persistent when this returns. Returns the entry's payload offset.
+  uint64_t Push(const void* payload, size_t n);
+
+  /// Visit entries newest-first (the order undo must run in).
+  void ForEach(const std::function<void(const uint8_t*, size_t)>& fn) const;
+
+  /// Truncate: atomically reset the head, then free the entries. A crash
+  /// between the two steps leaks at most one transaction's entries (noted
+  /// in DESIGN.md).
+  void Clear();
+
+  bool Empty() const;
+  size_t EntryCount() const;
+  uint64_t NvmBytes() const;
+
+ private:
+  struct EntryHeader {
+    uint64_t next;  // payload offset of the next-older entry, 0 = end
+    uint32_t length;
+    uint32_t pad;
+  };
+
+  uint64_t head() const;
+
+  PmemAllocator* allocator_;
+  NvmDevice* device_;
+  uint64_t head_slot_;  // payload offset of the persistent head pointer
+  std::vector<uint64_t> mirror_;  // volatile copy of the entry offsets
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,113 @@
+#include "engine/nvm_cow_engine.h"
+
+#include <cstring>
+
+namespace nvmdb {
+
+NvmCowEngine::NvmCowEngine(const EngineConfig& config)
+    : CowEngine(config,
+                std::make_unique<NvmPageStore>(
+                    config.allocator,
+                    config.namespace_prefix + ".nvmcow",
+                    config.cow_page_bytes, StorageTag::kIndex)),
+      allocator_(config.allocator) {
+  allocator_->set_eager_state_sync(true);
+}
+
+Status NvmCowEngine::CreateTable(const TableDef& def) {
+  Status s = CowEngine::CreateTable(def);
+  if (!s.ok()) return s;
+  heaps_[def.table_id] = std::make_unique<TableHeap>(
+      allocator_, &tables_[def.table_id].def.schema, /*nvm_aware=*/false);
+  return Status::OK();
+}
+
+std::string NvmCowEngine::EncodeTupleValue(uint32_t table_id,
+                                           const Tuple& tuple,
+                                           Status* status) {
+  // Persist the tuple copy into the slot pools and hand the directory an
+  // 8-byte non-volatile pointer — the data-duplication saving of
+  // Section 4.2. The sync is deferred to the batch flush.
+  TableHeap* heap = heaps_[table_id].get();
+  const uint64_t slot = heap->Insert(tuple, /*defer_mark=*/true);
+  if (slot == 0) {
+    *status = Status::OutOfSpace("tuple slot");
+    return "";
+  }
+  txn_new_slots_.push_back({table_id, slot});
+  *status = Status::OK();
+  char bytes[8];
+  memcpy(bytes, &slot, 8);
+  return std::string(bytes, 8);
+}
+
+Tuple NvmCowEngine::DecodeTupleValue(uint32_t table_id, const Slice& value) {
+  uint64_t slot;
+  memcpy(&slot, value.data(), 8);
+  return heaps_[table_id]->Read(slot);
+}
+
+void NvmCowEngine::OnValueReplaced(uint32_t table_id,
+                                   const std::string& old_value) {
+  uint64_t slot;
+  memcpy(&slot, old_value.data(), 8);
+  txn_old_slots_.push_back({table_id, slot});
+}
+
+void NvmCowEngine::OnTxnCommitHook() {
+  batch_new_slots_.insert(batch_new_slots_.end(), txn_new_slots_.begin(),
+                          txn_new_slots_.end());
+  batch_old_slots_.insert(batch_old_slots_.end(), txn_old_slots_.begin(),
+                          txn_old_slots_.end());
+  txn_new_slots_.clear();
+  txn_old_slots_.clear();
+}
+
+void NvmCowEngine::OnTxnAbortHook() {
+  // The journal already restored the directory; discard this
+  // transaction's tuple copies and keep the old versions.
+  for (const HeapEntry& e : txn_new_slots_) {
+    heaps_[e.table_id]->Free(e.slot);
+  }
+  txn_new_slots_.clear();
+  txn_old_slots_.clear();
+}
+
+void NvmCowEngine::OnBatchFlush() {
+  // Section 4.2 commit order, step 1: persist the uncommitted tuple
+  // copies (the dirty-directory pages and master record follow in
+  // CowBTree::Commit).
+  for (const HeapEntry& e : batch_new_slots_) {
+    heaps_[e.table_id]->PersistTuple(e.slot);
+  }
+  batch_new_slots_.clear();
+}
+
+void NvmCowEngine::OnBatchFlushed() {
+  // Old versions are unreachable from the new current directory.
+  for (const HeapEntry& e : batch_old_slots_) {
+    heaps_[e.table_id]->Free(e.slot);
+  }
+  batch_old_slots_.clear();
+}
+
+Status NvmCowEngine::Recover() {
+  // Allocator recovery already reclaimed unpersisted tuple copies and
+  // dirty-directory pages; the tree re-opens from the master record.
+  txn_new_slots_.clear();
+  txn_old_slots_.clear();
+  batch_new_slots_.clear();
+  batch_old_slots_.clear();
+  return CowEngine::Recover();
+}
+
+FootprintStats NvmCowEngine::Footprint() const {
+  FootprintStats stats;
+  const AllocatorStats alloc = allocator_->stats();
+  stats.table_bytes =
+      alloc.used_by_tag[static_cast<size_t>(StorageTag::kTable)];
+  stats.index_bytes = store_->StorageBytes();
+  return stats;
+}
+
+}  // namespace nvmdb

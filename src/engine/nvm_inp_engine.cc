@@ -1,0 +1,432 @@
+#include "engine/nvm_inp_engine.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "engine/wal.h"
+#include "lsm/delta.h"
+
+namespace nvmdb {
+
+namespace {
+
+// Flat NV-WAL undo entry:
+// u8 op | u32 table | u64 key | u64 slot | u16 fcount |
+// fcount * { u16 column | u64 before | u64 new_varlen }
+constexpr size_t kUndoHeaderBytes = 1 + 4 + 8 + 8 + 2;
+constexpr size_t kUndoFieldBytes = 2 + 8 + 8;
+
+struct UndoField {
+  uint16_t column;
+  uint64_t before;
+  uint64_t new_varlen;
+};
+
+std::string EncodeUndo(uint8_t op, uint32_t table_id, uint64_t key,
+                       uint64_t slot, const std::vector<UndoField>& fields) {
+  std::string out;
+  out.reserve(kUndoHeaderBytes + fields.size() * kUndoFieldBytes);
+  out.push_back(static_cast<char>(op));
+  out.append(reinterpret_cast<const char*>(&table_id), 4);
+  out.append(reinterpret_cast<const char*>(&key), 8);
+  out.append(reinterpret_cast<const char*>(&slot), 8);
+  const uint16_t count = static_cast<uint16_t>(fields.size());
+  out.append(reinterpret_cast<const char*>(&count), 2);
+  for (const UndoField& f : fields) {
+    out.append(reinterpret_cast<const char*>(&f.column), 2);
+    out.append(reinterpret_cast<const char*>(&f.before), 8);
+    out.append(reinterpret_cast<const char*>(&f.new_varlen), 8);
+  }
+  return out;
+}
+
+}  // namespace
+
+NvmInPEngine::NvmInPEngine(const EngineConfig& config)
+    : config_(config), allocator_(config.allocator) {
+  allocator_->set_eager_state_sync(true);
+  wal_ = std::make_unique<NvWal>(allocator_,
+                                 config_.namespace_prefix + ".nvminp.wal");
+}
+
+Status NvmInPEngine::CreateTable(const TableDef& def) {
+  Table& table = tables_[def.table_id];
+  table.def = def;
+  table.heap = std::make_unique<TableHeap>(allocator_, &table.def.schema,
+                                           /*nvm_aware=*/true);
+  const std::string base = config_.namespace_prefix + ".nvminp.t" +
+                           std::to_string(def.table_id);
+  table.primary = std::make_unique<NvBTree>(allocator_, base + ".pk",
+                                            config_.btree_node_bytes);
+  for (const auto& sec : def.secondary_indexes) {
+    table.secondaries[sec.index_id] = std::make_unique<NvBTree>(
+        allocator_, base + ".sk" + std::to_string(sec.index_id),
+        config_.btree_node_bytes);
+  }
+  return Status::OK();
+}
+
+NvmInPEngine::Table* NvmInPEngine::GetTable(uint32_t table_id) {
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+void NvmInPEngine::AddSecondaryEntries(Table* table, const Tuple& tuple,
+                                       uint64_t pk) {
+  for (const auto& sec : table->def.secondary_indexes) {
+    const uint64_t h = SecondaryKeyHash(tuple, sec);
+    table->secondaries[sec.index_id]->Insert(SecondaryComposite(h, pk), pk);
+  }
+}
+
+void NvmInPEngine::RemoveSecondaryEntries(Table* table, const Tuple& tuple,
+                                          uint64_t pk) {
+  for (const auto& sec : table->def.secondary_indexes) {
+    const uint64_t h = SecondaryKeyHash(tuple, sec);
+    table->secondaries[sec.index_id]->Erase(SecondaryComposite(h, pk));
+  }
+}
+
+Status NvmInPEngine::Insert(uint64_t txn_id, uint32_t table_id,
+                            const Tuple& tuple) {
+  (void)txn_id;
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  const uint64_t key = tuple.Key();
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    if (table->primary->Contains(key)) {
+      return Status::InvalidArgument("duplicate key");
+    }
+  }
+
+  // Table 2, NVM-InP INSERT: sync tuple -> record pointer in WAL -> sync
+  // log entry -> mark tuple state persisted -> add index entries.
+  uint64_t slot;
+  {
+    ScopedTimer t(this, TimeCategory::kStorage);
+    slot = table->heap->Insert(tuple, /*defer_mark=*/true);
+    if (slot == 0) return Status::OutOfSpace("table heap");
+  }
+  {
+    ScopedTimer t(this, TimeCategory::kRecovery);
+    const std::string entry = EncodeUndo(
+        static_cast<uint8_t>(LogOp::kInsert), table_id, key, slot, {});
+    wal_->Push(entry.data(), entry.size());
+  }
+  {
+    // Tuple payloads + slot states become durable only now, after the WAL
+    // entry referencing them (Table 2's ordering), one sync per slot.
+    ScopedTimer t(this, TimeCategory::kStorage);
+    table->heap->PersistTuple(slot);
+  }
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    table->primary->Insert(key, slot);
+    AddSecondaryEntries(table, tuple, key);
+  }
+  return Status::OK();
+}
+
+Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                            const std::vector<ColumnUpdate>& updates) {
+  (void)txn_id;
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  uint64_t slot = 0;
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    if (!table->primary->Find(key, &slot)) return Status::NotFound();
+  }
+
+  bool touches_secondary = false;
+  for (const ColumnUpdate& u : updates) {
+    for (const auto& sec : table->def.secondary_indexes) {
+      for (size_t c : sec.key_columns) {
+        if (c == u.column) touches_secondary = true;
+      }
+    }
+  }
+  Tuple old_tuple;
+  if (touches_secondary) old_tuple = table->heap->Read(slot);
+
+  // Phase 1: stage new varlen values (unmarked) and capture before words.
+  std::vector<UndoField> fields;
+  std::vector<uint64_t> new_words(updates.size());
+  {
+    ScopedTimer t(this, TimeCategory::kStorage);
+    for (size_t i = 0; i < updates.size(); i++) {
+      const ColumnUpdate& u = updates[i];
+      const Column& col = table->def.schema.column(u.column);
+      UndoField f;
+      f.column = static_cast<uint16_t>(u.column);
+      f.before = table->heap->ReadFieldRaw(slot, u.column);
+      f.new_varlen = 0;
+      if (col.type == ColumnType::kVarchar && !col.IsInlined()) {
+        f.new_varlen = table->heap->AllocVarlenUnmarked(u.value.str);
+        if (f.new_varlen == 0) return Status::OutOfSpace("varlen");
+        new_words[i] = f.new_varlen;
+        commit_free_varlen_.push_back(f.before);  // old slot, freed at commit
+      } else if (col.type == ColumnType::kVarchar) {
+        uint64_t word = 0;
+        memcpy(&word, u.value.str.data(),
+               std::min<size_t>(8, u.value.str.size()));
+        new_words[i] = word;
+      } else {
+        new_words[i] = u.value.num;
+      }
+      fields.push_back(f);
+    }
+  }
+
+  // Phase 2: durable undo entry (field before-values + pointers only —
+  // Table 3's F + p bytes, not 2*(F+V) like the traditional engine).
+  {
+    ScopedTimer t(this, TimeCategory::kRecovery);
+    const std::string entry = EncodeUndo(
+        static_cast<uint8_t>(LogOp::kUpdate), table_id, key, slot, fields);
+    wal_->Push(entry.data(), entry.size());
+  }
+
+  // Phase 3: apply in place; one sync covers the whole modified span.
+  {
+    ScopedTimer t(this, TimeCategory::kStorage);
+    size_t min_col = updates[0].column, max_col = updates[0].column;
+    for (size_t i = 0; i < updates.size(); i++) {
+      table->heap->WriteFieldRaw(slot, updates[i].column, new_words[i],
+                                 /*persist=*/false);
+      min_col = std::min(min_col, updates[i].column);
+      max_col = std::max(max_col, updates[i].column);
+      if (fields[i].new_varlen != 0) {
+        table->heap->PersistVarlenAndMark(fields[i].new_varlen);
+      }
+    }
+    table->heap->PersistFieldSpan(slot, min_col, max_col);
+  }
+
+  if (touches_secondary) {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    Tuple new_tuple = old_tuple;
+    ApplyUpdates(&new_tuple, updates);
+    RemoveSecondaryEntries(table, old_tuple, key);
+    AddSecondaryEntries(table, new_tuple, key);
+  }
+  return Status::OK();
+}
+
+Status NvmInPEngine::Delete(uint64_t txn_id, uint32_t table_id,
+                            uint64_t key) {
+  (void)txn_id;
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  uint64_t slot = 0;
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    if (!table->primary->Find(key, &slot)) return Status::NotFound();
+  }
+  {
+    ScopedTimer t(this, TimeCategory::kRecovery);
+    const std::string entry = EncodeUndo(
+        static_cast<uint8_t>(LogOp::kDelete), table_id, key, slot, {});
+    wal_->Push(entry.data(), entry.size());
+  }
+  Tuple old_tuple = table->heap->Read(slot);
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    table->primary->Erase(key);
+    RemoveSecondaryEntries(table, old_tuple, key);
+  }
+  // Space reclaimed at the end of the transaction (Table 2).
+  commit_free_slots_.emplace_back(table_id, slot);
+  return Status::OK();
+}
+
+Status NvmInPEngine::Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                            Tuple* out) {
+  (void)txn_id;
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  uint64_t slot = 0;
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    if (!table->primary->Find(key, &slot)) return Status::NotFound();
+  }
+  ScopedTimer t(this, TimeCategory::kStorage);
+  *out = table->heap->Read(slot);
+  return Status::OK();
+}
+
+Status NvmInPEngine::ScanRange(
+    uint64_t txn_id, uint32_t table_id, uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, const Tuple&)>& fn) {
+  (void)txn_id;
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  ScopedTimer t(this, TimeCategory::kIndex);
+  table->primary->Scan(lo, hi, [&](uint64_t key, uint64_t slot) {
+    return fn(key, table->heap->Read(slot));
+  });
+  return Status::OK();
+}
+
+Status NvmInPEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
+                                     uint32_t index_id,
+                                     const std::vector<Value>& key_values,
+                                     std::vector<Tuple>* out) {
+  (void)txn_id;
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return Status::InvalidArgument("no such table");
+  auto sec_it = table->secondaries.find(index_id);
+  if (sec_it == table->secondaries.end()) {
+    return Status::InvalidArgument("no such index");
+  }
+  const SecondaryIndexDef* def = nullptr;
+  for (const auto& d : table->def.secondary_indexes) {
+    if (d.index_id == index_id) def = &d;
+  }
+  const uint64_t h = SecondaryKeyHash(table->def.schema, *def, key_values);
+  std::vector<uint64_t> pks;
+  {
+    ScopedTimer t(this, TimeCategory::kIndex);
+    sec_it->second->Scan(SecondaryRangeLo(h), SecondaryRangeHi(h),
+                         [&pks](uint64_t, uint64_t pk) {
+                           pks.push_back(pk);
+                           return true;
+                         });
+  }
+  for (uint64_t pk : pks) {
+    uint64_t slot = 0;
+    if (!table->primary->Find(pk, &slot)) continue;
+    Tuple t = table->heap->Read(slot);
+    if (SecondaryKeyHash(t, *def) == h) out->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+Status NvmInPEngine::Commit(uint64_t txn_id) {
+  ScopedTimer t(this, TimeCategory::kRecovery);
+  // Everything the transaction wrote is already persisted in place;
+  // committing truncates the undo log, then reclaims deferred space.
+  // (Truncate-first: undoing against freed slots would corrupt; the
+  // reverse order can only leak, and only in a crash window.)
+  wal_->Clear();
+  for (uint64_t voff : commit_free_varlen_) allocator_->Free(voff);
+  commit_free_varlen_.clear();
+  for (const auto& [table_id, slot] : commit_free_slots_) {
+    Table* table = GetTable(table_id);
+    if (table != nullptr) table->heap->Free(slot);
+  }
+  commit_free_slots_.clear();
+  committed_txns_++;
+  last_committed_txn_ = txn_id;
+  active_txn_ = 0;
+  return Status::OK();
+}
+
+Status NvmInPEngine::Abort(uint64_t txn_id) {
+  (void)txn_id;
+  ScopedTimer t(this, TimeCategory::kRecovery);
+  wal_->ForEach([this](const uint8_t* payload, size_t size) {
+    UndoOne(payload, size);
+  });
+  wal_->Clear();
+  commit_free_varlen_.clear();
+  commit_free_slots_.clear();
+  active_txn_ = 0;
+  return Status::OK();
+}
+
+void NvmInPEngine::UndoOne(const uint8_t* payload, size_t size) {
+  if (size < kUndoHeaderBytes) return;
+  const uint8_t op = payload[0];
+  uint32_t table_id;
+  uint64_t key, slot;
+  uint16_t fcount;
+  memcpy(&table_id, payload + 1, 4);
+  memcpy(&key, payload + 5, 8);
+  memcpy(&slot, payload + 13, 8);
+  memcpy(&fcount, payload + 21, 2);
+  Table* table = GetTable(table_id);
+  if (table == nullptr) return;
+
+  switch (static_cast<LogOp>(op)) {
+    case LogOp::kInsert: {
+      // If the tuple never reached the persisted state, the crash happened
+      // before index insertion; the allocator already reclaimed it.
+      if (allocator_->StateOf(slot) !=
+          PmemAllocator::SlotState::kPersisted) {
+        table->primary->Erase(key);
+        return;
+      }
+      const Tuple t = table->heap->Read(slot);
+      table->primary->Erase(key);
+      RemoveSecondaryEntries(table, t, key);
+      table->heap->Free(slot);
+      break;
+    }
+    case LogOp::kUpdate: {
+      if (size < kUndoHeaderBytes + fcount * kUndoFieldBytes) return;
+      const bool slot_live = allocator_->StateOf(slot) ==
+                             PmemAllocator::SlotState::kPersisted;
+      if (!slot_live) return;
+      const Tuple newer = table->heap->Read(slot);
+      for (int i = static_cast<int>(fcount) - 1; i >= 0; i--) {
+        const uint8_t* f =
+            payload + kUndoHeaderBytes + i * kUndoFieldBytes;
+        uint16_t column;
+        uint64_t before, new_varlen;
+        memcpy(&column, f, 2);
+        memcpy(&before, f + 2, 8);
+        memcpy(&new_varlen, f + 10, 8);
+        table->heap->WriteFieldRaw(slot, column, before);
+        if (new_varlen != 0) {
+          table->heap->FreeVarlenIfPersisted(new_varlen);
+        }
+      }
+      const Tuple older = table->heap->Read(slot);
+      RemoveSecondaryEntries(table, newer, key);
+      AddSecondaryEntries(table, older, key);
+      break;
+    }
+    case LogOp::kDelete: {
+      // Re-link the tuple: the slot was not reclaimed before commit.
+      if (allocator_->StateOf(slot) !=
+          PmemAllocator::SlotState::kPersisted) {
+        return;
+      }
+      const Tuple t = table->heap->Read(slot);
+      table->primary->Insert(key, slot);
+      AddSecondaryEntries(table, t, key);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+Status NvmInPEngine::Recover() {
+  ScopedTimer t(this, TimeCategory::kRecovery);
+  // Undo-only: roll back whatever the in-flight transaction left behind.
+  // No redo pass and no index rebuild (Section 4.1).
+  wal_->ForEach([this](const uint8_t* payload, size_t size) {
+    UndoOne(payload, size);
+  });
+  wal_->Clear();
+  commit_free_varlen_.clear();
+  commit_free_slots_.clear();
+  return Status::OK();
+}
+
+FootprintStats NvmInPEngine::Footprint() const {
+  FootprintStats stats;
+  const AllocatorStats alloc = allocator_->stats();
+  stats.table_bytes =
+      alloc.used_by_tag[static_cast<size_t>(StorageTag::kTable)];
+  stats.index_bytes =
+      alloc.used_by_tag[static_cast<size_t>(StorageTag::kIndex)];
+  stats.log_bytes =
+      alloc.used_by_tag[static_cast<size_t>(StorageTag::kLog)];
+  return stats;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "engine/nv_wal.h"
+#include "engine/storage_engine.h"
+#include "engine/table_storage.h"
+#include "index/nv_btree.h"
+
+namespace nvmdb {
+
+/// NVM-aware in-place-updates engine (Section 4.1). Tuples are persisted
+/// in place with the sync primitive; the WAL is a non-volatile linked list
+/// holding only what undo needs (tuple pointers and field before-values —
+/// never full after-images); indexes are non-volatile B+trees usable
+/// immediately after restart. Recovery is undo-only: its cost depends on
+/// the transactions in flight at the crash, not on history.
+class NvmInPEngine : public StorageEngine {
+ public:
+  explicit NvmInPEngine(const EngineConfig& config);
+
+  EngineKind kind() const override { return EngineKind::kNvmInP; }
+
+  Status CreateTable(const TableDef& def) override;
+  Status Commit(uint64_t txn_id) override;
+  Status Abort(uint64_t txn_id) override;
+  Status Insert(uint64_t txn_id, uint32_t table_id,
+                const Tuple& tuple) override;
+  Status Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                const std::vector<ColumnUpdate>& updates) override;
+  Status Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) override;
+  Status Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                Tuple* out) override;
+  Status ScanRange(uint64_t txn_id, uint32_t table_id, uint64_t lo,
+                   uint64_t hi,
+                   const std::function<bool(uint64_t, const Tuple&)>& fn)
+      override;
+  Status SelectSecondary(uint64_t txn_id, uint32_t table_id,
+                         uint32_t index_id,
+                         const std::vector<Value>& key_values,
+                         std::vector<Tuple>* out) override;
+  Status Recover() override;
+  FootprintStats Footprint() const override;
+
+  /// Commits persist immediately — every committed txn is durable.
+  uint64_t LastDurableTxn() const override { return last_committed_txn_; }
+
+ private:
+  struct Table {
+    TableDef def;
+    std::unique_ptr<TableHeap> heap;
+    std::unique_ptr<NvBTree> primary;  // key -> tuple slot (NvmPtr offset)
+    std::map<uint32_t, std::unique_ptr<NvBTree>> secondaries;
+  };
+
+  // Serialized NV-WAL entry: the undo record (Section 4.1's WAL contents:
+  // txn id, table, tuple id, pointers to the changes).
+  struct UndoEntry {
+    uint8_t op;          // LogOp
+    uint32_t table_id;
+    uint64_t key;
+    uint64_t slot;
+    // update: field-level before words; new varlen slots for rollback-free
+    uint16_t field_count;
+    // followed by field_count * { u16 column; u64 before; u64 new_varlen }
+  };
+
+  Table* GetTable(uint32_t table_id);
+  void UndoOne(const uint8_t* payload, size_t size);
+  void AddSecondaryEntries(Table* table, const Tuple& tuple, uint64_t pk);
+  void RemoveSecondaryEntries(Table* table, const Tuple& tuple, uint64_t pk);
+
+  EngineConfig config_;
+  PmemAllocator* allocator_;
+  std::unique_ptr<NvWal> wal_;
+  std::map<uint32_t, Table> tables_;
+
+  std::vector<uint64_t> commit_free_varlen_;  // old varlens after update
+  // deleted tuples: (table_id, slot) so Free can release varlen fields
+  std::vector<std::pair<uint32_t, uint64_t>> commit_free_slots_;
+  uint64_t last_committed_txn_ = 0;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bloom_filter.h"
+#include "engine/nv_wal.h"
+#include "engine/storage_engine.h"
+#include "index/nv_btree.h"
+#include "lsm/delta.h"
+
+namespace nvmdb {
+
+/// NVM-aware log-structured engine (Section 4.3). Differences from the
+/// traditional Log engine:
+///  * MemTable records are persisted in place via the allocator interface
+///    and indexed by a non-volatile B+tree — nothing is ever written
+///    through the filesystem;
+///  * a full MemTable is merely *marked immutable* (one atomic append to a
+///    persistent run directory) instead of being serialized to an SSTable;
+///  * compaction merges immutable MemTables into a new, larger MemTable;
+///  * the WAL is a non-volatile linked list holding only undo pointers, so
+///    recovery just rolls back the in-flight transaction.
+class NvmLogEngine : public StorageEngine {
+ public:
+  explicit NvmLogEngine(const EngineConfig& config);
+
+  EngineKind kind() const override { return EngineKind::kNvmLog; }
+
+  Status CreateTable(const TableDef& def) override;
+  Status Commit(uint64_t txn_id) override;
+  Status Abort(uint64_t txn_id) override;
+  Status Insert(uint64_t txn_id, uint32_t table_id,
+                const Tuple& tuple) override;
+  Status Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                const std::vector<ColumnUpdate>& updates) override;
+  Status Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) override;
+  Status Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                Tuple* out) override;
+  Status ScanRange(uint64_t txn_id, uint32_t table_id, uint64_t lo,
+                   uint64_t hi,
+                   const std::function<bool(uint64_t, const Tuple&)>& fn)
+      override;
+  Status SelectSecondary(uint64_t txn_id, uint32_t table_id,
+                         uint32_t index_id,
+                         const std::vector<Value>& key_values,
+                         std::vector<Tuple>* out) override;
+  Status Recover() override;
+  /// Force: mark the mutable MemTable immutable and compact.
+  Status Checkpoint() override;
+  FootprintStats Footprint() const override;
+
+  uint64_t LastDurableTxn() const override { return last_committed_txn_; }
+
+ private:
+  /// Persistent MemTable: per-key chains of persisted records indexed by a
+  /// non-volatile B+tree.
+  class NvMemTable {
+   public:
+    NvMemTable(PmemAllocator* allocator, uint64_t tree_header_off);
+    static uint64_t CreateTree(PmemAllocator* allocator, size_t node_bytes);
+
+    /// Write + persist a record (unmarked). Returns its offset.
+    uint64_t PrepareRecord(uint64_t key, DeltaKind kind,
+                           const Slice& payload);
+    /// Mark the record persisted and publish it at the chain head.
+    void CommitRecord(uint64_t key, uint64_t record_off);
+    /// Roll back a record (newest of its chain, or unpublished).
+    void UndoRecord(uint64_t key, uint64_t record_off);
+
+    void Collect(uint64_t key, std::vector<DeltaRecord>* out) const;
+    void CollectKeysInRange(uint64_t lo, uint64_t hi,
+                            std::vector<uint64_t>* out) const;
+    void ForEachKey(const std::function<void(
+                        uint64_t, const std::vector<DeltaRecord>&)>& fn)
+        const;
+    BloomFilter BuildBloom() const;
+
+    /// Free every record and the index tree (post-compaction teardown).
+    void ReleaseAll();
+
+    uint64_t tree_header() const { return tree_->header_offset(); }
+    size_t approx_bytes() const { return approx_bytes_; }
+    size_t KeyCount() const { return tree_->Count(); }
+
+   private:
+    struct RecordHeader {
+      uint64_t next;
+      uint8_t kind;
+      uint8_t pad[3];
+      uint32_t length;
+    };
+
+    PmemAllocator* allocator_;
+    NvmDevice* device_;
+    std::unique_ptr<NvBTree> tree_;  // key -> newest record offset
+    size_t approx_bytes_ = 0;
+  };
+
+  struct Table {
+    TableDef def;
+    std::unique_ptr<NvMemTable> mutable_mem;
+    std::vector<std::unique_ptr<NvMemTable>> immutables;  // oldest first
+    std::vector<BloomFilter> blooms;                      // parallel array
+    std::map<uint32_t, std::unique_ptr<NvBTree>> secondaries;
+    uint64_t rundir_off = 0;  // persistent run directory
+    uint64_t mutable_root_off = 0;  // persistent pointer to mutable tree
+  };
+
+  // Persistent run directory: u64 magic, u64 count, u64 entries[kMaxRuns].
+  static constexpr size_t kMaxRuns = 64;
+
+  Table* GetTable(uint32_t table_id);
+  bool GetTuple(Table* table, uint64_t key, Tuple* out) const;
+  bool KeyExists(Table* table, uint64_t key) const;
+  void MarkImmutable(Table* table);
+  void CompactTable(Table* table);
+  void UndoOne(const uint8_t* payload, size_t size);
+  void AttachTableRuns(Table* table);
+  uint64_t* RunDirEntries(const Table& table) const;
+  uint64_t RunDirCount(const Table& table) const;
+
+  EngineConfig config_;
+  PmemAllocator* allocator_;
+  NvmDevice* device_;
+  std::unique_ptr<NvWal> wal_;
+  std::map<uint32_t, Table> tables_;
+  uint64_t last_committed_txn_ = 0;
+};
+
+}  // namespace nvmdb

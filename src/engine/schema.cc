@@ -1,0 +1,18 @@
+#include "engine/schema.h"
+
+namespace nvmdb {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (const auto& c : columns_) {
+    if (!c.IsInlined()) has_varlen_ = true;
+  }
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace nvmdb

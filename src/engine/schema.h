@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvmdb {
+
+/// Column types. Every column occupies an 8-byte slot in a tuple's fixed
+/// part; varchar values longer than 8 bytes are stored out-of-line in a
+/// variable-length slot whose 8-byte location takes the column's place —
+/// exactly the paper's InP layout (Section 3.1).
+enum class ColumnType : uint8_t {
+  kUInt64 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kVarchar = 3,
+};
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kUInt64;
+  /// For kVarchar: maximum length in bytes. Ignored for numerics.
+  uint32_t max_length = 8;
+
+  bool IsInlined() const {
+    return type != ColumnType::kVarchar || max_length <= 8;
+  }
+};
+
+/// Table schema: an ordered list of columns. Column 0 is by convention the
+/// primary key (uint64).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Byte offset of column `i` inside the fixed part (always 8 * i).
+  size_t FixedOffset(size_t i) const { return i * 8; }
+  /// Size of the fixed (in-slot) tuple representation.
+  size_t FixedSize() const { return columns_.size() * 8; }
+
+  /// True if any column is stored out-of-line.
+  bool HasVarlen() const { return has_varlen_; }
+
+  int ColumnIndex(const std::string& name) const;
+
+ private:
+  std::vector<Column> columns_;
+  bool has_varlen_ = false;
+};
+
+/// A secondary index definition: the ordered set of columns forming the
+/// secondary key. Secondary indexes map secondary keys to primary keys
+/// (Section 3.2).
+struct SecondaryIndexDef {
+  uint32_t index_id = 0;
+  std::vector<size_t> key_columns;
+};
+
+/// Table definition handed to engines at CreateTable time.
+struct TableDef {
+  uint32_t table_id = 0;
+  std::string name;
+  Schema schema;
+  std::vector<SecondaryIndexDef> secondary_indexes;
+};
+
+}  // namespace nvmdb

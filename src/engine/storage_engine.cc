@@ -1,0 +1,59 @@
+#include "engine/storage_engine.h"
+
+#include "engine/cow_engine.h"
+#include "engine/inp_engine.h"
+#include "engine/log_engine.h"
+#include "engine/nvm_cow_engine.h"
+#include "engine/nvm_inp_engine.h"
+#include "engine/nvm_log_engine.h"
+
+namespace nvmdb {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kInP:
+      return "InP";
+    case EngineKind::kCoW:
+      return "CoW";
+    case EngineKind::kLog:
+      return "Log";
+    case EngineKind::kNvmInP:
+      return "NVM-InP";
+    case EngineKind::kNvmCoW:
+      return "NVM-CoW";
+    case EngineKind::kNvmLog:
+      return "NVM-Log";
+  }
+  return "?";
+}
+
+bool EngineKindIsNvmAware(EngineKind kind) {
+  return kind == EngineKind::kNvmInP || kind == EngineKind::kNvmCoW ||
+         kind == EngineKind::kNvmLog;
+}
+
+uint64_t StorageEngine::Begin() {
+  active_txn_ = next_txn_id_++;
+  return active_txn_;
+}
+
+std::unique_ptr<StorageEngine> CreateEngine(EngineKind kind,
+                                            const EngineConfig& config) {
+  switch (kind) {
+    case EngineKind::kInP:
+      return std::make_unique<InPEngine>(config);
+    case EngineKind::kCoW:
+      return std::make_unique<CowEngine>(config);
+    case EngineKind::kLog:
+      return std::make_unique<LogEngine>(config);
+    case EngineKind::kNvmInP:
+      return std::make_unique<NvmInPEngine>(config);
+    case EngineKind::kNvmCoW:
+      return std::make_unique<NvmCowEngine>(config);
+    case EngineKind::kNvmLog:
+      return std::make_unique<NvmLogEngine>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace nvmdb

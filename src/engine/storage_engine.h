@@ -1,0 +1,193 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "engine/tuple.h"
+#include "nvm/pmem_allocator.h"
+#include "nvm/pmfs.h"
+
+namespace nvmdb {
+
+/// Which of the six paper engines to instantiate.
+enum class EngineKind {
+  kInP,      // in-place updates + ARIES-style WAL (Section 3.1)
+  kCoW,      // copy-on-write / shadow paging (Section 3.2)
+  kLog,      // log-structured (LSM) updates (Section 3.3)
+  kNvmInP,   // NVM-aware in-place updates (Section 4.1)
+  kNvmCoW,   // NVM-aware copy-on-write (Section 4.2)
+  kNvmLog,   // NVM-aware log-structured (Section 4.3)
+};
+
+const char* EngineKindName(EngineKind kind);
+bool EngineKindIsNvmAware(EngineKind kind);
+
+/// Construction-time knobs shared by all engines.
+struct EngineConfig {
+  PmemAllocator* allocator = nullptr;
+  Pmfs* fs = nullptr;
+  /// Suffix appended to file/root names so multiple partitions coexist.
+  std::string namespace_prefix = "p0";
+
+  size_t btree_node_bytes = 512;    // STX / NV B+tree node size
+  size_t cow_page_bytes = 4096;     // CoW B+tree page size
+  size_t cow_cache_pages = 2048;    // CoW engine page-cache capacity
+  size_t group_commit_size = 8;     // txns per WAL group commit
+  uint64_t checkpoint_interval_txns = 0;  // 0 = only on demand (InP)
+  size_t memtable_threshold_bytes = 1 << 20;  // Log engines
+  size_t lsm_level0_limit = 4;      // runs before compaction triggers
+  bool use_bloom_filters = true;    // NVM-Log run filters (ablation knob)
+};
+
+/// Time-breakdown categories of Fig. 13.
+enum class TimeCategory : uint8_t {
+  kStorage = 0,   // allocator / filesystem storage management
+  kRecovery = 1,  // logging, checkpointing, commit persistence
+  kIndex = 2,     // index access and maintenance
+  kOther = 3,     // everything else (engine logic, compaction bookkeeping)
+  kCount = 4,
+};
+
+struct EngineTimeBreakdown {
+  uint64_t ns[static_cast<size_t>(TimeCategory::kCount)] = {};
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (uint64_t v : ns) sum += v;
+    return sum;
+  }
+};
+
+/// Storage-footprint breakdown of Fig. 14.
+struct FootprintStats {
+  uint64_t table_bytes = 0;
+  uint64_t index_bytes = 0;
+  uint64_t log_bytes = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t other_bytes = 0;  // caches, MemTables, engine metadata
+  uint64_t total() const {
+    return table_bytes + index_bytes + log_bytes + checkpoint_bytes +
+           other_bytes;
+  }
+};
+
+/// Abstract storage engine — the pluggable back-end of the DBMS testbed
+/// (Section 3). One engine instance serves one partition; transactions on
+/// a partition execute serially (the paper's lightweight concurrency
+/// scheme), so engines are deliberately not thread-safe.
+///
+/// Transaction protocol: Begin() -> DML calls -> Commit()/Abort(). Exactly
+/// one transaction is active at a time per engine.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  virtual EngineKind kind() const = 0;
+  const char* name() const { return EngineKindName(kind()); }
+
+  /// Register a table. Must be called before any DML touching it, and
+  /// again (same definitions) when re-attaching after a restart.
+  virtual Status CreateTable(const TableDef& def) = 0;
+
+  // --- Transactions ---------------------------------------------------------
+
+  virtual uint64_t Begin();
+  virtual Status Commit(uint64_t txn_id) = 0;
+  virtual Status Abort(uint64_t txn_id) = 0;
+
+  // --- DML -------------------------------------------------------------------
+
+  virtual Status Insert(uint64_t txn_id, uint32_t table_id,
+                        const Tuple& tuple) = 0;
+  virtual Status Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                        const std::vector<ColumnUpdate>& updates) = 0;
+  virtual Status Delete(uint64_t txn_id, uint32_t table_id,
+                        uint64_t key) = 0;
+  virtual Status Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
+                        Tuple* out) = 0;
+
+  /// In-order scan of primary keys in [lo, hi]; callback returns false to
+  /// stop.
+  virtual Status ScanRange(
+      uint64_t txn_id, uint32_t table_id, uint64_t lo, uint64_t hi,
+      const std::function<bool(uint64_t, const Tuple&)>& fn) = 0;
+
+  /// Fetch all tuples whose secondary-index columns equal `key_values`.
+  virtual Status SelectSecondary(uint64_t txn_id, uint32_t table_id,
+                                 uint32_t index_id,
+                                 const std::vector<Value>& key_values,
+                                 std::vector<Tuple>* out) = 0;
+
+  // --- Lifecycle --------------------------------------------------------------
+
+  /// Bring the engine to a consistent state after a restart: redo/undo per
+  /// the engine's protocol. Tables must have been re-created first.
+  virtual Status Recover() = 0;
+
+  /// Engine-initiated checkpoint (only meaningful for InP).
+  virtual Status Checkpoint() { return Status::OK(); }
+
+  virtual FootprintStats Footprint() const = 0;
+
+  /// Volatile (DRAM-equivalent) memory only — page caches, volatile
+  /// indexes. Engines whose Footprint() reads the allocator's global
+  /// per-tag stats would double-count when partitions share an allocator;
+  /// Database::Footprint combines the global tags with this.
+  virtual FootprintStats VolatileFootprint() const { return {}; }
+
+  const EngineTimeBreakdown& time_breakdown() const { return breakdown_; }
+  void ResetTimeBreakdown() { breakdown_ = EngineTimeBreakdown(); }
+
+  uint64_t committed_txns() const { return committed_txns_; }
+
+  /// Id of the last transaction whose commit is durable. For the NVM-aware
+  /// in-place/log engines this equals the last committed transaction; for
+  /// group-committing engines it lags until the group is forced. The
+  /// coordinator uses it to measure *response* latency — the paper's point
+  /// that group commit raises mean response latency (Section 4.1).
+  virtual uint64_t LastDurableTxn() const { return 0; }
+
+ protected:
+  /// RAII timer attributing time to a Fig.-13 category. It accumulates
+  /// the *simulated* time charged to the device while the section ran
+  /// (plus real wall time as a CPU-work proxy). Under concurrent
+  /// partitions the device clock is shared, so per-category shares are
+  /// approximate — ratios remain meaningful because partitions run the
+  /// same workload.
+  class ScopedTimer {
+   public:
+    ScopedTimer(StorageEngine* engine, TimeCategory cat)
+        : engine_(engine), cat_(cat), device_(NvmEnv::Get()) {
+      if (device_ != nullptr) stall_before_ = device_->TotalStallNanos();
+    }
+    ~ScopedTimer() {
+      uint64_t ns = watch_.ElapsedNanos();
+      if (device_ != nullptr) {
+        ns += device_->TotalStallNanos() - stall_before_;
+      }
+      engine_->breakdown_.ns[static_cast<size_t>(cat_)] += ns;
+    }
+
+   private:
+    StorageEngine* engine_;
+    TimeCategory cat_;
+    NvmDevice* device_;
+    uint64_t stall_before_ = 0;
+    Stopwatch watch_;
+  };
+
+  uint64_t next_txn_id_ = 1;
+  uint64_t active_txn_ = 0;
+  uint64_t committed_txns_ = 0;
+  EngineTimeBreakdown breakdown_;
+};
+
+/// Factory covering all six engines.
+std::unique_ptr<StorageEngine> CreateEngine(EngineKind kind,
+                                            const EngineConfig& config);
+
+}  // namespace nvmdb

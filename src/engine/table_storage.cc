@@ -1,0 +1,268 @@
+#include "engine/table_storage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace nvmdb {
+
+// Varlen slot layout: u32 length, then the bytes.
+namespace {
+constexpr size_t kVarlenHeader = 4;
+}
+
+TableHeap::TableHeap(PmemAllocator* allocator, const Schema* schema,
+                     bool nvm_aware)
+    : allocator_(allocator),
+      device_(allocator->device()),
+      schema_(schema),
+      nvm_aware_(nvm_aware),
+      slot_size_(schema->FixedSize()) {}
+
+uint64_t TableHeap::WriteVarlen(const std::string& value) {
+  const uint64_t off = allocator_->Alloc(
+      kVarlenHeader + value.size(), StorageTag::kTable,
+      /*sync_header=*/!nvm_aware_);
+  if (off == 0) return 0;
+  const uint32_t len = static_cast<uint32_t>(value.size());
+  device_->Write(off, &len, 4);
+  if (!value.empty()) device_->Write(off + 4, value.data(), value.size());
+  if (nvm_aware_) {
+    allocator_->PersistPayloadAndMark(off, kVarlenHeader + value.size());
+  }
+  return off;
+}
+
+std::string TableHeap::ReadVarlen(uint64_t varlen_slot) const {
+  uint32_t len = 0;
+  device_->Read(varlen_slot, &len, 4);
+  std::string out(len, '\0');
+  if (len > 0) device_->Read(varlen_slot + 4, out.data(), len);
+  return out;
+}
+
+uint64_t TableHeap::Insert(const Tuple& tuple, bool defer_mark) {
+  const uint64_t slot = allocator_->Alloc(slot_size_, StorageTag::kTable);
+  if (slot == 0) return 0;
+
+  std::vector<uint64_t> fixed(schema_->num_columns());
+  for (size_t i = 0; i < schema_->num_columns(); i++) {
+    const Column& col = schema_->column(i);
+    if (col.type == ColumnType::kVarchar) {
+      if (col.IsInlined()) {
+        uint64_t inline_bytes = 0;
+        const std::string& s = tuple.GetString(i);
+        memcpy(&inline_bytes, s.data(), std::min<size_t>(8, s.size()));
+        fixed[i] = inline_bytes;
+      } else {
+        const uint64_t voff = defer_mark
+                                  ? AllocVarlenUnmarked(tuple.GetString(i))
+                                  : WriteVarlen(tuple.GetString(i));
+        if (voff == 0) return 0;
+        fixed[i] = voff;
+      }
+    } else {
+      fixed[i] = tuple.GetU64(i);
+    }
+  }
+  device_->Write(slot, fixed.data(), slot_size_);
+  if (nvm_aware_ && !defer_mark) {
+    allocator_->PersistPayloadAndMark(slot, slot_size_);
+  }
+  // defer_mark: nothing is synced yet — PersistTuple() runs after the WAL
+  // entry referencing this slot is durable (Table 2's ordering).
+  live_tuples_++;
+  return slot;
+}
+
+void TableHeap::PersistTuple(uint64_t slot) {
+  for (size_t i = 0; i < schema_->num_columns(); i++) {
+    const Column& col = schema_->column(i);
+    if (col.type == ColumnType::kVarchar && !col.IsInlined()) {
+      const uint64_t voff = ReadFieldRaw(slot, i);
+      if (voff != 0) PersistVarlenAndMark(voff);
+    }
+  }
+  allocator_->PersistPayloadAndMark(slot, slot_size_);
+}
+
+void TableHeap::PersistVarlenAndMark(uint64_t varlen_slot) {
+  if (allocator_->StateOf(varlen_slot) ==
+      PmemAllocator::SlotState::kPersisted) {
+    return;
+  }
+  uint32_t len = 0;
+  device_->Read(varlen_slot, &len, 4);
+  allocator_->PersistPayloadAndMark(varlen_slot, kVarlenHeader + len);
+}
+
+void TableHeap::MarkTuplePersisted(uint64_t slot) {
+  for (size_t i = 0; i < schema_->num_columns(); i++) {
+    const Column& col = schema_->column(i);
+    if (col.type == ColumnType::kVarchar && !col.IsInlined()) {
+      const uint64_t voff = ReadFieldRaw(slot, i);
+      if (voff != 0) MarkVarlenPersisted(voff);
+    }
+  }
+  MarkSlotPersisted(slot);
+}
+
+Tuple TableHeap::Read(uint64_t slot) const {
+  Tuple t(schema_);
+  std::vector<uint64_t> fixed(schema_->num_columns());
+  device_->Read(slot, fixed.data(), slot_size_);
+  for (size_t i = 0; i < schema_->num_columns(); i++) {
+    const Column& col = schema_->column(i);
+    if (col.type == ColumnType::kVarchar) {
+      if (col.IsInlined()) {
+        const char* p = reinterpret_cast<const char*>(&fixed[i]);
+        size_t len = 0;
+        while (len < 8 && p[len] != '\0') len++;
+        t.SetString(i, std::string(p, len));
+      } else {
+        t.SetString(i, ReadVarlen(fixed[i]));
+      }
+    } else {
+      t.SetU64(i, fixed[i]);
+    }
+  }
+  return t;
+}
+
+uint64_t TableHeap::ReadU64(uint64_t slot, size_t col) const {
+  uint64_t v = 0;
+  device_->Read(slot + schema_->FixedOffset(col), &v, 8);
+  return v;
+}
+
+std::string TableHeap::ReadString(uint64_t slot, size_t col) const {
+  uint64_t v = 0;
+  device_->Read(slot + schema_->FixedOffset(col), &v, 8);
+  const Column& c = schema_->column(col);
+  if (c.IsInlined()) {
+    const char* p = reinterpret_cast<const char*>(&v);
+    size_t len = 0;
+    while (len < 8 && p[len] != '\0') len++;
+    return std::string(p, len);
+  }
+  return ReadVarlen(v);
+}
+
+Status TableHeap::Update(uint64_t slot,
+                         const std::vector<ColumnUpdate>& updates,
+                         std::vector<UndoField>* undo,
+                         std::vector<uint64_t>* deferred_free) {
+  for (const ColumnUpdate& u : updates) {
+    const Column& col = schema_->column(u.column);
+    const uint64_t field_off = slot + schema_->FixedOffset(u.column);
+    uint64_t before = 0;
+    device_->Read(field_off, &before, 8);
+
+    uint64_t after;
+    if (col.type == ColumnType::kVarchar && !col.IsInlined()) {
+      // Out-of-line: write the new value into a fresh varlen slot and swap
+      // the pointer. The old slot is freed only after commit (or the new
+      // one after abort) so both outcomes stay recoverable.
+      after = WriteVarlen(u.value.str);
+      if (after == 0) return Status::OutOfSpace("varlen slot");
+      deferred_free->push_back(before);
+    } else if (col.type == ColumnType::kVarchar) {
+      after = 0;
+      memcpy(&after, u.value.str.data(), std::min<size_t>(8, u.value.str.size()));
+    } else {
+      after = u.value.num;
+    }
+    if (undo != nullptr) {
+      undo->push_back({static_cast<uint32_t>(u.column), before});
+    }
+    device_->Write(field_off, &after, 8);
+    if (nvm_aware_) device_->Persist(field_off, 8);
+  }
+  return Status::OK();
+}
+
+void TableHeap::ApplyUndo(uint64_t slot, const UndoField& undo,
+                          std::vector<uint64_t>* deferred_free) {
+  const Column& col = schema_->column(undo.column);
+  const uint64_t field_off = slot + schema_->FixedOffset(undo.column);
+  if (col.type == ColumnType::kVarchar && !col.IsInlined()) {
+    uint64_t current = 0;
+    device_->Read(field_off, &current, 8);
+    if (current != undo.before && current != 0) {
+      deferred_free->push_back(current);  // the update's new varlen slot
+    }
+  }
+  device_->Write(field_off, &undo.before, 8);
+  if (nvm_aware_) device_->Persist(field_off, 8);
+}
+
+void TableHeap::Free(uint64_t slot) {
+  for (size_t i = 0; i < schema_->num_columns(); i++) {
+    const Column& col = schema_->column(i);
+    if (col.type == ColumnType::kVarchar && !col.IsInlined()) {
+      uint64_t voff = 0;
+      device_->Read(slot + schema_->FixedOffset(i), &voff, 8);
+      if (voff != 0) allocator_->Free(voff);
+    }
+  }
+  allocator_->Free(slot);
+  if (live_tuples_ > 0) live_tuples_--;
+}
+
+void TableHeap::FreeVarlen(uint64_t varlen_slot) {
+  if (varlen_slot != 0) allocator_->Free(varlen_slot);
+}
+
+void TableHeap::FreeVarlenIfPersisted(uint64_t varlen_slot) {
+  if (varlen_slot == 0) return;
+  if (allocator_->StateOf(varlen_slot) ==
+      PmemAllocator::SlotState::kPersisted) {
+    allocator_->Free(varlen_slot);
+  }
+}
+
+uint64_t TableHeap::AllocVarlenUnmarked(const std::string& value) {
+  const uint64_t off =
+      allocator_->Alloc(kVarlenHeader + value.size(), StorageTag::kTable);
+  if (off == 0) return 0;
+  const uint32_t len = static_cast<uint32_t>(value.size());
+  device_->Write(off, &len, 4);
+  if (!value.empty()) device_->Write(off + 4, value.data(), value.size());
+  // Nothing synced yet: PersistVarlenAndMark runs after the WAL entry
+  // referencing this slot is durable.
+  return off;
+}
+
+void TableHeap::MarkVarlenPersisted(uint64_t varlen_slot) {
+  if (allocator_->StateOf(varlen_slot) ==
+      PmemAllocator::SlotState::kAllocated) {
+    allocator_->MarkPersisted(varlen_slot);
+  }
+}
+
+uint64_t TableHeap::ReadFieldRaw(uint64_t slot, size_t col) const {
+  uint64_t v = 0;
+  device_->Read(slot + schema_->FixedOffset(col), &v, 8);
+  return v;
+}
+
+void TableHeap::WriteFieldRaw(uint64_t slot, size_t col, uint64_t value,
+                              bool persist) {
+  const uint64_t field_off = slot + schema_->FixedOffset(col);
+  device_->Write(field_off, &value, 8);
+  if (nvm_aware_ && persist) device_->Persist(field_off, 8);
+}
+
+void TableHeap::PersistFieldSpan(uint64_t slot, size_t min_col,
+                                 size_t max_col) {
+  device_->Persist(slot + schema_->FixedOffset(min_col),
+                   (max_col - min_col + 1) * 8);
+}
+
+void TableHeap::MarkSlotPersisted(uint64_t slot) {
+  if (allocator_->StateOf(slot) == PmemAllocator::SlotState::kAllocated) {
+    allocator_->MarkPersisted(slot);
+  }
+}
+
+}  // namespace nvmdb

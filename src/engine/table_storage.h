@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/tuple.h"
+#include "nvm/pmem_allocator.h"
+
+namespace nvmdb {
+
+/// Slot-based tuple heap used by the in-place-updates engines (and as the
+/// tuple store of NVM-Log). Tuples occupy fixed-size slots; any field
+/// larger than 8 bytes is stored in a separate variable-length slot whose
+/// 8-byte location sits in the field's place (Section 3.1).
+///
+/// Durability discipline depends on the owner:
+///  * Traditional InP uses the heap as volatile memory: writes are
+///    instrumented but never synced; durability comes from the WAL.
+///  * NVM-InP / NVM-Log sync tuple data with the sync primitive and drive
+///    the allocator's slot durability states, so committed tuples are
+///    reachable directly after restart (`nvm_aware = true`).
+class TableHeap {
+ public:
+  TableHeap(PmemAllocator* allocator, const Schema* schema, bool nvm_aware);
+
+  /// Write a tuple into a fresh slot (plus varlen slots). Returns the slot
+  /// offset, or 0 if the device is full. If `nvm_aware`, the tuple and its
+  /// varlen fields are synced; they are additionally marked persisted in
+  /// the allocator unless `defer_mark` is set. NVM engines defer the mark
+  /// until the WAL entry referencing the slot is durable, otherwise a
+  /// crash in between would leak the slot (Section 4.1).
+  uint64_t Insert(const Tuple& tuple, bool defer_mark = false);
+
+  /// Persist-state bookkeeping for a deferred insert: marks the tuple slot
+  /// and every varlen slot it references.
+  void MarkTuplePersisted(uint64_t slot);
+
+  /// Sync the tuple's bytes (fixed part + varlen payloads) and mark all
+  /// its slots persisted. Used by NVM-CoW, which batches tuple syncs until
+  /// the group commit (Section 4.2).
+  void PersistTuple(uint64_t slot);
+
+  /// Materialize the tuple stored at `slot`.
+  Tuple Read(uint64_t slot) const;
+
+  /// Read a single column (cheaper than full materialization).
+  uint64_t ReadU64(uint64_t slot, size_t col) const;
+  std::string ReadString(uint64_t slot, size_t col) const;
+
+  /// Field-level undo information captured before an in-place update.
+  /// For an inlined column `before` is the old 8-byte value; for an
+  /// out-of-line column it is the old varlen slot offset.
+  struct UndoField {
+    uint32_t column;
+    uint64_t before;
+  };
+
+  /// Apply updates directly on the slot. Old varlen slots are appended to
+  /// `deferred_free` — they can only be freed once the transaction's
+  /// outcome is decided. Undo info is appended to `undo`.
+  /// If `nvm_aware`, modified bytes are synced.
+  Status Update(uint64_t slot, const std::vector<ColumnUpdate>& updates,
+                std::vector<UndoField>* undo,
+                std::vector<uint64_t>* deferred_free);
+
+  /// Revert one field (rollback path). New varlen slots installed by the
+  /// update being undone are appended to `deferred_free`.
+  void ApplyUndo(uint64_t slot, const UndoField& undo,
+                 std::vector<uint64_t>* deferred_free);
+
+  /// Release the slot and every varlen slot it references.
+  void Free(uint64_t slot);
+
+  /// Release a varlen slot only (deferred frees after commit/abort).
+  void FreeVarlen(uint64_t varlen_slot);
+
+  /// Release a varlen slot only if it reached the persisted state; slots
+  /// still in allocated state were (or will be) reclaimed by allocator
+  /// recovery, so freeing them again would double-free (recovery path).
+  void FreeVarlenIfPersisted(uint64_t varlen_slot);
+
+  // Lower-level primitives for the NVM-InP two-phase update protocol
+  // (prepare varlen slots -> WAL -> apply field swaps).
+
+  /// Write a varlen value without syncing or marking its slot.
+  uint64_t AllocVarlenUnmarked(const std::string& value);
+  void MarkVarlenPersisted(uint64_t varlen_slot);
+  /// Persist a varlen slot's payload and state with one sync (no-op if
+  /// already persisted).
+  void PersistVarlenAndMark(uint64_t varlen_slot);
+  /// Persist a contiguous span of fixed-part fields with one sync.
+  void PersistFieldSpan(uint64_t slot, size_t min_col, size_t max_col);
+  /// Read the raw 8-byte field word.
+  uint64_t ReadFieldRaw(uint64_t slot, size_t col) const;
+  /// Overwrite the raw 8-byte field word (persisted if nvm_aware and
+  /// `persist` is true; pass false when batching via PersistFieldSpan).
+  void WriteFieldRaw(uint64_t slot, size_t col, uint64_t value,
+                     bool persist = true);
+
+  /// Mark the tuple slot (and varlen slots) persisted without re-syncing
+  /// payloads (used when the payload sync already happened).
+  void MarkSlotPersisted(uint64_t slot);
+
+  const Schema* schema() const { return schema_; }
+  size_t slot_size() const { return slot_size_; }
+  size_t live_tuples() const { return live_tuples_; }
+
+ private:
+  uint64_t WriteVarlen(const std::string& value);
+  std::string ReadVarlen(uint64_t varlen_slot) const;
+
+  PmemAllocator* allocator_;
+  NvmDevice* device_;
+  const Schema* schema_;
+  bool nvm_aware_;
+  size_t slot_size_;
+  size_t live_tuples_ = 0;
+};
+
+}  // namespace nvmdb

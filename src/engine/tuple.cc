@@ -1,0 +1,120 @@
+#include "engine/tuple.h"
+
+#include <cassert>
+
+namespace nvmdb {
+
+namespace {
+uint64_t MixHash(uint64_t h, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; i++) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+std::string Tuple::SerializeInlined() const {
+  std::string out;
+  const size_t n = schema_->num_columns();
+  out.reserve(LogicalSize() + n * 4);
+  for (size_t i = 0; i < n; i++) {
+    const Column& col = schema_->column(i);
+    if (col.type == ColumnType::kVarchar) {
+      const uint32_t len = static_cast<uint32_t>(strings_[i].size());
+      out.append(reinterpret_cast<const char*>(&len), 4);
+      out.append(strings_[i]);
+    } else {
+      out.append(reinterpret_cast<const char*>(&numerics_[i]), 8);
+    }
+  }
+  return out;
+}
+
+Tuple Tuple::ParseInlined(const Schema* schema, const Slice& data) {
+  Tuple t(schema);
+  const char* p = data.data();
+  const char* end = p + data.size();
+  for (size_t i = 0; i < schema->num_columns(); i++) {
+    const Column& col = schema->column(i);
+    if (col.type == ColumnType::kVarchar) {
+      uint32_t len = 0;
+      assert(p + 4 <= end);
+      memcpy(&len, p, 4);
+      p += 4;
+      assert(p + len <= end);
+      t.strings_[i].assign(p, len);
+      p += len;
+    } else {
+      assert(p + 8 <= end);
+      memcpy(&t.numerics_[i], p, 8);
+      p += 8;
+    }
+  }
+  (void)end;
+  return t;
+}
+
+size_t Tuple::LogicalSize() const {
+  size_t bytes = schema_->FixedSize();
+  for (size_t i = 0; i < schema_->num_columns(); i++) {
+    if (schema_->column(i).type == ColumnType::kVarchar) {
+      bytes += strings_[i].size();
+    }
+  }
+  return bytes;
+}
+
+bool Tuple::EqualTo(const Tuple& other) const {
+  if (schema_ != other.schema_ &&
+      (schema_ == nullptr || other.schema_ == nullptr ||
+       schema_->num_columns() != other.schema_->num_columns())) {
+    return false;
+  }
+  for (size_t i = 0; i < schema_->num_columns(); i++) {
+    if (schema_->column(i).type == ColumnType::kVarchar) {
+      if (strings_[i] != other.strings_[i]) return false;
+    } else {
+      if (numerics_[i] != other.numerics_[i]) return false;
+    }
+  }
+  return true;
+}
+
+uint64_t SecondaryKeyHash(const Tuple& tuple, const SecondaryIndexDef& def) {
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t col : def.key_columns) {
+    if (tuple.schema()->column(col).type == ColumnType::kVarchar) {
+      const std::string& s = tuple.GetString(col);
+      h = MixHash(h, s.data(), s.size());
+    } else {
+      const uint64_t v = tuple.GetU64(col);
+      h = MixHash(h, &v, 8);
+    }
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  return h & 0xFFFFFFFFFFFFULL;  // 48 bits
+}
+
+uint64_t SecondaryKeyHash(const Schema& schema, const SecondaryIndexDef& def,
+                          const std::vector<Value>& key_values) {
+  uint64_t h = 14695981039346656037ULL;
+  assert(key_values.size() == def.key_columns.size());
+  for (size_t i = 0; i < def.key_columns.size(); i++) {
+    const size_t col = def.key_columns[i];
+    if (schema.column(col).type == ColumnType::kVarchar) {
+      h = MixHash(h, key_values[i].str.data(), key_values[i].str.size());
+    } else {
+      h = MixHash(h, &key_values[i].num, 8);
+    }
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  return h & 0xFFFFFFFFFFFFULL;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "engine/schema.h"
+
+namespace nvmdb {
+
+/// A typed cell value used in the engine API (inserts, updates).
+struct Value {
+  static Value U64(uint64_t v) {
+    Value val;
+    val.num = v;
+    return val;
+  }
+  static Value I64(int64_t v) {
+    Value val;
+    val.num = static_cast<uint64_t>(v);
+    return val;
+  }
+  static Value Dbl(double v) {
+    Value val;
+    memcpy(&val.num, &v, 8);
+    return val;
+  }
+  static Value Str(std::string s) {
+    Value val;
+    val.is_string = true;
+    val.str = std::move(s);
+    return val;
+  }
+
+  uint64_t num = 0;
+  std::string str;
+  bool is_string = false;
+};
+
+/// One column assignment inside an UPDATE.
+struct ColumnUpdate {
+  size_t column = 0;
+  Value value;
+};
+
+/// In-flight (volatile, engine-API-level) tuple representation. Engines
+/// translate this into their own storage layout.
+class Tuple {
+ public:
+  Tuple() : schema_(nullptr) {}
+  explicit Tuple(const Schema* schema)
+      : schema_(schema),
+        numerics_(schema->num_columns(), 0),
+        strings_(schema->num_columns()) {}
+
+  const Schema* schema() const { return schema_; }
+
+  void SetU64(size_t col, uint64_t v) { numerics_[col] = v; }
+  void SetI64(size_t col, int64_t v) {
+    numerics_[col] = static_cast<uint64_t>(v);
+  }
+  void SetDouble(size_t col, double v) { memcpy(&numerics_[col], &v, 8); }
+  void SetString(size_t col, std::string v) { strings_[col] = std::move(v); }
+  void Set(size_t col, const Value& v) {
+    if (v.is_string) {
+      strings_[col] = v.str;
+    } else {
+      numerics_[col] = v.num;
+    }
+  }
+
+  uint64_t GetU64(size_t col) const { return numerics_[col]; }
+  int64_t GetI64(size_t col) const {
+    return static_cast<int64_t>(numerics_[col]);
+  }
+  double GetDouble(size_t col) const {
+    double d;
+    memcpy(&d, &numerics_[col], 8);
+    return d;
+  }
+  const std::string& GetString(size_t col) const { return strings_[col]; }
+
+  /// Primary key (column 0 by convention).
+  uint64_t Key() const { return numerics_[0]; }
+
+  /// Serialize with every field inlined — the HDD/SSD-optimized format the
+  /// CoW/Log engines keep on "durable storage" (Section 3.2).
+  std::string SerializeInlined() const;
+  static Tuple ParseInlined(const Schema* schema, const Slice& data);
+
+  /// Approximate logical size in bytes (fixed part + varlen payloads).
+  size_t LogicalSize() const;
+
+  bool EqualTo(const Tuple& other) const;
+
+ private:
+  const Schema* schema_;
+  std::vector<uint64_t> numerics_;
+  std::vector<std::string> strings_;
+};
+
+/// 48-bit hash of a tuple's secondary-key columns, used to build the
+/// 64-bit composite entries ((hash << 16) | low bits of the primary key)
+/// that let a uint64-keyed B+tree serve as a multimap secondary index.
+uint64_t SecondaryKeyHash(const Tuple& tuple, const SecondaryIndexDef& def);
+uint64_t SecondaryKeyHash(const Schema& schema,
+                          const SecondaryIndexDef& def,
+                          const std::vector<Value>& key_values);
+
+inline uint64_t SecondaryComposite(uint64_t hash48, uint64_t pk) {
+  return (hash48 << 16) | (pk & 0xFFFF);
+}
+inline uint64_t SecondaryRangeLo(uint64_t hash48) { return hash48 << 16; }
+inline uint64_t SecondaryRangeHi(uint64_t hash48) {
+  return (hash48 << 16) | 0xFFFF;
+}
+
+}  // namespace nvmdb

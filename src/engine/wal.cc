@@ -1,0 +1,138 @@
+#include "engine/wal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace nvmdb {
+
+void EncodeLogRecord(const LogRecord& record, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.op));
+  payload.append(reinterpret_cast<const char*>(&record.txn_id), 8);
+  payload.append(reinterpret_cast<const char*>(&record.table_id), 4);
+  payload.append(reinterpret_cast<const char*>(&record.key), 8);
+  uint32_t blen = static_cast<uint32_t>(record.before.size());
+  uint32_t alen = static_cast<uint32_t>(record.after.size());
+  payload.append(reinterpret_cast<const char*>(&blen), 4);
+  payload.append(record.before);
+  payload.append(reinterpret_cast<const char*>(&alen), 4);
+  payload.append(record.after);
+
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  out->append(reinterpret_cast<const char*>(&crc), 4);
+  out->append(reinterpret_cast<const char*>(&len), 4);
+  out->append(payload);
+}
+
+bool DecodeLogRecord(const char* data, size_t size, LogRecord* out,
+                     size_t* consumed) {
+  if (size < 8) return false;
+  uint32_t crc, len;
+  memcpy(&crc, data, 4);
+  memcpy(&len, data + 4, 4);
+  if (size < 8ull + len || len < 25) return false;
+  const char* payload = data + 8;
+  if (Crc32c(payload, len) != crc) return false;  // torn write
+
+  const char* p = payload;
+  out->op = static_cast<LogOp>(*p);
+  p += 1;
+  memcpy(&out->txn_id, p, 8);
+  p += 8;
+  memcpy(&out->table_id, p, 4);
+  p += 4;
+  memcpy(&out->key, p, 8);
+  p += 8;
+  uint32_t blen;
+  memcpy(&blen, p, 4);
+  p += 4;
+  if (static_cast<size_t>(p - payload) + blen + 4 > len) return false;
+  out->before.assign(p, blen);
+  p += blen;
+  uint32_t alen;
+  memcpy(&alen, p, 4);
+  p += 4;
+  if (static_cast<size_t>(p - payload) + alen > len) return false;
+  out->after.assign(p, alen);
+  *consumed = 8ull + len;
+  return true;
+}
+
+Wal::Wal(Pmfs* fs, const std::string& file_name, size_t group_commit_size)
+    : fs_(fs),
+      file_name_(file_name),
+      group_commit_size_(group_commit_size == 0 ? 1 : group_commit_size) {
+  fd_ = fs_->Open(file_name_, /*create=*/true, StorageTag::kLog);
+}
+
+Wal::~Wal() { fs_->Close(fd_); }
+
+void Wal::Append(const LogRecord& record) {
+  const size_t before = buffer_.size();
+  EncodeLogRecord(record, &buffer_);
+  // The log buffer lives in NVM-as-volatile-memory; model its traffic.
+  fs_->device()->TouchVirtual(buffer_.data() + before,
+                              buffer_.size() - before, true);
+}
+
+bool Wal::LogCommit(uint64_t txn_id) {
+  LogRecord commit;
+  commit.op = LogOp::kCommit;
+  commit.txn_id = txn_id;
+  EncodeLogRecord(commit, &buffer_);
+  last_buffered_commit_ = txn_id;
+  commits_in_group_++;
+  if (commits_in_group_ >= group_commit_size_) {
+    Flush();
+    return true;
+  }
+  return false;
+}
+
+Status Wal::Flush() {
+  if (!buffer_.empty()) {
+    Status s = fs_->Append(fd_, buffer_.data(), buffer_.size());
+    if (!s.ok()) return s;
+    buffer_.clear();
+  }
+  Status s = fs_->Fsync(fd_);
+  if (!s.ok()) return s;
+  commits_in_group_ = 0;
+  last_durable_txn_ = last_buffered_commit_;
+  return Status::OK();
+}
+
+std::vector<LogRecord> Wal::ReadAll() {
+  std::vector<LogRecord> records;
+  const uint64_t size = fs_->Size(fd_);
+  if (size == 0) return records;
+  std::string data(size, '\0');
+  size_t got = 0;
+  fs_->Read(fd_, 0, data.data(), size, &got);
+  data.resize(got);
+
+  size_t pos = 0;
+  while (pos < data.size()) {
+    LogRecord record;
+    size_t consumed = 0;
+    if (!DecodeLogRecord(data.data() + pos, data.size() - pos, &record,
+                         &consumed)) {
+      break;  // torn tail from a crash mid-append
+    }
+    records.push_back(std::move(record));
+    pos += consumed;
+  }
+  return records;
+}
+
+Status Wal::Truncate() {
+  buffer_.clear();
+  commits_in_group_ = 0;
+  return fs_->Truncate(fd_, 0);
+}
+
+uint64_t Wal::DurableSizeBytes() const { return fs_->Size(fd_); }
+
+}  // namespace nvmdb

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nvm/pmfs.h"
+
+namespace nvmdb {
+
+/// Operations recorded in the write-ahead log.
+enum class LogOp : uint8_t {
+  kBegin = 0,
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+  kCommit = 4,
+  kAbort = 5,
+};
+
+/// A WAL record: transaction id, table, tuple id, and the before/after
+/// images the operation needs (Section 3.1).
+struct LogRecord {
+  LogOp op = LogOp::kBegin;
+  uint64_t txn_id = 0;
+  uint32_t table_id = 0;
+  uint64_t key = 0;
+  std::string before;
+  std::string after;
+};
+
+/// Filesystem-backed write-ahead log used by the traditional InP and Log
+/// engines. Records are buffered in memory and flushed with fsync by a
+/// group-commit policy: the log is forced every `group_commit_size`
+/// commits, so a committing transaction may wait for its group — the
+/// latency cost the paper attributes to traditional logging.
+class Wal {
+ public:
+  Wal(Pmfs* fs, const std::string& file_name, size_t group_commit_size);
+  ~Wal();
+
+  /// Buffer a record (not yet durable).
+  void Append(const LogRecord& record);
+
+  /// Append a commit record; flushes the group when it is full.
+  /// Returns true if this commit's group was forced to storage.
+  bool LogCommit(uint64_t txn_id);
+
+  /// Force everything buffered to durable storage.
+  Status Flush();
+
+  /// Id of the last transaction whose commit record is durable.
+  uint64_t last_durable_txn() const { return last_durable_txn_; }
+
+  /// Parse the durable log (recovery). Stops cleanly at a torn tail.
+  std::vector<LogRecord> ReadAll();
+
+  /// Drop the log contents (after a checkpoint).
+  Status Truncate();
+
+  uint64_t DurableSizeBytes() const;
+
+ private:
+  Pmfs* fs_;
+  std::string file_name_;
+  Pmfs::Fd fd_;
+  size_t group_commit_size_;
+  std::string buffer_;
+  size_t commits_in_group_ = 0;
+  uint64_t last_buffered_commit_ = 0;
+  uint64_t last_durable_txn_ = 0;
+};
+
+/// Serialize / parse a single record (exposed for tests and the NV WAL's
+/// payload encoding).
+void EncodeLogRecord(const LogRecord& record, std::string* out);
+bool DecodeLogRecord(const char* data, size_t size, LogRecord* out,
+                     size_t* consumed);
+
+}  // namespace nvmdb

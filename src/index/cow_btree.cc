@@ -1,0 +1,420 @@
+#include "index/cow_btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace nvmdb {
+
+namespace {
+constexpr uint32_t kPageMagic = 0x434F5750;  // "COWP"
+constexpr size_t kPageHeaderBytes = 8;       // magic + is_leaf + count
+}  // namespace
+
+CowBTree::CowBTree(PageStore* store) : store_(store) {
+  current_root_ = store_->ReadMaster();
+  dirty_root_ = current_root_;
+}
+
+size_t CowBTree::MaxValueSize() const {
+  // One entry must fit a leaf page: header + key + vlen + value.
+  return store_->page_size() - kPageHeaderBytes - 12;
+}
+
+size_t CowBTree::InnerCapacity() const {
+  const size_t cap =
+      (store_->page_size() - kPageHeaderBytes - 8) / (2 * 8);
+  return cap < 4 ? 4 : cap;
+}
+
+size_t CowBTree::SerializedSize(const Node& node) const {
+  if (node.leaf) {
+    size_t bytes = kPageHeaderBytes;
+    for (const auto& v : node.values) bytes += 12 + v.size();
+    return bytes;
+  }
+  return kPageHeaderBytes + node.keys.size() * 8 +
+         node.children.size() * 8;
+}
+
+void CowBTree::SerializeNode(const Node& node, uint8_t* buf) const {
+  memset(buf, 0, store_->page_size());
+  uint8_t* p = buf;
+  memcpy(p, &kPageMagic, 4);
+  p += 4;
+  const uint16_t is_leaf = node.leaf ? 1 : 0;
+  memcpy(p, &is_leaf, 2);
+  p += 2;
+  const uint16_t count = static_cast<uint16_t>(node.keys.size());
+  memcpy(p, &count, 2);
+  p += 2;
+  if (node.leaf) {
+    for (size_t i = 0; i < node.keys.size(); i++) {
+      memcpy(p, &node.keys[i], 8);
+      p += 8;
+      const uint32_t vlen = static_cast<uint32_t>(node.values[i].size());
+      memcpy(p, &vlen, 4);
+      p += 4;
+      memcpy(p, node.values[i].data(), vlen);
+      p += vlen;
+    }
+  } else {
+    for (uint64_t k : node.keys) {
+      memcpy(p, &k, 8);
+      p += 8;
+    }
+    for (uint64_t c : node.children) {
+      memcpy(p, &c, 8);
+      p += 8;
+    }
+  }
+  assert(static_cast<size_t>(p - buf) <= store_->page_size());
+}
+
+CowBTree::Node CowBTree::ParseNode(const uint8_t* buf) const {
+  Node node;
+  const uint8_t* p = buf;
+  uint32_t magic;
+  memcpy(&magic, p, 4);
+  p += 4;
+  assert(magic == kPageMagic && "corrupt CoW page");
+  uint16_t is_leaf, count;
+  memcpy(&is_leaf, p, 2);
+  p += 2;
+  memcpy(&count, p, 2);
+  p += 2;
+  node.leaf = is_leaf != 0;
+  node.keys.resize(count);
+  if (node.leaf) {
+    node.values.resize(count);
+    for (size_t i = 0; i < count; i++) {
+      memcpy(&node.keys[i], p, 8);
+      p += 8;
+      uint32_t vlen;
+      memcpy(&vlen, p, 4);
+      p += 4;
+      node.values[i].assign(reinterpret_cast<const char*>(p), vlen);
+      p += vlen;
+    }
+  } else {
+    for (size_t i = 0; i < count; i++) {
+      memcpy(&node.keys[i], p, 8);
+      p += 8;
+    }
+    node.children.resize(count + 1);
+    for (size_t i = 0; i <= count; i++) {
+      memcpy(&node.children[i], p, 8);
+      p += 8;
+    }
+  }
+  return node;
+}
+
+CowBTree::Node CowBTree::LoadNode(uint64_t epid) const {
+  assert(epid != kNilPage);
+  std::vector<uint8_t> buf(store_->page_size());
+  store_->ReadPage(epid - 1, buf.data());
+  return ParseNode(buf.data());
+}
+
+uint64_t CowBTree::StoreNode(const Node& node, uint64_t old_epid) {
+  uint64_t epid;
+  if (old_epid != kNilPage && fresh_pages_.count(old_epid) != 0) {
+    // Already part of the dirty directory: update in place.
+    epid = old_epid;
+  } else {
+    epid = store_->AllocPage() + 1;
+    fresh_pages_.insert(epid);
+    if (old_epid != kNilPage) replaced_pages_.push_back(old_epid);
+  }
+  std::vector<uint8_t> buf(store_->page_size());
+  SerializeNode(node, buf.data());
+  store_->WritePage(epid - 1, buf.data());
+  return epid;
+}
+
+void CowBTree::SplitLeaf(Node* node, Node* right) const {
+  // Split by accumulated byte size so variable-length values balance.
+  const size_t total = SerializedSize(*node);
+  size_t acc = kPageHeaderBytes;
+  size_t split_at = node->keys.size() / 2;
+  for (size_t i = 0; i < node->keys.size(); i++) {
+    acc += 12 + node->values[i].size();
+    if (acc >= total / 2) {
+      split_at = i + 1;
+      break;
+    }
+  }
+  if (split_at == 0) split_at = 1;
+  if (split_at >= node->keys.size()) split_at = node->keys.size() - 1;
+  right->leaf = true;
+  right->keys.assign(node->keys.begin() + split_at, node->keys.end());
+  right->values.assign(node->values.begin() + split_at, node->values.end());
+  node->keys.resize(split_at);
+  node->values.resize(split_at);
+}
+
+void CowBTree::SplitInner(Node* node, Node* right, uint64_t* sep) const {
+  const size_t mid = node->keys.size() / 2;
+  *sep = node->keys[mid];
+  right->leaf = false;
+  right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+  right->children.assign(node->children.begin() + mid + 1,
+                         node->children.end());
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+}
+
+CowBTree::ModResult CowBTree::PutRec(uint64_t epid, uint64_t key,
+                                     const Slice& value, bool* inserted) {
+  ModResult result;
+  Node node;
+  if (epid == kNilPage) {
+    node.leaf = true;
+  } else {
+    node = LoadNode(epid);
+  }
+
+  if (node.leaf) {
+    const auto it =
+        std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    const size_t i = static_cast<size_t>(it - node.keys.begin());
+    if (it != node.keys.end() && *it == key) {
+      node.values[i] = value.ToString();
+      *inserted = false;
+    } else {
+      node.keys.insert(it, key);
+      node.values.insert(node.values.begin() + i, value.ToString());
+      *inserted = true;
+    }
+    if (SerializedSize(node) > store_->page_size() && node.keys.size() > 1) {
+      Node right;
+      SplitLeaf(&node, &right);
+      result.has_split = true;
+      result.split_key = right.keys.front();
+      result.right_pid = StoreNode(right, kNilPage);
+    }
+    result.pid = StoreNode(node, epid);
+    return result;
+  }
+
+  // Inner: keys[i] is the smallest key of children[i+1].
+  size_t ci = static_cast<size_t>(
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin());
+  ModResult child = PutRec(node.children[ci], key, value, inserted);
+  node.children[ci] = child.pid;
+  if (child.has_split) {
+    node.keys.insert(node.keys.begin() + ci, child.split_key);
+    node.children.insert(node.children.begin() + ci + 1, child.right_pid);
+  }
+  if (node.keys.size() > InnerCapacity()) {
+    Node right;
+    uint64_t sep;
+    SplitInner(&node, &right, &sep);
+    result.has_split = true;
+    result.split_key = sep;
+    result.right_pid = StoreNode(right, kNilPage);
+  }
+  result.pid = StoreNode(node, epid);
+  return result;
+}
+
+bool CowBTree::Put(uint64_t key, const Slice& value) {
+  if (value.size() > MaxValueSize()) return false;
+  bool inserted = false;
+  ModResult result = PutRec(dirty_root_, key, value, &inserted);
+  if (result.has_split) {
+    Node new_root;
+    new_root.leaf = false;
+    new_root.keys = {result.split_key};
+    new_root.children = {result.pid, result.right_pid};
+    dirty_root_ = StoreNode(new_root, kNilPage);
+  } else {
+    dirty_root_ = result.pid;
+  }
+  return true;
+}
+
+CowBTree::ModResult CowBTree::DeleteRec(uint64_t epid, uint64_t key,
+                                        bool* deleted) {
+  ModResult result;
+  result.pid = epid;
+  if (epid == kNilPage) return result;
+  Node node = LoadNode(epid);
+
+  if (node.leaf) {
+    const auto it =
+        std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    if (it == node.keys.end() || *it != key) return result;
+    const size_t i = static_cast<size_t>(it - node.keys.begin());
+    node.keys.erase(it);
+    node.values.erase(node.values.begin() + i);
+    *deleted = true;
+    if (node.keys.empty()) {
+      result.removed = true;
+      if (fresh_pages_.count(epid) != 0) {
+        fresh_pages_.erase(epid);
+        store_->FreePage(epid - 1);
+      } else {
+        replaced_pages_.push_back(epid);
+      }
+      result.pid = kNilPage;
+      return result;
+    }
+    result.pid = StoreNode(node, epid);
+    return result;
+  }
+
+  size_t ci = static_cast<size_t>(
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin());
+  ModResult child = DeleteRec(node.children[ci], key, deleted);
+  if (!*deleted) return result;
+  if (child.removed) {
+    node.children.erase(node.children.begin() + ci);
+    if (ci == 0) {
+      if (!node.keys.empty()) node.keys.erase(node.keys.begin());
+    } else {
+      node.keys.erase(node.keys.begin() + ci - 1);
+    }
+    if (node.children.empty()) {
+      result.removed = true;
+      if (fresh_pages_.count(epid) != 0) {
+        fresh_pages_.erase(epid);
+        store_->FreePage(epid - 1);
+      } else {
+        replaced_pages_.push_back(epid);
+      }
+      result.pid = kNilPage;
+      return result;
+    }
+  } else {
+    node.children[ci] = child.pid;
+  }
+  result.pid = StoreNode(node, epid);
+  return result;
+}
+
+bool CowBTree::Delete(uint64_t key) {
+  bool deleted = false;
+  ModResult result = DeleteRec(dirty_root_, key, &deleted);
+  if (!deleted) return false;
+  dirty_root_ = result.pid;
+  // Collapse a single-child root.
+  while (dirty_root_ != kNilPage) {
+    Node node = LoadNode(dirty_root_);
+    if (node.leaf || node.children.size() != 1) break;
+    const uint64_t old_root = dirty_root_;
+    dirty_root_ = node.children[0];
+    if (fresh_pages_.count(old_root) != 0) {
+      fresh_pages_.erase(old_root);
+      store_->FreePage(old_root - 1);
+    } else {
+      replaced_pages_.push_back(old_root);
+    }
+  }
+  return true;
+}
+
+bool CowBTree::GetRec(uint64_t epid, uint64_t key, std::string* out) const {
+  if (epid == kNilPage) return false;
+  Node node = LoadNode(epid);
+  while (!node.leaf) {
+    const size_t ci = static_cast<size_t>(
+        std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+        node.keys.begin());
+    node = LoadNode(node.children[ci]);
+  }
+  const auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+  if (it == node.keys.end() || *it != key) return false;
+  if (out != nullptr) {
+    *out = node.values[static_cast<size_t>(it - node.keys.begin())];
+  }
+  return true;
+}
+
+bool CowBTree::Get(uint64_t key, std::string* out) const {
+  return GetRec(dirty_root_, key, out);
+}
+
+bool CowBTree::GetCommitted(uint64_t key, std::string* out) const {
+  return GetRec(current_root_, key, out);
+}
+
+void CowBTree::ScanRec(
+    uint64_t epid, uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, const Slice&)>& fn,
+    bool* keep_going) const {
+  if (epid == kNilPage || !*keep_going) return;
+  Node node = LoadNode(epid);
+  if (node.leaf) {
+    for (size_t i = 0; i < node.keys.size(); i++) {
+      if (node.keys[i] < lo) continue;
+      if (node.keys[i] > hi) {
+        *keep_going = false;
+        return;
+      }
+      if (!fn(node.keys[i], Slice(node.values[i]))) {
+        *keep_going = false;
+        return;
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < node.children.size() && *keep_going; i++) {
+    const bool lo_ok = (i == node.keys.size()) || lo <= node.keys[i];
+    const bool hi_ok = (i == 0) || node.keys[i - 1] <= hi;
+    if (lo_ok && hi_ok) ScanRec(node.children[i], lo, hi, fn, keep_going);
+  }
+}
+
+void CowBTree::Scan(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, const Slice&)>& fn) const {
+  bool keep_going = true;
+  ScanRec(dirty_root_, lo, hi, fn, &keep_going);
+}
+
+void CowBTree::Commit() {
+  if (dirty_root_ == current_root_ && fresh_pages_.empty()) return;
+  std::set<uint64_t> to_flush;
+  for (uint64_t epid : fresh_pages_) to_flush.insert(epid - 1);
+  store_->FlushPages(to_flush);
+  store_->WriteMaster(dirty_root_);
+  for (uint64_t epid : replaced_pages_) store_->FreePage(epid - 1);
+  replaced_pages_.clear();
+  fresh_pages_.clear();
+  current_root_ = dirty_root_;
+}
+
+void CowBTree::Abort() {
+  for (uint64_t epid : fresh_pages_) store_->FreePage(epid - 1);
+  fresh_pages_.clear();
+  replaced_pages_.clear();
+  dirty_root_ = current_root_;
+}
+
+void CowBTree::CollectReachable(uint64_t epid,
+                                std::set<uint64_t>* out) const {
+  if (epid == kNilPage) return;
+  out->insert(epid - 1);
+  Node node = LoadNode(epid);
+  if (!node.leaf) {
+    for (uint64_t child : node.children) CollectReachable(child, out);
+  }
+}
+
+void CowBTree::GarbageCollect() {
+  std::set<uint64_t> reachable;
+  CollectReachable(current_root_, &reachable);
+  store_->RetainOnly(reachable);
+}
+
+size_t CowBTree::PageCount() const {
+  std::set<uint64_t> reachable;
+  CollectReachable(dirty_root_, &reachable);
+  return reachable.size();
+}
+
+}  // namespace nvmdb

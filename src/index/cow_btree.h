@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "index/page_store.h"
+
+namespace nvmdb {
+
+/// Copy-on-write (append-only / shadow-paging) B+tree in the style of
+/// LMDB's MDB tree (Section 3.2). Keys are uint64; values are byte strings
+/// (inlined tuples for the CoW engine, 8-byte non-volatile pointers for the
+/// NVM-CoW engine).
+///
+/// Two directories exist at all times:
+///  * the *current* directory — the root recorded in the master record;
+///    contains only committed data and is never modified in place;
+///  * the *dirty* directory — the working version produced by
+///    copy-on-writing the path from each modified leaf up to the root.
+///
+/// `Commit()` flushes the fresh pages and atomically repoints the master
+/// record (one durable 8-byte write); `Abort()` discards the fresh pages.
+/// Group commit is the caller's policy: any number of operations may run
+/// between commits.
+class CowBTree {
+ public:
+  explicit CowBTree(PageStore* store);
+
+  // --- Operations on the dirty directory ------------------------------------
+
+  /// Insert or replace. Fails only if the value cannot fit a page.
+  bool Put(uint64_t key, const Slice& value);
+  bool Delete(uint64_t key);
+
+  /// Read through the dirty directory (sees the in-flight batch).
+  bool Get(uint64_t key, std::string* out) const;
+  /// Read the committed snapshot only (what survives a crash right now).
+  bool GetCommitted(uint64_t key, std::string* out) const;
+
+  /// In-order scan over [lo, hi] in the dirty directory.
+  void Scan(uint64_t lo, uint64_t hi,
+            const std::function<bool(uint64_t, const Slice&)>& fn) const;
+
+  // --- Directory lifecycle ---------------------------------------------------
+
+  /// Persist the dirty directory and atomically publish it as current.
+  void Commit();
+  /// Drop the dirty directory; the current directory is untouched.
+  void Abort();
+  /// True if the batch has uncommitted changes.
+  bool HasDirty() const { return dirty_root_ != current_root_; }
+
+  /// Reclaim pages unreachable from the committed root (post-restart GC of
+  /// the previous dirty directory).
+  void GarbageCollect();
+
+  /// Max value size that fits a leaf page.
+  size_t MaxValueSize() const;
+
+  uint64_t current_root() const { return current_root_; }
+  size_t PageCount() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> children;   // inner only, keys.size() + 1
+    std::vector<std::string> values;  // leaf only, keys.size()
+  };
+
+  // Result of a recursive CoW modification: the subtree's (possibly new)
+  // root page, plus an optional right sibling from a split.
+  struct ModResult {
+    uint64_t pid = kNilPage;
+    bool has_split = false;
+    uint64_t split_key = 0;
+    uint64_t right_pid = kNilPage;
+    bool removed = false;  // subtree became empty (delete path)
+  };
+
+  static constexpr uint64_t kNilPage = 0;
+  // Page ids are stored +1 in the master record and child arrays so that 0
+  // can mean "empty tree".
+
+  Node LoadNode(uint64_t pid) const;
+  uint64_t StoreNode(const Node& node, uint64_t old_pid);
+  size_t SerializedSize(const Node& node) const;
+  void SerializeNode(const Node& node, uint8_t* buf) const;
+  Node ParseNode(const uint8_t* buf) const;
+
+  ModResult PutRec(uint64_t pid, uint64_t key, const Slice& value,
+                   bool* inserted);
+  ModResult DeleteRec(uint64_t pid, uint64_t key, bool* deleted);
+  bool GetRec(uint64_t pid, uint64_t key, std::string* out) const;
+  void ScanRec(uint64_t pid, uint64_t lo, uint64_t hi,
+               const std::function<bool(uint64_t, const Slice&)>& fn,
+               bool* keep_going) const;
+  void CollectReachable(uint64_t pid, std::set<uint64_t>* out) const;
+  void SplitLeaf(Node* node, Node* right) const;
+  void SplitInner(Node* node, Node* right, uint64_t* sep) const;
+  size_t InnerCapacity() const;
+
+  PageStore* store_;
+  uint64_t current_root_;  // 0 = empty tree
+  uint64_t dirty_root_;
+  std::set<uint64_t> fresh_pages_;     // created in this batch
+  std::vector<uint64_t> replaced_pages_;  // to free on commit
+};
+
+}  // namespace nvmdb

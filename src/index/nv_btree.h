@@ -1,0 +1,458 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nvm/pmem_allocator.h"
+
+namespace nvmdb {
+
+/// Non-volatile B+tree over the allocator interface (Section 4.1's
+/// modified STX B+tree). Maps uint64 keys to uint64 values (typically
+/// NvmPtr offsets). Guaranteed consistent immediately after restart — no
+/// rebuild — via two techniques from the paper:
+///
+///  * **Append-in-node inserts.** A leaf keeps its entries unsorted; a new
+///    entry is appended past the committed count, persisted, and then the
+///    4-byte committed counter is atomically bumped. A crash mid-insert
+///    leaves the counter unchanged, so a torn entry that crossed cache-line
+///    boundaries is simply invisible.
+///  * **Copy-on-write structural changes.** A split builds fully-persisted
+///    new nodes and a new path to the root, then publishes it with one
+///    atomic durable write of the root pointer.
+///
+/// Keys are unique within a leaf (updates overwrite the 8-byte value slot
+/// in place, which is atomic), so lookups scan the committed region only.
+class NvBTree {
+ public:
+  static constexpr uint64_t kTombstone = ~0ull;
+
+  /// Open or create the tree registered under `name` in the allocator's
+  /// root catalog. `node_bytes` only matters at creation time.
+  NvBTree(PmemAllocator* allocator, const std::string& name,
+          size_t node_bytes = 512)
+      : allocator_(allocator), device_(allocator->device()) {
+    uint64_t header_off = allocator_->GetRoot(name);
+    if (header_off != 0) {
+      header_off_ = header_off;
+      return;
+    }
+    header_off_ = Create(allocator, node_bytes);
+    allocator_->SetRoot(name, header_off_);
+  }
+
+  /// Attach to an existing tree by its header offset (anonymous trees held
+  /// in a run directory, as NVM-Log's immutable MemTables are).
+  NvBTree(PmemAllocator* allocator, uint64_t header_off)
+      : allocator_(allocator),
+        device_(allocator->device()),
+        header_off_(header_off) {
+    assert(header()->magic == kTreeMagic);
+  }
+
+  /// Create a fresh anonymous tree; returns its persistent header offset.
+  static uint64_t Create(PmemAllocator* allocator, size_t node_bytes) {
+    NvBTree t;
+    t.allocator_ = allocator;
+    t.device_ = allocator->device();
+    t.header_off_ = allocator->Alloc(sizeof(TreeHeader),
+                                     StorageTag::kIndex,
+                                     /*sync_header=*/false);
+    assert(t.header_off_ != 0);
+    TreeHeader* h = t.header();
+    h->magic = kTreeMagic;
+    h->node_bytes = node_bytes;
+    h->root_off = 0;
+    t.device_->TouchWrite(h, sizeof(TreeHeader));
+    h->root_off = t.NewLeaf();
+    t.device_->TouchWrite(h, sizeof(TreeHeader));
+    allocator->PersistPayloadAndMark(t.header_off_, sizeof(TreeHeader));
+    return t.header_off_;
+  }
+
+  uint64_t header_offset() const { return header_off_; }
+
+  /// Free every node and the header (whole-tree teardown after NVM-Log
+  /// compaction). The tree must not be used afterwards.
+  void FreeAll() {
+    FreeRec(header()->root_off);
+    allocator_->Free(header_off_);
+    header_off_ = 0;
+  }
+
+  /// Insert or overwrite a key. `value` must not be kTombstone.
+  /// Returns false if the key was already present (value overwritten).
+  bool Insert(uint64_t key, uint64_t value) {
+    assert(value != kTombstone);
+    std::vector<PathEntry> path;
+    const uint64_t leaf_off = Descend(key, &path);
+    NodeHeader* leaf = NodeAt(leaf_off);
+    Entry* entries = LeafEntries(leaf);
+    device_->TouchRead(entries, leaf->committed * sizeof(Entry));
+    for (uint32_t i = 0; i < leaf->committed; i++) {
+      if (entries[i].key == key) {
+        const bool was_live = entries[i].value != kTombstone;
+        entries[i].value = value;
+        device_->TouchWrite(&entries[i].value, 8);
+        device_->Persist(&entries[i].value, 8);
+        return !was_live;
+      }
+    }
+    if (leaf->committed < leaf->capacity) {
+      Entry* slot = &entries[leaf->committed];
+      slot->key = key;
+      slot->value = value;
+      device_->TouchWrite(slot, sizeof(Entry));
+      device_->Persist(slot, sizeof(Entry));
+      leaf->committed++;
+      device_->TouchWrite(&leaf->committed, 4);
+      device_->Persist(&leaf->committed, 4);
+      return true;
+    }
+    SplitAndInsert(leaf_off, path, key, value);
+    return true;
+  }
+
+  /// Point lookup; tombstoned and absent keys both return false.
+  bool Find(uint64_t key, uint64_t* out) const {
+    const uint64_t leaf_off = Descend(key, nullptr);
+    const NodeHeader* leaf = NodeAt(leaf_off);
+    const Entry* entries = LeafEntries(leaf);
+    device_->TouchRead(entries, leaf->committed * sizeof(Entry));
+    for (uint32_t i = 0; i < leaf->committed; i++) {
+      if (entries[i].key == key) {
+        if (entries[i].value == kTombstone) return false;
+        if (out != nullptr) *out = entries[i].value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Contains(uint64_t key) const { return Find(key, nullptr); }
+
+  /// Logical delete: atomically overwrite the value with a tombstone.
+  /// Space is reclaimed when the leaf next splits (compaction).
+  bool Erase(uint64_t key) {
+    const uint64_t leaf_off = Descend(key, nullptr);
+    NodeHeader* leaf = NodeAt(leaf_off);
+    Entry* entries = LeafEntries(leaf);
+    device_->TouchRead(entries, leaf->committed * sizeof(Entry));
+    for (uint32_t i = 0; i < leaf->committed; i++) {
+      if (entries[i].key == key) {
+        if (entries[i].value == kTombstone) return false;
+        entries[i].value = kTombstone;
+        device_->TouchWrite(&entries[i].value, 8);
+        device_->Persist(&entries[i].value, 8);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// In-order visit of live entries with key in [lo, hi].
+  void Scan(uint64_t lo, uint64_t hi,
+            const std::function<bool(uint64_t, uint64_t)>& fn) const {
+    bool keep_going = true;
+    ScanRec(header()->root_off, lo, hi, fn, &keep_going);
+  }
+
+  /// Number of live keys (walks the tree; for tests/stats).
+  size_t Count() const {
+    size_t n = 0;
+    Scan(0, ~0ull - 1, [&n](uint64_t, uint64_t) {
+      n++;
+      return true;
+    });
+    return n;
+  }
+
+  /// Total NVM bytes held by nodes (Fig. 14 index accounting).
+  size_t NvmBytes() const { return CountBytesRec(header()->root_off); }
+
+ private:
+  static constexpr uint64_t kTreeMagic = 0x4E56425452454531ULL;  // NVBTREE1
+  static constexpr uint32_t kNodeMagic = 0x4E564E44;             // NVND
+
+  struct TreeHeader {
+    uint64_t magic;
+    uint64_t root_off;
+    uint64_t node_bytes;
+  };
+
+  struct NodeHeader {
+    uint32_t magic;
+    uint16_t is_leaf;
+    uint16_t pad;
+    uint32_t capacity;
+    uint32_t committed;  // leaf: atomic append count; inner: key count
+  };
+
+  struct Entry {
+    uint64_t key;
+    uint64_t value;
+  };
+
+  struct PathEntry {
+    uint64_t node_off;
+    uint32_t child_idx;
+  };
+
+  TreeHeader* header() const {
+    return reinterpret_cast<TreeHeader*>(device_->PtrAt(header_off_));
+  }
+  NodeHeader* NodeAt(uint64_t off) const {
+    return reinterpret_cast<NodeHeader*>(device_->PtrAt(off));
+  }
+  static Entry* LeafEntries(const NodeHeader* n) {
+    return reinterpret_cast<Entry*>(
+        const_cast<uint8_t*>(reinterpret_cast<const uint8_t*>(n)) +
+        sizeof(NodeHeader));
+  }
+  // Inner layout: keys[capacity] then children[capacity + 1].
+  static uint64_t* InnerKeys(const NodeHeader* n) {
+    return reinterpret_cast<uint64_t*>(
+        const_cast<uint8_t*>(reinterpret_cast<const uint8_t*>(n)) +
+        sizeof(NodeHeader));
+  }
+  static uint64_t* InnerChildren(const NodeHeader* n) {
+    return InnerKeys(n) + n->capacity;
+  }
+
+  size_t LeafCapacity() const {
+    size_t cap = (header()->node_bytes - sizeof(NodeHeader)) / sizeof(Entry);
+    return cap < 4 ? 4 : cap;
+  }
+  size_t InnerCapacity() const {
+    // keys + children, children one longer.
+    size_t cap =
+        (header()->node_bytes - sizeof(NodeHeader) - 8) / (2 * 8);
+    return cap < 4 ? 4 : cap;
+  }
+
+  size_t NodeBytes(bool is_leaf, size_t capacity) const {
+    return sizeof(NodeHeader) +
+           (is_leaf ? capacity * sizeof(Entry)
+                    : capacity * 8 + (capacity + 1) * 8);
+  }
+
+  uint64_t NewLeaf() {
+    const size_t cap = header_off_ == 0 ? 4 : LeafCapacity();
+    const size_t bytes = NodeBytes(true, cap);
+    const uint64_t off =
+        allocator_->Alloc(bytes, StorageTag::kIndex, /*sync_header=*/false);
+    assert(off != 0);
+    NodeHeader* n = NodeAt(off);
+    n->magic = kNodeMagic;
+    n->is_leaf = 1;
+    n->capacity = static_cast<uint32_t>(cap);
+    n->committed = 0;
+    device_->TouchWrite(n, sizeof(NodeHeader));
+    allocator_->PersistPayloadAndMark(off, sizeof(NodeHeader));
+    return off;
+  }
+
+  /// Build and persist a new leaf pre-filled with sorted entries.
+  uint64_t BuildLeaf(const std::vector<Entry>& entries) {
+    const uint64_t off = NewLeaf();
+    NodeHeader* n = NodeAt(off);
+    Entry* dst = LeafEntries(n);
+    std::copy(entries.begin(), entries.end(), dst);
+    n->committed = static_cast<uint32_t>(entries.size());
+    const size_t bytes = NodeBytes(true, n->capacity);
+    device_->TouchWrite(n, bytes);
+    allocator_->PersistPayloadAndMark(off, bytes);
+    return off;
+  }
+
+  /// Build and persist a new inner node.
+  uint64_t BuildInner(const std::vector<uint64_t>& keys,
+                      const std::vector<uint64_t>& children) {
+    assert(children.size() == keys.size() + 1);
+    size_t cap = InnerCapacity();
+    if (cap < keys.size()) cap = keys.size();
+    const size_t bytes = NodeBytes(false, cap);
+    const uint64_t off =
+        allocator_->Alloc(bytes, StorageTag::kIndex, /*sync_header=*/false);
+    assert(off != 0);
+    NodeHeader* n = NodeAt(off);
+    n->magic = kNodeMagic;
+    n->is_leaf = 0;
+    n->capacity = static_cast<uint32_t>(cap);
+    n->committed = static_cast<uint32_t>(keys.size());
+    std::copy(keys.begin(), keys.end(), InnerKeys(n));
+    std::copy(children.begin(), children.end(), InnerChildren(n));
+    device_->TouchWrite(n, bytes);
+    allocator_->PersistPayloadAndMark(off, bytes);
+    return off;
+  }
+
+  /// Walk to the leaf for `key`; optionally record the inner path.
+  uint64_t Descend(uint64_t key, std::vector<PathEntry>* path) const {
+    uint64_t off = header()->root_off;
+    const NodeHeader* n = NodeAt(off);
+    while (!n->is_leaf) {
+      device_->TouchRead(n, sizeof(NodeHeader) + n->committed * 16 + 8);
+      const uint64_t* keys = InnerKeys(n);
+      const uint64_t* children = InnerChildren(n);
+      // keys[i] = smallest key in children[i+1]; keys are sorted.
+      uint32_t lo = 0, hi = n->committed;
+      while (lo < hi) {
+        const uint32_t mid = (lo + hi) / 2;
+        if (key < keys[mid]) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      if (path != nullptr) path->push_back({off, lo});
+      off = children[lo];
+      n = NodeAt(off);
+    }
+    device_->TouchRead(n, sizeof(NodeHeader));
+    return off;
+  }
+
+  void SplitAndInsert(uint64_t leaf_off, const std::vector<PathEntry>& path,
+                      uint64_t key, uint64_t value) {
+    NodeHeader* leaf = NodeAt(leaf_off);
+    // Compact: drop tombstones, sort, add the new entry.
+    std::vector<Entry> live;
+    live.reserve(leaf->committed + 1);
+    const Entry* entries = LeafEntries(leaf);
+    for (uint32_t i = 0; i < leaf->committed; i++) {
+      if (entries[i].value != kTombstone) live.push_back(entries[i]);
+    }
+    live.push_back({key, value});
+    std::sort(live.begin(), live.end(),
+              [](const Entry& a, const Entry& b) { return a.key < b.key; });
+
+    std::vector<uint64_t> new_children;
+    std::vector<uint64_t> new_keys;
+    if (live.size() <= LeafCapacity() / 2) {
+      // Tombstone-heavy leaf: compaction alone makes room again.
+      new_children.push_back(BuildLeaf(live));
+    } else {
+      const size_t mid = live.size() / 2;
+      std::vector<Entry> left(live.begin(), live.begin() + mid);
+      std::vector<Entry> right(live.begin() + mid, live.end());
+      new_children.push_back(BuildLeaf(left));
+      new_children.push_back(BuildLeaf(right));
+      new_keys.push_back(right.front().key);
+    }
+
+    // Copy-on-write the path back to the root; publish atomically.
+    uint64_t replaced_child = leaf_off;
+    std::vector<uint64_t> to_free{leaf_off};
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      const NodeHeader* inner = NodeAt(it->node_off);
+      const uint64_t* keys = InnerKeys(inner);
+      const uint64_t* children = InnerChildren(inner);
+      std::vector<uint64_t> k(keys, keys + inner->committed);
+      std::vector<uint64_t> c(children, children + inner->committed + 1);
+      assert(c[it->child_idx] == replaced_child);
+      c[it->child_idx] = new_children[0];
+      if (new_children.size() == 2) {
+        c.insert(c.begin() + it->child_idx + 1, new_children[1]);
+        k.insert(k.begin() + it->child_idx, new_keys[0]);
+      }
+      if (k.size() > InnerCapacity()) {
+        // Split the inner node too.
+        const size_t mid = k.size() / 2;
+        std::vector<uint64_t> lk(k.begin(), k.begin() + mid);
+        std::vector<uint64_t> lc(c.begin(), c.begin() + mid + 1);
+        std::vector<uint64_t> rk(k.begin() + mid + 1, k.end());
+        std::vector<uint64_t> rc(c.begin() + mid + 1, c.end());
+        new_children = {BuildInner(lk, lc), BuildInner(rk, rc)};
+        new_keys = {k[mid]};
+      } else {
+        new_children = {BuildInner(k, c)};
+        new_keys.clear();
+      }
+      to_free.push_back(it->node_off);
+      replaced_child = it->node_off;
+      (void)replaced_child;
+    }
+
+    uint64_t new_root;
+    if (new_children.size() == 2) {
+      new_root = BuildInner(new_keys, new_children);
+    } else {
+      new_root = new_children[0];
+    }
+    // Single atomic durable write makes the whole structural change
+    // visible; a crash before this line leaves the old tree intact.
+    device_->AtomicPersistWrite64(
+        device_->OffsetOf(&header()->root_off), new_root);
+    for (uint64_t off : to_free) allocator_->Free(off);
+  }
+
+  void ScanRec(uint64_t off, uint64_t lo, uint64_t hi,
+               const std::function<bool(uint64_t, uint64_t)>& fn,
+               bool* keep_going) const {
+    if (!*keep_going) return;
+    const NodeHeader* n = NodeAt(off);
+    if (n->is_leaf) {
+      device_->TouchRead(n, sizeof(NodeHeader) +
+                                n->committed * sizeof(Entry));
+      const Entry* entries = LeafEntries(n);
+      std::vector<Entry> in_range;
+      for (uint32_t i = 0; i < n->committed; i++) {
+        if (entries[i].value != kTombstone && entries[i].key >= lo &&
+            entries[i].key <= hi) {
+          in_range.push_back(entries[i]);
+        }
+      }
+      std::sort(in_range.begin(), in_range.end(),
+                [](const Entry& a, const Entry& b) { return a.key < b.key; });
+      for (const Entry& e : in_range) {
+        if (!fn(e.key, e.value)) {
+          *keep_going = false;
+          return;
+        }
+      }
+      return;
+    }
+    device_->TouchRead(n, sizeof(NodeHeader) + n->committed * 16 + 8);
+    const uint64_t* keys = InnerKeys(n);
+    const uint64_t* children = InnerChildren(n);
+    for (uint32_t i = 0; i <= n->committed && *keep_going; i++) {
+      const bool lo_ok = (i == n->committed) || lo <= keys[i];
+      const bool hi_ok = (i == 0) || keys[i - 1] <= hi;
+      if (lo_ok && hi_ok) ScanRec(children[i], lo, hi, fn, keep_going);
+    }
+  }
+
+  NvBTree() : allocator_(nullptr), device_(nullptr) {}
+
+  void FreeRec(uint64_t off) {
+    const NodeHeader* n = NodeAt(off);
+    if (!n->is_leaf) {
+      const uint64_t* children = InnerChildren(n);
+      for (uint32_t i = 0; i <= n->committed; i++) FreeRec(children[i]);
+    }
+    allocator_->Free(off);
+  }
+
+  size_t CountBytesRec(uint64_t off) const {
+    const NodeHeader* n = NodeAt(off);
+    size_t bytes = NodeBytes(n->is_leaf, n->capacity);
+    if (!n->is_leaf) {
+      const uint64_t* children = InnerChildren(n);
+      for (uint32_t i = 0; i <= n->committed; i++) {
+        bytes += CountBytesRec(children[i]);
+      }
+    }
+    return bytes;
+  }
+
+  PmemAllocator* allocator_;
+  NvmDevice* device_;
+  uint64_t header_off_ = 0;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,223 @@
+#include "index/page_store.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace nvmdb {
+
+// ---------------------------------------------------------------------------
+// PmfsPageStore
+// ---------------------------------------------------------------------------
+
+PmfsPageStore::PmfsPageStore(Pmfs* fs, const std::string& file_name,
+                             size_t page_size, size_t cache_pages,
+                             StorageTag tag)
+    : fs_(fs), page_size_(page_size), cache_capacity_(cache_pages) {
+  fd_ = fs_->Open(file_name, /*create=*/true, tag);
+  assert(fd_ >= 0);
+  const uint64_t size = fs_->Size(fd_);
+  if (size < page_size_) {
+    // Fresh file: reserve the master page with a zero master record.
+    std::vector<uint8_t> zero(page_size_, 0);
+    fs_->Write(fd_, 0, zero.data(), page_size_);
+    fs_->Fsync(fd_);
+    next_pid_ = 0;
+  } else {
+    next_pid_ = size / page_size_ - 1;  // minus the master page
+  }
+}
+
+PmfsPageStore::~PmfsPageStore() { fs_->Close(fd_); }
+
+uint64_t PmfsPageStore::AllocPage() {
+  if (!free_pids_.empty()) {
+    const uint64_t pid = free_pids_.back();
+    free_pids_.pop_back();
+    return pid;
+  }
+  return next_pid_++;
+}
+
+void PmfsPageStore::FreePage(uint64_t pid) {
+  auto it = cache_.find(pid);
+  if (it != cache_.end()) {
+    lru_.erase(it->second.lru_it);
+    cache_.erase(it);
+  }
+  free_pids_.push_back(pid);
+}
+
+void PmfsPageStore::WriteBackEntry(uint64_t pid, CacheEntry* entry) {
+  if (!entry->dirty) return;
+  fs_->Write(fd_, (pid + 1) * page_size_, entry->data.get(), page_size_);
+  entry->dirty = false;
+}
+
+void PmfsPageStore::EvictIfNeeded() {
+  while (cache_.size() > cache_capacity_ && !lru_.empty()) {
+    const uint64_t victim = lru_.back();
+    auto it = cache_.find(victim);
+    assert(it != cache_.end());
+    WriteBackEntry(victim, &it->second);
+    lru_.pop_back();
+    cache_.erase(it);
+  }
+}
+
+PmfsPageStore::CacheEntry* PmfsPageStore::GetCached(uint64_t pid,
+                                                    bool fill_from_file) {
+  auto it = cache_.find(pid);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    it->second.lru_it = lru_.begin();
+    return &it->second;
+  }
+  CacheEntry entry;
+  entry.data = std::make_unique<uint8_t[]>(page_size_);
+  if (fill_from_file) {
+    size_t got = 0;
+    fs_->Read(fd_, (pid + 1) * page_size_, entry.data.get(), page_size_,
+              &got);
+    if (got < page_size_) {
+      memset(entry.data.get() + got, 0, page_size_ - got);
+    }
+  }
+  lru_.push_front(pid);
+  entry.lru_it = lru_.begin();
+  auto [pos, ok] = cache_.emplace(pid, std::move(entry));
+  (void)ok;
+  EvictIfNeeded();
+  // EvictIfNeeded never evicts the just-inserted MRU entry while capacity
+  // is at least one page.
+  return &cache_.find(pid)->second;
+}
+
+void PmfsPageStore::ReadPage(uint64_t pid, void* buf) {
+  CacheEntry* entry = GetCached(pid, /*fill_from_file=*/true);
+  // The page cache occupies NVM (used as volatile memory); its accesses
+  // pass through the CPU-cache model — this is the "I/O overhead of
+  // maintaining this directory reduces the number of hot tuples that can
+  // reside in the CPU caches" effect of Section 5.3.
+  fs_->device()->TouchVirtual(entry->data.get(), page_size_, false);
+  memcpy(buf, entry->data.get(), page_size_);
+}
+
+void PmfsPageStore::WritePage(uint64_t pid, const void* buf) {
+  CacheEntry* entry = GetCached(pid, /*fill_from_file=*/false);
+  fs_->device()->TouchVirtual(entry->data.get(), page_size_, true);
+  memcpy(entry->data.get(), buf, page_size_);
+  entry->dirty = true;
+}
+
+void PmfsPageStore::FlushPages(const std::set<uint64_t>& pids) {
+  for (uint64_t pid : pids) {
+    auto it = cache_.find(pid);
+    if (it != cache_.end()) WriteBackEntry(pid, &it->second);
+  }
+  fs_->Fsync(fd_);
+}
+
+uint64_t PmfsPageStore::ReadMaster() {
+  uint64_t master = 0;
+  size_t got = 0;
+  fs_->Read(fd_, 0, &master, sizeof(master), &got);
+  return got == sizeof(master) ? master : 0;
+}
+
+void PmfsPageStore::WriteMaster(uint64_t root_pid) {
+  // The master record lives at a fixed offset in the file; the write fits
+  // a single cache line so it reaches durability atomically.
+  fs_->Write(fd_, 0, &root_pid, sizeof(root_pid));
+  fs_->Fsync(fd_);
+}
+
+uint64_t PmfsPageStore::StorageBytes() const {
+  return (next_pid_ + 1) * page_size_;
+}
+
+uint64_t PmfsPageStore::CacheBytes() const {
+  return cache_.size() * (page_size_ + sizeof(CacheEntry));
+}
+
+void PmfsPageStore::RetainOnly(const std::set<uint64_t>& reachable) {
+  free_pids_.clear();
+  for (uint64_t pid = 0; pid < next_pid_; pid++) {
+    if (reachable.count(pid) == 0) FreePage(pid);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NvmPageStore
+// ---------------------------------------------------------------------------
+
+NvmPageStore::NvmPageStore(PmemAllocator* allocator, const std::string& name,
+                           size_t page_size, StorageTag tag)
+    : allocator_(allocator),
+      device_(allocator->device()),
+      page_size_(page_size),
+      tag_(tag) {
+  const std::string root_name = name + "/master";
+  master_off_ = allocator_->GetRoot(root_name);
+  if (master_off_ == 0) {
+    master_off_ = allocator_->Alloc(sizeof(uint64_t), StorageTag::kIndex);
+    assert(master_off_ != 0);
+    device_->AtomicPersistWrite64(master_off_, 0);
+    allocator_->MarkPersisted(master_off_);
+    allocator_->SetRoot(root_name, master_off_);
+  }
+}
+
+uint64_t NvmPageStore::AllocPage() {
+  const uint64_t off = allocator_->Alloc(page_size_, tag_);
+  assert(off != 0);
+  // Not MarkPersisted yet: an uncommitted dirty-directory page must be
+  // reclaimed by allocator recovery if we crash before the commit flush.
+  live_pages_.insert(off);
+  return off;
+}
+
+void NvmPageStore::FreePage(uint64_t pid) {
+  live_pages_.erase(pid);
+  allocator_->Free(pid);
+}
+
+void NvmPageStore::ReadPage(uint64_t pid, void* buf) {
+  device_->Read(pid, buf, page_size_);
+}
+
+void NvmPageStore::WritePage(uint64_t pid, const void* buf) {
+  device_->Write(pid, buf, page_size_);
+}
+
+void NvmPageStore::FlushPages(const std::set<uint64_t>& pids) {
+  for (uint64_t pid : pids) {
+    allocator_->PersistPayloadAndMark(pid, page_size_);
+  }
+}
+
+uint64_t NvmPageStore::ReadMaster() {
+  uint64_t master = 0;
+  device_->Read(master_off_, &master, sizeof(master));
+  return master;
+}
+
+void NvmPageStore::WriteMaster(uint64_t root_pid) {
+  device_->AtomicPersistWrite64(master_off_, root_pid);
+}
+
+uint64_t NvmPageStore::StorageBytes() const {
+  return live_pages_.size() * page_size_;
+}
+
+void NvmPageStore::RetainOnly(const std::set<uint64_t>& reachable) {
+  // After restart live_pages_ is empty; adopt the committed set. Any page
+  // that was live before but is no longer reachable is freed.
+  std::vector<uint64_t> to_free;
+  for (uint64_t pid : live_pages_) {
+    if (reachable.count(pid) == 0) to_free.push_back(pid);
+  }
+  for (uint64_t pid : to_free) FreePage(pid);
+  live_pages_ = reachable;
+}
+
+}  // namespace nvmdb

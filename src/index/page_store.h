@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nvm/pmem_allocator.h"
+#include "nvm/pmfs.h"
+
+namespace nvmdb {
+
+/// Abstract fixed-size page store underneath the copy-on-write B+tree.
+/// Two implementations mirror the paper's two shadow-paging engines:
+/// pages in a PMFS file (CoW engine) and pages straight from the NVM
+/// allocator (NVM-CoW engine).
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  virtual size_t page_size() const = 0;
+
+  /// Allocate a page; contents undefined until written.
+  virtual uint64_t AllocPage() = 0;
+  virtual void FreePage(uint64_t pid) = 0;
+
+  virtual void ReadPage(uint64_t pid, void* buf) = 0;
+  virtual void WritePage(uint64_t pid, const void* buf) = 0;
+
+  /// Make the given pages durable (fsync / sync primitive).
+  virtual void FlushPages(const std::set<uint64_t>& pids) = 0;
+
+  /// The master record (Section 3.2): an atomically-updatable durable word
+  /// pointing at the root of the current directory.
+  virtual uint64_t ReadMaster() = 0;
+  virtual void WriteMaster(uint64_t root_pid) = 0;
+
+  /// Bytes of storage held by live pages (Fig. 14 accounting).
+  virtual uint64_t StorageBytes() const = 0;
+  /// Volatile memory (page cache etc.) held by the store.
+  virtual uint64_t CacheBytes() const { return 0; }
+
+  /// Reclaim every page not reachable from the committed tree. `reachable`
+  /// is produced by the tree walk; called asynchronously in the paper,
+  /// eagerly at open here.
+  virtual void RetainOnly(const std::set<uint64_t>& reachable) = 0;
+};
+
+/// Pages stored in a PMFS file with an in-memory page cache (the CoW
+/// engine keeps hot pages cached, Section 3.2). Page id n lives at file
+/// offset (n + 1) * page_size; the master record occupies the first page.
+class PmfsPageStore : public PageStore {
+ public:
+  PmfsPageStore(Pmfs* fs, const std::string& file_name, size_t page_size,
+                size_t cache_pages, StorageTag tag);
+  ~PmfsPageStore() override;
+
+  size_t page_size() const override { return page_size_; }
+  uint64_t AllocPage() override;
+  void FreePage(uint64_t pid) override;
+  void ReadPage(uint64_t pid, void* buf) override;
+  void WritePage(uint64_t pid, const void* buf) override;
+  void FlushPages(const std::set<uint64_t>& pids) override;
+  uint64_t ReadMaster() override;
+  void WriteMaster(uint64_t root_pid) override;
+  uint64_t StorageBytes() const override;
+  uint64_t CacheBytes() const override;
+  void RetainOnly(const std::set<uint64_t>& reachable) override;
+
+ private:
+  struct CacheEntry {
+    std::unique_ptr<uint8_t[]> data;
+    bool dirty = false;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  CacheEntry* GetCached(uint64_t pid, bool fill_from_file);
+  void EvictIfNeeded();
+  void WriteBackEntry(uint64_t pid, CacheEntry* entry);
+
+  Pmfs* fs_;
+  Pmfs::Fd fd_;
+  size_t page_size_;
+  size_t cache_capacity_;
+  uint64_t next_pid_;
+  std::vector<uint64_t> free_pids_;
+  std::map<uint64_t, CacheEntry> cache_;
+  std::list<uint64_t> lru_;  // front = most recent
+};
+
+/// Pages allocated directly from the NVM allocator; page ids are payload
+/// offsets. Durability comes from the allocator's sync primitive — no
+/// kernel crossing (Section 4.2). Pages are MarkPersisted only when
+/// flushed, so pages of an uncommitted dirty directory are reclaimed by
+/// allocator recovery after a crash — the paper's asynchronous dirty-
+/// directory garbage collection.
+class NvmPageStore : public PageStore {
+ public:
+  NvmPageStore(PmemAllocator* allocator, const std::string& name,
+               size_t page_size, StorageTag tag);
+
+  size_t page_size() const override { return page_size_; }
+  uint64_t AllocPage() override;
+  void FreePage(uint64_t pid) override;
+  void ReadPage(uint64_t pid, void* buf) override;
+  void WritePage(uint64_t pid, const void* buf) override;
+  void FlushPages(const std::set<uint64_t>& pids) override;
+  uint64_t ReadMaster() override;
+  void WriteMaster(uint64_t root_pid) override;
+  uint64_t StorageBytes() const override;
+  void RetainOnly(const std::set<uint64_t>& reachable) override;
+
+ private:
+  PmemAllocator* allocator_;
+  NvmDevice* device_;
+  size_t page_size_;
+  StorageTag tag_;
+  uint64_t master_off_;  // persistent 8-byte master record
+  std::set<uint64_t> live_pages_;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,373 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace nvmdb {
+
+/// In-memory B+tree, standing in for the STX B+tree library the paper's
+/// volatile engines use for all indexes (Section 3.1). The node byte size
+/// is a runtime constructor parameter so the Fig. 15 / Appendix B node-size
+/// sweep can exercise 64 B – 16 KB nodes without recompiling; the paper's
+/// default (and ours) is 512 B.
+///
+/// Deletions remove entries without rebalancing (a node is unlinked only
+/// when it becomes empty). OLTP index workloads shrink rarely, and the
+/// simplification keeps the structure identical to its non-volatile twin.
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class BTree {
+ public:
+  explicit BTree(size_t node_bytes = 512, Compare cmp = Compare())
+      : cmp_(cmp) {
+    // Fan-out derived from the node byte budget the way STX does: an inner
+    // node holds keys + child pointers, a leaf holds keys + values.
+    inner_cap_ = node_bytes / (sizeof(Key) + sizeof(void*));
+    if (inner_cap_ < 4) inner_cap_ = 4;
+    leaf_cap_ = node_bytes / (sizeof(Key) + sizeof(Value));
+    if (leaf_cap_ < 4) leaf_cap_ = 4;
+  }
+
+  ~BTree() { Clear(); }
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Memory-traffic hook: called with (address, bytes, is_write) for every
+  /// node visited. The testbed routes this into the NVM device's cache
+  /// model because in an NVM-only hierarchy even "volatile" index nodes
+  /// live in NVM (Section 2.1) — their misses are NVM loads.
+  using AccessHook = std::function<void(const void*, size_t, bool)>;
+  void SetAccessHook(AccessHook hook) { access_hook_ = std::move(hook); }
+
+  /// Insert or overwrite. Returns false if the key already existed.
+  bool Insert(const Key& key, const Value& value) {
+    if (root_ == nullptr) {
+      Leaf* leaf = new Leaf(leaf_cap_);
+      leaf->keys.push_back(key);
+      leaf->values.push_back(value);
+      root_ = leaf;
+      first_leaf_ = leaf;
+      size_ = 1;
+      return true;
+    }
+    Key split_key;
+    Node* split_node = nullptr;
+    bool inserted = InsertRec(root_, key, value, &split_key, &split_node);
+    if (split_node != nullptr) {
+      Inner* new_root = new Inner(inner_cap_);
+      new_root->keys.push_back(split_key);
+      new_root->children.push_back(root_);
+      new_root->children.push_back(split_node);
+      root_ = new_root;
+    }
+    if (inserted) size_++;
+    return inserted;
+  }
+
+  /// Point lookup.
+  bool Find(const Key& key, Value* out) const {
+    const Node* node = root_;
+    if (node == nullptr) return false;
+    while (!node->leaf) {
+      Touch(node, false);
+      const Inner* inner = static_cast<const Inner*>(node);
+      node = inner->children[ChildIndex(inner, key)];
+    }
+    Touch(node, false);
+    const Leaf* leaf = static_cast<const Leaf*>(node);
+    const size_t i = LowerBound(leaf->keys, key);
+    if (i < leaf->keys.size() && Equal(leaf->keys[i], key)) {
+      if (out != nullptr) *out = leaf->values[i];
+      return true;
+    }
+    return false;
+  }
+
+  bool Contains(const Key& key) const { return Find(key, nullptr); }
+
+  /// Remove a key. Returns false if absent.
+  bool Erase(const Key& key) {
+    if (root_ == nullptr) return false;
+    bool erased = EraseRec(root_, key);
+    if (erased) {
+      size_--;
+      if (!root_->leaf) {
+        Inner* inner = static_cast<Inner*>(root_);
+        if (inner->children.size() == 1) {
+          root_ = inner->children[0];
+          inner->children.clear();
+          delete inner;
+        } else if (inner->children.empty()) {
+          delete inner;
+          root_ = nullptr;
+        }
+      } else if (root_->keys.empty()) {
+        if (first_leaf_ == root_) first_leaf_ = nullptr;
+        delete root_;
+        root_ = nullptr;
+      }
+    }
+    return erased;
+  }
+
+  /// Visit all entries with key in [lo, hi], in key order. The callback
+  /// returns false to stop early.
+  void Scan(const Key& lo, const Key& hi,
+            const std::function<bool(const Key&, const Value&)>& fn) const {
+    const Node* node = root_;
+    if (node == nullptr) return;
+    while (!node->leaf) {
+      Touch(node, false);
+      const Inner* inner = static_cast<const Inner*>(node);
+      node = inner->children[ChildIndex(inner, lo)];
+    }
+    const Leaf* leaf = static_cast<const Leaf*>(node);
+    size_t i = LowerBound(leaf->keys, lo);
+    while (leaf != nullptr) {
+      Touch(leaf, false);
+      for (; i < leaf->keys.size(); i++) {
+        if (cmp_(hi, leaf->keys[i])) return;  // key > hi
+        if (!fn(leaf->keys[i], leaf->values[i])) return;
+      }
+      leaf = leaf->next;
+      i = 0;
+    }
+  }
+
+  /// Visit every entry in key order.
+  void ScanAll(
+      const std::function<bool(const Key&, const Value&)>& fn) const {
+    const Leaf* leaf = first_leaf_;
+    while (leaf != nullptr) {
+      Touch(leaf, false);
+      for (size_t i = 0; i < leaf->keys.size(); i++) {
+        if (!fn(leaf->keys[i], leaf->values[i])) return;
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    DeleteRec(root_);
+    root_ = nullptr;
+    first_leaf_ = nullptr;
+    size_ = 0;
+  }
+
+  /// Approximate heap bytes held by nodes (Fig. 14 accounting for the
+  /// volatile engines' index component).
+  size_t MemoryBytes() const { return CountBytes(root_); }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    virtual ~Node() = default;
+    bool leaf;
+    std::vector<Key> keys;
+  };
+
+  struct Inner : Node {
+    explicit Inner(size_t cap) : Node(false) {
+      this->keys.reserve(cap);
+      children.reserve(cap + 1);
+    }
+    std::vector<Node*> children;
+  };
+
+  struct Leaf : Node {
+    explicit Leaf(size_t cap) : Node(true) {
+      this->keys.reserve(cap);
+      values.reserve(cap);
+    }
+    std::vector<Value> values;
+    Leaf* next = nullptr;
+    Leaf* prev = nullptr;
+  };
+
+  bool Equal(const Key& a, const Key& b) const {
+    return !cmp_(a, b) && !cmp_(b, a);
+  }
+
+  void Touch(const Node* node, bool is_write) const {
+    if (!access_hook_) return;
+    size_t bytes = node->keys.size() * sizeof(Key);
+    if (node->leaf) {
+      bytes += static_cast<const Leaf*>(node)->values.size() * sizeof(Value);
+    } else {
+      bytes += static_cast<const Inner*>(node)->children.size() *
+               sizeof(Node*);
+    }
+    // The node object's own (stable) address stands in for its storage.
+    access_hook_(node, bytes < 16 ? 16 : bytes, is_write);
+  }
+
+  size_t LowerBound(const std::vector<Key>& keys, const Key& key) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cmp_(keys[mid], key)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Index of the child subtree that may contain `key`.
+  size_t ChildIndex(const Inner* inner, const Key& key) const {
+    // keys[i] is the smallest key in children[i+1].
+    size_t lo = 0, hi = inner->keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cmp_(key, inner->keys[mid])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  bool InsertRec(Node* node, const Key& key, const Value& value,
+                 Key* split_key, Node** split_node) {
+    *split_node = nullptr;
+    if (node->leaf) {
+      Touch(node, true);
+      Leaf* leaf = static_cast<Leaf*>(node);
+      const size_t i = LowerBound(leaf->keys, key);
+      if (i < leaf->keys.size() && Equal(leaf->keys[i], key)) {
+        leaf->values[i] = value;
+        return false;
+      }
+      leaf->keys.insert(leaf->keys.begin() + i, key);
+      leaf->values.insert(leaf->values.begin() + i, value);
+      if (leaf->keys.size() > leaf_cap_) SplitLeaf(leaf, split_key,
+                                                  split_node);
+      return true;
+    }
+    Inner* inner = static_cast<Inner*>(node);
+    Touch(inner, false);
+    const size_t ci = ChildIndex(inner, key);
+    Key child_split_key;
+    Node* child_split = nullptr;
+    const bool inserted =
+        InsertRec(inner->children[ci], key, value, &child_split_key,
+                  &child_split);
+    if (child_split != nullptr) {
+      Touch(inner, true);
+      inner->keys.insert(inner->keys.begin() + ci, child_split_key);
+      inner->children.insert(inner->children.begin() + ci + 1, child_split);
+      if (inner->keys.size() > inner_cap_) {
+        SplitInner(inner, split_key, split_node);
+      }
+    }
+    return inserted;
+  }
+
+  void SplitLeaf(Leaf* leaf, Key* split_key, Node** split_node) {
+    Leaf* right = new Leaf(leaf_cap_);
+    const size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+    right->values.assign(leaf->values.begin() + mid, leaf->values.end());
+    leaf->keys.resize(mid);
+    leaf->values.resize(mid);
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (leaf->next != nullptr) leaf->next->prev = right;
+    leaf->next = right;
+    *split_key = right->keys.front();
+    *split_node = right;
+  }
+
+  void SplitInner(Inner* inner, Key* split_key, Node** split_node) {
+    Inner* right = new Inner(inner_cap_);
+    const size_t mid = inner->keys.size() / 2;
+    *split_key = inner->keys[mid];
+    right->keys.assign(inner->keys.begin() + mid + 1, inner->keys.end());
+    right->children.assign(inner->children.begin() + mid + 1,
+                           inner->children.end());
+    inner->keys.resize(mid);
+    inner->children.resize(mid + 1);
+    *split_node = right;
+  }
+
+  bool EraseRec(Node* node, const Key& key) {
+    if (node->leaf) {
+      Touch(node, true);
+      Leaf* leaf = static_cast<Leaf*>(node);
+      const size_t i = LowerBound(leaf->keys, key);
+      if (i >= leaf->keys.size() || !Equal(leaf->keys[i], key)) return false;
+      leaf->keys.erase(leaf->keys.begin() + i);
+      leaf->values.erase(leaf->values.begin() + i);
+      return true;
+    }
+    Inner* inner = static_cast<Inner*>(node);
+    Touch(inner, false);
+    const size_t ci = ChildIndex(inner, key);
+    Node* child = inner->children[ci];
+    const bool erased = EraseRec(child, key);
+    if (erased && child->keys.empty() &&
+        (child->leaf ||
+         static_cast<Inner*>(child)->children.empty())) {
+      // Unlink the emptied child (leaves keep sibling links consistent).
+      if (child->leaf) {
+        Leaf* leaf = static_cast<Leaf*>(child);
+        if (leaf->prev != nullptr) leaf->prev->next = leaf->next;
+        if (leaf->next != nullptr) leaf->next->prev = leaf->prev;
+        if (first_leaf_ == leaf) first_leaf_ = leaf->next;
+      }
+      inner->children.erase(inner->children.begin() + ci);
+      if (ci == 0) {
+        if (!inner->keys.empty()) inner->keys.erase(inner->keys.begin());
+      } else {
+        inner->keys.erase(inner->keys.begin() + ci - 1);
+      }
+      delete child;
+    }
+    return erased;
+  }
+
+  // An inner node whose last child was unlinked can itself become empty;
+  // EraseRec's empty-check handles the cascade one level per call, which is
+  // sufficient because a parent notices emptiness on the way back up.
+
+  void DeleteRec(Node* node) {
+    if (node == nullptr) return;
+    if (!node->leaf) {
+      Inner* inner = static_cast<Inner*>(node);
+      for (Node* child : inner->children) DeleteRec(child);
+    }
+    delete node;
+  }
+
+  size_t CountBytes(const Node* node) const {
+    if (node == nullptr) return 0;
+    size_t bytes = sizeof(Node) + node->keys.capacity() * sizeof(Key);
+    if (node->leaf) {
+      const Leaf* leaf = static_cast<const Leaf*>(node);
+      bytes += leaf->values.capacity() * sizeof(Value);
+    } else {
+      const Inner* inner = static_cast<const Inner*>(node);
+      bytes += inner->children.capacity() * sizeof(Node*);
+      for (const Node* child : inner->children) bytes += CountBytes(child);
+    }
+    return bytes;
+  }
+
+  Compare cmp_;
+  AccessHook access_hook_;
+  size_t inner_cap_;
+  size_t leaf_cap_;
+  Node* root_ = nullptr;
+  Leaf* first_leaf_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,130 @@
+#include "lsm/delta.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace nvmdb {
+
+std::string EncodeUpdates(const Schema& schema,
+                          const std::vector<ColumnUpdate>& updates) {
+  std::string out;
+  const uint16_t count = static_cast<uint16_t>(updates.size());
+  out.append(reinterpret_cast<const char*>(&count), 2);
+  for (const ColumnUpdate& u : updates) {
+    const uint16_t col = static_cast<uint16_t>(u.column);
+    out.append(reinterpret_cast<const char*>(&col), 2);
+    const uint8_t is_string =
+        schema.column(u.column).type == ColumnType::kVarchar ? 1 : 0;
+    out.push_back(static_cast<char>(is_string));
+    if (is_string) {
+      const uint32_t len = static_cast<uint32_t>(u.value.str.size());
+      out.append(reinterpret_cast<const char*>(&len), 4);
+      out.append(u.value.str);
+    } else {
+      out.append(reinterpret_cast<const char*>(&u.value.num), 8);
+    }
+  }
+  return out;
+}
+
+std::vector<ColumnUpdate> DecodeUpdates(const Schema& schema,
+                                        const Slice& data) {
+  (void)schema;
+  std::vector<ColumnUpdate> updates;
+  const char* p = data.data();
+  const char* end = p + data.size();
+  uint16_t count = 0;
+  assert(p + 2 <= end);
+  memcpy(&count, p, 2);
+  p += 2;
+  updates.reserve(count);
+  for (uint16_t i = 0; i < count; i++) {
+    ColumnUpdate u;
+    uint16_t col;
+    assert(p + 3 <= end);
+    memcpy(&col, p, 2);
+    p += 2;
+    u.column = col;
+    const uint8_t is_string = static_cast<uint8_t>(*p++);
+    if (is_string) {
+      uint32_t len;
+      assert(p + 4 <= end);
+      memcpy(&len, p, 4);
+      p += 4;
+      assert(p + len <= end);
+      u.value = Value::Str(std::string(p, len));
+      p += len;
+    } else {
+      assert(p + 8 <= end);
+      uint64_t num;
+      memcpy(&num, p, 8);
+      p += 8;
+      u.value = Value::U64(num);
+    }
+    updates.push_back(std::move(u));
+  }
+  (void)end;
+  return updates;
+}
+
+void ApplyUpdates(Tuple* tuple, const std::vector<ColumnUpdate>& updates) {
+  for (const ColumnUpdate& u : updates) tuple->Set(u.column, u.value);
+}
+
+DeltaRecord CoalesceNewestFirst(const Schema& schema,
+                                const std::vector<DeltaRecord>& records) {
+  // Find the newest conclusive record; collect deltas above it.
+  std::vector<const DeltaRecord*> pending;  // newest first
+  for (const DeltaRecord& r : records) {
+    if (r.kind == DeltaKind::kTombstone) {
+      return {DeltaKind::kTombstone, ""};
+    }
+    if (r.kind == DeltaKind::kFull) {
+      Tuple t = Tuple::ParseInlined(&schema, Slice(r.payload));
+      // Apply pending deltas oldest-above-base first.
+      for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+        ApplyUpdates(&t, DecodeUpdates(schema, Slice((*it)->payload)));
+      }
+      return {DeltaKind::kFull, t.SerializeInlined()};
+    }
+    pending.push_back(&r);
+  }
+  // No base image here: merge the deltas (oldest first, newer overwrite).
+  std::vector<ColumnUpdate> merged;
+  for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+    for (ColumnUpdate& u :
+         DecodeUpdates(schema, Slice((*it)->payload))) {
+      bool replaced = false;
+      for (ColumnUpdate& m : merged) {
+        if (m.column == u.column) {
+          m.value = u.value;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) merged.push_back(std::move(u));
+    }
+  }
+  return {DeltaKind::kDelta, EncodeUpdates(schema, merged)};
+}
+
+bool MaterializeNewestFirst(const Schema& schema,
+                            const std::vector<DeltaRecord>& records,
+                            Tuple* out) {
+  std::vector<const DeltaRecord*> pending;
+  for (const DeltaRecord& r : records) {
+    if (r.kind == DeltaKind::kTombstone) return false;
+    if (r.kind == DeltaKind::kFull) {
+      Tuple t = Tuple::ParseInlined(&schema, Slice(r.payload));
+      for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+        ApplyUpdates(&t, DecodeUpdates(schema, Slice((*it)->payload)));
+      }
+      *out = t;
+      return true;
+    }
+    pending.push_back(&r);
+  }
+  return false;  // deltas without a base: key does not exist
+}
+
+}  // namespace nvmdb

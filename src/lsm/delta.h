@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "engine/tuple.h"
+
+namespace nvmdb {
+
+/// Kinds of per-key records flowing through the log-structured engines.
+/// A key's logical value is reconstructed by coalescing records newest to
+/// oldest until a full image or tombstone concludes the search — the
+/// "tuple coalescing" cost the paper charges the Log engine with.
+enum class DeltaKind : uint8_t {
+  kFull = 0,       // complete tuple image (insert)
+  kDelta = 1,      // set of column updates
+  kTombstone = 2,  // deletion marker
+};
+
+/// Serialize a set of column updates (the payload of a kDelta record).
+std::string EncodeUpdates(const Schema& schema,
+                          const std::vector<ColumnUpdate>& updates);
+std::vector<ColumnUpdate> DecodeUpdates(const Schema& schema,
+                                        const Slice& data);
+
+/// Apply updates onto a materialized tuple.
+void ApplyUpdates(Tuple* tuple, const std::vector<ColumnUpdate>& updates);
+
+/// One record during reconstruction: kind + payload bytes.
+struct DeltaRecord {
+  DeltaKind kind;
+  std::string payload;
+};
+
+/// Coalesce records (ordered newest first) into a single conclusive
+/// record: a tombstone, a full image, or — when no base image is present
+/// in the input — a merged delta. Used by SSTable flush and compaction.
+DeltaRecord CoalesceNewestFirst(const Schema& schema,
+                                const std::vector<DeltaRecord>& records);
+
+/// Materialize a tuple from records ordered newest first. Returns false
+/// if the records conclude in a tombstone or never reach a full image.
+bool MaterializeNewestFirst(const Schema& schema,
+                            const std::vector<DeltaRecord>& records,
+                            Tuple* out);
+
+}  // namespace nvmdb

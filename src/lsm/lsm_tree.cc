@@ -1,0 +1,215 @@
+#include "lsm/lsm_tree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace nvmdb {
+
+namespace {
+constexpr uint64_t kLevelBaseBytes = 1 << 20;  // level-1 target size
+}
+
+LsmTree::LsmTree(Pmfs* fs, const Schema* schema, std::string file_prefix,
+                 size_t level0_limit, size_t growth_factor)
+    : fs_(fs),
+      schema_(schema),
+      file_prefix_(std::move(file_prefix)),
+      level0_limit_(level0_limit == 0 ? 1 : level0_limit),
+      growth_factor_(growth_factor < 2 ? 2 : growth_factor) {
+  levels_.resize(1);
+}
+
+std::string LsmTree::NextFileName() {
+  return file_prefix_ + ".sst." + std::to_string(next_file_id_++);
+}
+
+void LsmTree::AddLevel0(std::unique_ptr<SsTable> table) {
+  levels_[0].push_back(std::move(table));
+  WriteManifest();
+}
+
+void LsmTree::Collect(uint64_t key, std::vector<DeltaRecord>* out) const {
+  // Level 0: newest run last in the vector, so iterate backwards; then
+  // deeper levels in order. Stop at the first conclusive record.
+  auto conclusive = [](const DeltaRecord& r) {
+    return r.kind != DeltaKind::kDelta;
+  };
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it) {
+    DeltaRecord record;
+    if ((*it)->Get(key, &record)) {
+      out->push_back(record);
+      if (conclusive(record)) return;
+    }
+  }
+  for (size_t level = 1; level < levels_.size(); level++) {
+    for (const auto& run : levels_[level]) {
+      DeltaRecord record;
+      if (run->Get(key, &record)) {
+        out->push_back(record);
+        if (conclusive(record)) return;
+      }
+    }
+  }
+}
+
+void LsmTree::CollectKeysInRange(uint64_t lo, uint64_t hi,
+                                 std::vector<uint64_t>* out) const {
+  for (const auto& level : levels_) {
+    for (const auto& run : level) {
+      run->CollectKeysInRange(lo, hi, out);
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+bool LsmTree::MaybeCompact() {
+  if (levels_[0].size() <= level0_limit_) return false;
+  Compact(1);
+  return true;
+}
+
+void LsmTree::ForceCompact() {
+  if (!levels_[0].empty()) Compact(1);
+}
+
+void LsmTree::Compact(size_t into_level) {
+  if (levels_.size() <= into_level) levels_.resize(into_level + 1);
+
+  // Inputs: every run above `into_level` plus the run at it, newest first.
+  std::vector<SsTable*> inputs;
+  for (size_t level = 0; level < into_level; level++) {
+    for (auto it = levels_[level].rbegin(); it != levels_[level].rend();
+         ++it) {
+      inputs.push_back(it->get());
+    }
+  }
+  for (const auto& run : levels_[into_level]) inputs.push_back(run.get());
+  if (inputs.empty()) return;
+
+  // Whether tombstones can be dropped: no populated level below target.
+  bool is_bottom = true;
+  for (size_t level = into_level + 1; level < levels_.size(); level++) {
+    if (!levels_[level].empty()) is_bottom = false;
+  }
+
+  // Merge: records per key ordered newest-run-first, then coalesce.
+  std::map<uint64_t, std::vector<DeltaRecord>> merged;
+  for (SsTable* run : inputs) {
+    run->ForEach([&merged](uint64_t key, const DeltaRecord& record) {
+      merged[key].push_back(record);
+    });
+  }
+  std::vector<std::pair<uint64_t, DeltaRecord>> output;
+  output.reserve(merged.size());
+  for (auto& [key, records] : merged) {
+    DeltaRecord coalesced = CoalesceNewestFirst(*schema_, records);
+    if (coalesced.kind == DeltaKind::kTombstone && is_bottom) continue;
+    output.emplace_back(key, std::move(coalesced));
+  }
+
+  std::unique_ptr<SsTable> result;
+  if (!output.empty()) {
+    result = SsTable::Build(fs_, NextFileName(), output);
+  }
+
+  // Swap in the result, destroy the inputs.
+  for (size_t level = 0; level < into_level; level++) {
+    for (auto& run : levels_[level]) run->Destroy();
+    levels_[level].clear();
+  }
+  for (auto& run : levels_[into_level]) run->Destroy();
+  levels_[into_level].clear();
+  uint64_t result_bytes = 0;
+  if (result != nullptr) {
+    result_bytes = result->FileBytes();
+    compaction_bytes_written_ += result_bytes;
+    levels_[into_level].push_back(std::move(result));
+  }
+  WriteManifest();
+
+  // Cascade if this level is now oversized.
+  uint64_t limit = kLevelBaseBytes;
+  for (size_t i = 1; i < into_level; i++) limit *= growth_factor_;
+  if (result_bytes > limit) Compact(into_level + 1);
+}
+
+void LsmTree::WriteManifest() {
+  std::string body;
+  body.append(reinterpret_cast<const char*>(&next_file_id_), 8);
+  uint32_t total = 0;
+  for (const auto& level : levels_) {
+    total += static_cast<uint32_t>(level.size());
+  }
+  body.append(reinterpret_cast<const char*>(&total), 4);
+  for (size_t level = 0; level < levels_.size(); level++) {
+    for (const auto& run : levels_[level]) {
+      const uint16_t lv = static_cast<uint16_t>(level);
+      body.append(reinterpret_cast<const char*>(&lv), 2);
+      const uint16_t len = static_cast<uint16_t>(run->file_name().size());
+      body.append(reinterpret_cast<const char*>(&len), 2);
+      body.append(run->file_name());
+    }
+  }
+  const std::string manifest = file_prefix_ + ".manifest";
+  fs_->Delete(manifest);
+  Pmfs::Fd fd = fs_->Open(manifest, /*create=*/true, StorageTag::kLog);
+  if (fd < 0) return;
+  fs_->Write(fd, 0, body.data(), body.size());
+  fs_->Fsync(fd);
+  fs_->Close(fd);
+}
+
+Status LsmTree::Recover() {
+  const std::string manifest = file_prefix_ + ".manifest";
+  if (!fs_->Exists(manifest)) return Status::OK();  // empty tree
+  Pmfs::Fd fd = fs_->Open(manifest, /*create=*/false);
+  if (fd < 0) return Status::IOError("manifest open");
+  const uint64_t size = fs_->Size(fd);
+  std::string body(size, '\0');
+  size_t got = 0;
+  fs_->Read(fd, 0, body.data(), size, &got);
+  fs_->Close(fd);
+  if (got < 12) return Status::Corruption("manifest too small");
+
+  memcpy(&next_file_id_, body.data(), 8);
+  uint32_t total;
+  memcpy(&total, body.data() + 8, 4);
+  size_t pos = 12;
+  levels_.clear();
+  levels_.resize(1);
+  for (uint32_t i = 0; i < total; i++) {
+    if (pos + 4 > body.size()) return Status::Corruption("manifest entry");
+    uint16_t level, len;
+    memcpy(&level, body.data() + pos, 2);
+    memcpy(&len, body.data() + pos + 2, 2);
+    pos += 4;
+    if (pos + len > body.size()) return Status::Corruption("manifest name");
+    std::string name(body.data() + pos, len);
+    pos += len;
+    auto table = SsTable::Open(fs_, name);
+    if (table == nullptr) {
+      return Status::Corruption("sstable open: " + name);
+    }
+    if (levels_.size() <= level) levels_.resize(level + 1);
+    levels_[level].push_back(std::move(table));
+  }
+  return Status::OK();
+}
+
+size_t LsmTree::RunCount() const {
+  size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+uint64_t LsmTree::FileBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& level : levels_) {
+    for (const auto& run : level) bytes += run->FileBytes();
+  }
+  return bytes;
+}
+
+}  // namespace nvmdb

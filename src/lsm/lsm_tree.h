@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/sstable.h"
+
+namespace nvmdb {
+
+/// Leveled LSM tree of SSTables (Section 3.3). Level 0 holds the runs
+/// flushed from the MemTable, newest last; deeper levels hold one sorted
+/// run each. When level 0 exceeds `level0_limit`, all of level 0 is merged
+/// with level 1 into a fresh level-1 run; if that run grows past
+/// `growth_factor` times the flush threshold, it cascades into level 2,
+/// and so on. Tombstones are dropped only when the merge output lands in
+/// the bottom-most populated level.
+class LsmTree {
+ public:
+  LsmTree(Pmfs* fs, const Schema* schema, std::string file_prefix,
+          size_t level0_limit, size_t growth_factor = 10);
+
+  /// Adopt a freshly flushed run into level 0.
+  void AddLevel0(std::unique_ptr<SsTable> table);
+
+  /// Reserve a unique file name for a flush (the id is persisted with the
+  /// manifest on the next AddLevel0, so names never collide after
+  /// restart).
+  std::string NextFlushFileName() { return NextFileName(); }
+
+  /// Collect records for `key`, newest run first, stopping once a
+  /// conclusive record (full/tombstone) is found.
+  void Collect(uint64_t key, std::vector<DeltaRecord>* out) const;
+
+  /// Keys present anywhere in [lo, hi] (may include dead keys — callers
+  /// materialize to filter).
+  void CollectKeysInRange(uint64_t lo, uint64_t hi,
+                          std::vector<uint64_t>* out) const;
+
+  /// Run compaction if level 0 is over its limit. Returns true if a merge
+  /// happened.
+  bool MaybeCompact();
+  void ForceCompact();
+
+  /// Re-open all runs recorded in the manifest file (after restart).
+  Status Recover();
+
+  size_t RunCount() const;
+  uint64_t FileBytes() const;
+  /// Bytes written by compaction so far (write-amplification accounting
+  /// for the Table 3 cost model).
+  uint64_t compaction_bytes_written() const {
+    return compaction_bytes_written_;
+  }
+
+ private:
+  void Compact(size_t into_level);
+  void WriteManifest();
+  std::string NextFileName();
+
+  Pmfs* fs_;
+  const Schema* schema_;
+  std::string file_prefix_;
+  size_t level0_limit_;
+  size_t growth_factor_;
+  uint64_t next_file_id_ = 1;
+  // levels_[0] = level 0 (vector, newest last); levels_[i>0] has 0 or 1 run.
+  std::vector<std::vector<std::unique_ptr<SsTable>>> levels_;
+  uint64_t compaction_bytes_written_ = 0;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,114 @@
+#include "lsm/memtable.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nvmdb {
+
+MemTable::MemTable(PmemAllocator* allocator, size_t index_node_bytes)
+    : allocator_(allocator),
+      device_(allocator->device()),
+      index_(index_node_bytes) {
+  // The MemTable's index is "volatile" only in the logical sense — its
+  // nodes occupy NVM in the single-tier hierarchy, so their traffic goes
+  // through the cache model too.
+  NvmDevice* device = device_;
+  index_.SetAccessHook([device](const void* p, size_t n, bool w) {
+    device->TouchVirtual(p, n, w);
+  });
+}
+
+MemTable::~MemTable() { ReleaseAll(); }
+
+uint64_t MemTable::Push(uint64_t key, DeltaKind kind, const Slice& payload) {
+  const uint64_t off = allocator_->Alloc(
+      sizeof(RecordHeader) + payload.size(), StorageTag::kTable);
+  assert(off != 0);
+  RecordHeader hdr;
+  uint64_t head = 0;
+  index_.Find(key, &head);
+  hdr.next = head;
+  hdr.kind = static_cast<uint8_t>(kind);
+  hdr.pad[0] = hdr.pad[1] = hdr.pad[2] = 0;
+  hdr.length = static_cast<uint32_t>(payload.size());
+  device_->Write(off, &hdr, sizeof(hdr));
+  if (!payload.empty()) {
+    device_->Write(off + sizeof(hdr), payload.data(), payload.size());
+  }
+  index_.Insert(key, off);
+  approx_bytes_ += sizeof(RecordHeader) + payload.size();
+  return off;
+}
+
+bool MemTable::PopNewest(uint64_t key, uint64_t record_off) {
+  uint64_t head = 0;
+  if (!index_.Find(key, &head) || head != record_off) return false;
+  RecordHeader hdr;
+  device_->Read(record_off, &hdr, sizeof(hdr));
+  if (hdr.next == 0) {
+    index_.Erase(key);
+  } else {
+    index_.Insert(key, hdr.next);
+  }
+  approx_bytes_ -= std::min<size_t>(approx_bytes_,
+                                    sizeof(RecordHeader) + hdr.length);
+  allocator_->Free(record_off);
+  return true;
+}
+
+void MemTable::Collect(uint64_t key, std::vector<DeltaRecord>* out) const {
+  uint64_t off = 0;
+  if (!index_.Find(key, &off)) return;
+  while (off != 0) {
+    RecordHeader hdr;
+    device_->Read(off, &hdr, sizeof(hdr));
+    DeltaRecord record;
+    record.kind = static_cast<DeltaKind>(hdr.kind);
+    record.payload.resize(hdr.length);
+    if (hdr.length > 0) {
+      device_->Read(off + sizeof(hdr), record.payload.data(), hdr.length);
+    }
+    out->push_back(std::move(record));
+    off = hdr.next;
+  }
+}
+
+bool MemTable::ContainsKey(uint64_t key) const {
+  return index_.Contains(key);
+}
+
+void MemTable::ForEachKey(
+    const std::function<void(uint64_t, const std::vector<DeltaRecord>&)>&
+        fn) const {
+  index_.ScanAll([this, &fn](uint64_t key, const uint64_t&) {
+    std::vector<DeltaRecord> records;
+    Collect(key, &records);
+    fn(key, records);
+    return true;
+  });
+}
+
+void MemTable::CollectKeysInRange(uint64_t lo, uint64_t hi,
+                                  std::vector<uint64_t>* out) const {
+  index_.Scan(lo, hi, [out](uint64_t key, const uint64_t&) {
+    out->push_back(key);
+    return true;
+  });
+}
+
+void MemTable::ReleaseAll() {
+  index_.ScanAll([this](uint64_t, const uint64_t& head) {
+    uint64_t off = head;
+    while (off != 0) {
+      RecordHeader hdr;
+      device_->Read(off, &hdr, sizeof(hdr));
+      allocator_->Free(off);
+      off = hdr.next;
+    }
+    return true;
+  });
+  index_.Clear();
+  approx_bytes_ = 0;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/slice.h"
+#include "index/stx_btree.h"
+#include "lsm/delta.h"
+#include "nvm/pmem_allocator.h"
+
+namespace nvmdb {
+
+/// MemTable of the traditional Log engine (Section 3.3): per-key chains of
+/// delta records stored in allocator memory (instrumented, treated as
+/// volatile), indexed by a volatile B+tree. The NVM-Log engine has its own
+/// persistent twin (NvMemTable) in the engine module.
+///
+/// Record layout in NVM: u64 next, u8 kind, u8 pad[3], u32 len, payload.
+class MemTable {
+ public:
+  MemTable(PmemAllocator* allocator, size_t index_node_bytes);
+  ~MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Prepend a record to the key's chain. Returns the record offset.
+  uint64_t Push(uint64_t key, DeltaKind kind, const Slice& payload);
+
+  /// Remove the newest record of `key` if it is `record_off` (undo path).
+  bool PopNewest(uint64_t key, uint64_t record_off);
+
+  /// Collect the key's records newest-first.
+  void Collect(uint64_t key, std::vector<DeltaRecord>* out) const;
+  bool ContainsKey(uint64_t key) const;
+
+  /// Ordered iteration over all keys with their chains (flush/compaction).
+  void ForEachKey(const std::function<void(
+                      uint64_t, const std::vector<DeltaRecord>&)>& fn) const;
+
+  /// Keys in [lo, hi] (range-scan support).
+  void CollectKeysInRange(uint64_t lo, uint64_t hi,
+                          std::vector<uint64_t>* out) const;
+
+  /// Bytes of record payloads held (flush-threshold signal).
+  size_t ApproxBytes() const { return approx_bytes_; }
+  size_t KeyCount() const { return index_.size(); }
+
+  /// Free every record (table teardown / post-flush).
+  void ReleaseAll();
+
+ private:
+  struct RecordHeader {
+    uint64_t next;
+    uint8_t kind;
+    uint8_t pad[3];
+    uint32_t length;
+  };
+
+  PmemAllocator* allocator_;
+  NvmDevice* device_;
+  BTree<uint64_t, uint64_t> index_;  // key -> newest record offset
+  size_t approx_bytes_ = 0;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,166 @@
+#include "lsm/sstable.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace nvmdb {
+
+namespace {
+constexpr uint32_t kSsTableMagic = 0x5353544Cu;  // "SSTL"
+}
+
+SsTable::SsTable(Pmfs* fs, std::string file_name)
+    : fs_(fs), file_name_(std::move(file_name)) {}
+
+SsTable::~SsTable() {
+  if (fd_ >= 0) fs_->Close(fd_);
+}
+
+std::unique_ptr<SsTable> SsTable::Build(
+    Pmfs* fs, const std::string& file_name,
+    const std::vector<std::pair<uint64_t, DeltaRecord>>& entries) {
+  std::string body;
+  body.append(reinterpret_cast<const char*>(&kSsTableMagic), 4);
+  const uint32_t count = static_cast<uint32_t>(entries.size());
+  body.append(reinterpret_cast<const char*>(&count), 4);
+
+  BloomFilter bloom(entries.size());
+  for (const auto& [key, record] : entries) {
+    bloom.Add(key);
+    body.append(reinterpret_cast<const char*>(&key), 8);
+    body.push_back(static_cast<char>(record.kind));
+    const uint32_t len = static_cast<uint32_t>(record.payload.size());
+    body.append(reinterpret_cast<const char*>(&len), 4);
+    body.append(record.payload);
+  }
+  const uint64_t bloom_off = body.size();
+  const std::string bloom_bytes = bloom.Serialize();
+  body.append(bloom_bytes);
+  const uint32_t bloom_size = static_cast<uint32_t>(bloom_bytes.size());
+  const uint32_t crc = Crc32c(body.data(), bloom_off);
+  body.append(reinterpret_cast<const char*>(&bloom_off), 8);
+  body.append(reinterpret_cast<const char*>(&bloom_size), 4);
+  body.append(reinterpret_cast<const char*>(&crc), 4);
+
+  fs->Delete(file_name);
+  Pmfs::Fd fd = fs->Open(file_name, /*create=*/true, StorageTag::kTable);
+  if (fd < 0) return nullptr;
+  Status s = fs->Write(fd, 0, body.data(), body.size());
+  if (s.ok()) s = fs->Fsync(fd);
+  fs->Close(fd);
+  if (!s.ok()) return nullptr;
+  return Open(fs, file_name);
+}
+
+std::unique_ptr<SsTable> SsTable::Open(Pmfs* fs,
+                                       const std::string& file_name) {
+  std::unique_ptr<SsTable> table(new SsTable(fs, file_name));
+  table->fd_ = fs->Open(file_name, /*create=*/false);
+  if (table->fd_ < 0) return nullptr;
+  const uint64_t size = fs->Size(table->fd_);
+  if (size < 24) return nullptr;
+
+  // Footer.
+  uint8_t footer[16];
+  size_t got = 0;
+  fs->Read(table->fd_, size - 16, footer, 16, &got);
+  if (got != 16) return nullptr;
+  uint64_t bloom_off;
+  uint32_t bloom_size, crc;
+  memcpy(&bloom_off, footer, 8);
+  memcpy(&bloom_size, footer + 8, 4);
+  memcpy(&crc, footer + 12, 4);
+  if (bloom_off + bloom_size + 16 != size) return nullptr;
+
+  std::string bloom_bytes(bloom_size, '\0');
+  fs->Read(table->fd_, bloom_off, bloom_bytes.data(), bloom_size, &got);
+  table->bloom_ = std::make_unique<BloomFilter>(
+      BloomFilter::Deserialize(Slice(bloom_bytes)));
+
+  // Rebuild the key -> offset index by scanning entry headers.
+  std::string head(bloom_off, '\0');
+  fs->Read(table->fd_, 0, head.data(), bloom_off, &got);
+  if (got != bloom_off) return nullptr;
+  if (Crc32c(head.data(), head.size()) != crc) return nullptr;
+  uint32_t magic, count;
+  memcpy(&magic, head.data(), 4);
+  memcpy(&count, head.data() + 4, 4);
+  if (magic != kSsTableMagic) return nullptr;
+  uint64_t pos = 8;
+  for (uint32_t i = 0; i < count; i++) {
+    if (pos + 13 > bloom_off) return nullptr;
+    uint64_t key;
+    uint32_t len;
+    memcpy(&key, head.data() + pos, 8);
+    memcpy(&len, head.data() + pos + 9, 4);
+    table->index_[key] = {pos, len, static_cast<uint8_t>(head[pos + 8])};
+    pos += 13 + len;
+  }
+  return table;
+}
+
+bool SsTable::ReadEntry(const EntryRef& ref, DeltaRecord* out) const {
+  // One file read fetches the payload; kind/length come from the
+  // in-memory index (the paper's per-SSTable indexes).
+  out->kind = static_cast<DeltaKind>(ref.kind);
+  out->payload.resize(ref.length);
+  if (ref.length > 0) {
+    size_t got = 0;
+    fs_->Read(fd_, ref.offset + 13, out->payload.data(), ref.length, &got);
+    if (got != ref.length) return false;
+  }
+  return true;
+}
+
+bool SsTable::Get(uint64_t key, DeltaRecord* out) const {
+  if (bloom_ != nullptr && !bloom_->MayContain(key)) return false;
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  return ReadEntry(it->second, out);
+}
+
+void SsTable::CollectKeysInRange(uint64_t lo, uint64_t hi,
+                                 std::vector<uint64_t>* out) const {
+  for (auto it = index_.lower_bound(lo); it != index_.end() && it->first <= hi;
+       ++it) {
+    out->push_back(it->first);
+  }
+}
+
+void SsTable::ForEach(
+    const std::function<void(uint64_t, const DeltaRecord&)>& fn) const {
+  // Bulk sequential read (compaction-style I/O), then parse in memory —
+  // one kernel crossing instead of one per entry.
+  if (index_.empty()) return;
+  const uint64_t begin = index_.begin()->second.offset;
+  const auto& last = *index_.rbegin();
+  const uint64_t end = last.second.offset + 13 + last.second.length;
+  std::string body(end - begin, '\0');
+  size_t got = 0;
+  fs_->Read(fd_, begin, body.data(), body.size(), &got);
+  if (got != body.size()) return;
+  for (const auto& [key, ref] : index_) {
+    DeltaRecord record;
+    record.kind = static_cast<DeltaKind>(ref.kind);
+    record.payload.assign(body.data() + (ref.offset - begin) + 13,
+                          ref.length);
+    fn(key, record);
+  }
+}
+
+uint64_t SsTable::FileBytes() const { return fs_->Size(fd_); }
+
+void SsTable::Destroy() {
+  if (fd_ >= 0) {
+    fs_->Close(fd_);
+    fd_ = -1;
+  }
+  if (!destroyed_) {
+    fs_->Delete(file_name_);
+    destroyed_ = true;
+  }
+}
+
+}  // namespace nvmdb

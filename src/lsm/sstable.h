@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bloom_filter.h"
+#include "common/status.h"
+#include "lsm/delta.h"
+#include "nvm/pmfs.h"
+
+namespace nvmdb {
+
+/// Immutable sorted run on the filesystem (Section 3.3). Layout:
+///   u32 magic, u32 entry count,
+///   entries: { u64 key, u8 kind, u32 len, payload } sorted by key,
+///   bloom filter bytes,
+///   footer: u64 bloom offset, u32 bloom size, u32 crc(over entries)
+/// A per-table Bloom filter skips runs that cannot contain a key; the
+/// volatile key->offset index is rebuilt by a scan at open (the paper's
+/// Log engine rebuilds SSTable indexes during recovery).
+class SsTable {
+ public:
+  /// Build a new SSTable from entries sorted by key.
+  static std::unique_ptr<SsTable> Build(
+      Pmfs* fs, const std::string& file_name,
+      const std::vector<std::pair<uint64_t, DeltaRecord>>& entries);
+
+  /// Open an existing SSTable (rebuilds index + loads bloom).
+  static std::unique_ptr<SsTable> Open(Pmfs* fs,
+                                       const std::string& file_name);
+
+  ~SsTable();
+
+  /// Fetch the record for `key` if present. The bloom filter may skip the
+  /// lookup entirely.
+  bool Get(uint64_t key, DeltaRecord* out) const;
+
+  /// Keys in [lo, hi].
+  void CollectKeysInRange(uint64_t lo, uint64_t hi,
+                          std::vector<uint64_t>* out) const;
+
+  /// All entries in key order (compaction input).
+  void ForEach(
+      const std::function<void(uint64_t, const DeltaRecord&)>& fn) const;
+
+  const std::string& file_name() const { return file_name_; }
+  size_t entry_count() const { return index_.size(); }
+  uint64_t FileBytes() const;
+
+  /// Delete the backing file (after compaction).
+  void Destroy();
+
+ private:
+  struct EntryRef {
+    uint64_t offset;
+    uint32_t length;  // payload length
+    uint8_t kind;
+  };
+
+  SsTable(Pmfs* fs, std::string file_name);
+
+  bool ReadEntry(const EntryRef& ref, DeltaRecord* out) const;
+
+  Pmfs* fs_;
+  std::string file_name_;
+  Pmfs::Fd fd_ = -1;
+  std::map<uint64_t, EntryRef> index_;  // key -> entry location
+  std::unique_ptr<BloomFilter> bloom_;
+  bool destroyed_ = false;
+};
+
+}  // namespace nvmdb

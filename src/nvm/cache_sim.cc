@@ -1,0 +1,150 @@
+#include "nvm/cache_sim.h"
+
+#include <algorithm>
+
+namespace nvmdb {
+
+CacheSim::CacheSim(const CacheConfig& config, CacheCallbacks callbacks)
+    : config_(config), callbacks_(std::move(callbacks)) {
+  size_t num_lines =
+      std::max<size_t>(config_.associativity,
+                       config_.capacity_bytes / config_.line_size);
+  size_t num_sets = std::max<size_t>(1, num_lines / config_.associativity);
+  size_t num_banks = std::max<size_t>(1, std::min(config_.num_banks, num_sets));
+  sets_per_bank_ = num_sets / num_banks;
+  if (sets_per_bank_ == 0) sets_per_bank_ = 1;
+
+  banks_ = std::vector<Bank>(num_banks);
+  for (auto& bank : banks_) {
+    bank.sets.resize(sets_per_bank_);
+    for (auto& set : bank.sets) {
+      set.ways.resize(config_.associativity);
+    }
+  }
+}
+
+void CacheSim::Locate(uint64_t line_addr, size_t* bank, size_t* set) const {
+  const uint64_t line_index = line_addr / config_.line_size;
+  // Mix the index so adjacent lines spread across banks and sets; a plain
+  // modulo would pathologically collide for strided engine layouts.
+  uint64_t h = line_index * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  *bank = h % banks_.size();
+  *set = (h / banks_.size()) % sets_per_bank_;
+}
+
+size_t CacheSim::Access(uint64_t addr, size_t size, bool is_write) {
+  if (size == 0) return 0;
+  const size_t ls = config_.line_size;
+  const uint64_t first = addr / ls * ls;
+  const uint64_t last = (addr + size - 1) / ls * ls;
+  size_t missed = 0;
+
+  for (uint64_t line = first; line <= last; line += ls) {
+    size_t bank_idx, set_idx;
+    Locate(line, &bank_idx, &set_idx);
+    Bank& bank = banks_[bank_idx];
+    std::lock_guard<std::mutex> guard(bank.mu);
+    Set& set = bank.sets[set_idx];
+    const uint64_t tag = line;
+
+    Line* hit = nullptr;
+    Line* victim = &set.ways[0];
+    for (auto& way : set.ways) {
+      if (way.tag == tag) {
+        hit = &way;
+        break;
+      }
+      if (way.tag == kInvalidTag) {
+        victim = &way;  // prefer an empty way as victim
+      } else if (victim->tag != kInvalidTag &&
+                 way.lru_stamp < victim->lru_stamp) {
+        victim = &way;
+      }
+    }
+
+    if (hit != nullptr) {
+      hit->lru_stamp = ++bank.lru_clock;
+      if (is_write) hit->dirty = true;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    // Miss: evict the victim (write back if dirty), then fill.
+    missed++;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (victim->tag != kInvalidTag && victim->dirty) {
+      write_backs_.fetch_add(1, std::memory_order_relaxed);
+      if (callbacks_.write_back) callbacks_.write_back(victim->tag, ls);
+    }
+    if (callbacks_.fill) callbacks_.fill(line, ls);
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lru_stamp = ++bank.lru_clock;
+  }
+  return missed;
+}
+
+size_t CacheSim::FlushRange(uint64_t addr, size_t size, bool invalidate) {
+  if (size == 0) return 0;
+  const size_t ls = config_.line_size;
+  const uint64_t first = addr / ls * ls;
+  const uint64_t last = (addr + size - 1) / ls * ls;
+  size_t flushed = 0;
+
+  for (uint64_t line = first; line <= last; line += ls) {
+    size_t bank_idx, set_idx;
+    Locate(line, &bank_idx, &set_idx);
+    Bank& bank = banks_[bank_idx];
+    std::lock_guard<std::mutex> guard(bank.mu);
+    Set& set = bank.sets[set_idx];
+    for (auto& way : set.ways) {
+      if (way.tag != line) continue;
+      if (way.dirty) {
+        flushed++;
+        write_backs_.fetch_add(1, std::memory_order_relaxed);
+        if (callbacks_.write_back) callbacks_.write_back(way.tag, ls);
+        way.dirty = false;
+      }
+      if (invalidate) way.tag = kInvalidTag;
+      break;
+    }
+  }
+  return flushed;
+}
+
+size_t CacheSim::WriteBackAll() {
+  size_t flushed = 0;
+  for (auto& bank : banks_) {
+    std::lock_guard<std::mutex> guard(bank.mu);
+    for (auto& set : bank.sets) {
+      for (auto& way : set.ways) {
+        if (way.tag != kInvalidTag && way.dirty) {
+          flushed++;
+          write_backs_.fetch_add(1, std::memory_order_relaxed);
+          if (callbacks_.write_back) {
+            callbacks_.write_back(way.tag, config_.line_size);
+          }
+          way.dirty = false;
+        }
+      }
+    }
+  }
+  return flushed;
+}
+
+void CacheSim::DropDirty() {
+  for (auto& bank : banks_) {
+    std::lock_guard<std::mutex> guard(bank.mu);
+    for (auto& set : bank.sets) {
+      for (auto& way : set.ways) {
+        way.tag = kInvalidTag;
+        way.dirty = false;
+        way.lru_stamp = 0;
+      }
+    }
+    bank.lru_clock = 0;
+  }
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace nvmdb {
+
+/// Configuration for the simulated CPU cache in front of NVM.
+/// Defaults model the L3 of the paper's Intel Xeon E5-4620 testbed
+/// (20 MB, 64 B lines).
+struct CacheConfig {
+  size_t capacity_bytes = 20ull * 1024 * 1024;
+  size_t line_size = 64;
+  size_t associativity = 16;
+  size_t num_banks = 16;  // lock striping for multi-threaded access
+};
+
+/// Events the cache raises toward the owning device.
+struct CacheCallbacks {
+  /// A dirty line is being written back to NVM (eviction, flush, or
+  /// writeback-all). `line_addr` is the region offset of the line start.
+  std::function<void(uint64_t line_addr, size_t line_size)> write_back;
+  /// A line is being filled from NVM (miss).
+  std::function<void(uint64_t line_addr, size_t line_size)> fill;
+};
+
+/// Set-associative write-back, write-allocate cache simulator.
+///
+/// This is the substitute for the microcode-level latency injection in the
+/// Intel Labs hardware emulator: every instrumented access to the NVM
+/// region passes through this model. Misses correspond to NVM *loads* and
+/// dirty write-backs to NVM *stores* — the same counters the paper reads
+/// via `perf` (Section 5.3). A crash (`DropDirty`) discards dirty lines,
+/// which is how data that was never flushed gets lost.
+class CacheSim {
+ public:
+  CacheSim(const CacheConfig& config, CacheCallbacks callbacks);
+
+  /// Touch [addr, addr+size). Returns the number of missed lines.
+  /// Write hits mark lines dirty; write misses allocate.
+  size_t Access(uint64_t addr, size_t size, bool is_write);
+
+  /// CLFLUSH/CLWB semantics over [addr, addr+size): dirty lines are written
+  /// back; when `invalidate` is true (CLFLUSH) the lines are also evicted,
+  /// otherwise (CLWB) they stay resident in clean state.
+  /// Returns the number of lines actually written back.
+  size_t FlushRange(uint64_t addr, size_t size, bool invalidate);
+
+  /// Write back every dirty line (used by e.g. full-device sync in tests).
+  size_t WriteBackAll();
+
+  /// Power failure: all cached state vanishes; dirty lines are NOT written
+  /// back — their contents are lost.
+  void DropDirty();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t write_backs() const { return write_backs_; }
+
+  size_t line_size() const { return config_.line_size; }
+
+ private:
+  struct Line {
+    uint64_t tag = kInvalidTag;
+    uint64_t lru_stamp = 0;
+    bool dirty = false;
+  };
+
+  struct Set {
+    std::vector<Line> ways;
+  };
+
+  struct Bank {
+    std::mutex mu;
+    std::vector<Set> sets;
+    uint64_t lru_clock = 0;
+  };
+
+  static constexpr uint64_t kInvalidTag = ~0ull;
+
+  // Returns (bank index, set index within bank) for a line address.
+  void Locate(uint64_t line_addr, size_t* bank, size_t* set) const;
+
+  CacheConfig config_;
+  CacheCallbacks callbacks_;
+  std::vector<Bank> banks_;
+  size_t sets_per_bank_;
+
+  // Statistics are approximate under concurrency (relaxed atomics would be
+  // fine too; plain counters guarded per-bank then aggregated would cost
+  // more than the fidelity is worth).
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> write_backs_{0};
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,241 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nvm/cache_sim.h"
+
+namespace nvmdb {
+
+/// Latency/bandwidth profile of the emulated NVM device. The paper's
+/// hardware emulator exposes exactly these knobs (Section 2.2): a tunable
+/// read latency (as a multiple of the 160 ns DRAM latency) and a throttled
+/// sustainable write bandwidth.
+struct NvmLatencyConfig {
+  /// Simulated cost of a cache-line miss served from the device.
+  uint64_t read_latency_ns = 160;
+  /// Baseline DRAM latency (the 1x point of the paper's sweep).
+  uint64_t dram_latency_ns = 160;
+  /// Simulated cost of a cache-line hit (amortized L1/L2/L3). Throughput
+  /// is computed from simulated time, so hits must carry a cost or
+  /// cache-resident work would be free.
+  uint64_t cache_hit_ns = 3;
+  /// Sustainable write bandwidth; each line written back to NVM is charged
+  /// line_size / bandwidth.
+  double write_bandwidth_gbps = 76.0;  // platform DRAM bandwidth
+  /// Latency of one sync-primitive invocation (CLFLUSH+SFENCE by default;
+  /// Appendix C sweeps this from 10 ns to 10000 ns for PCOMMIT/CLWB).
+  uint64_t sync_latency_ns = 100;
+  /// If true, model CLWB (line stays cached, clean) instead of CLFLUSH
+  /// (line invalidated) in the sync primitive.
+  bool use_clwb = false;
+
+  /// Paper's three profiles (Section 5.2).
+  static NvmLatencyConfig Dram();     // 1x (160 ns), full bandwidth
+  static NvmLatencyConfig LowNvm();   // 2x (320 ns), 9.5 GB/s
+  static NvmLatencyConfig HighNvm();  // 8x (1280 ns), 9.5 GB/s
+};
+
+/// Wear statistics over the device's cache lines. NVM cells endure a
+/// bounded number of writes (Table 1: 10^8–10^10 for PCM/RRAM), so both
+/// the total write volume and its *distribution* matter: a hot line wears
+/// out first. The allocator's rotating placement and the engines' reduced
+/// data duplication both show up here (the paper's headline "reducing
+/// wear due to write operations by up to 2x").
+struct WearStats {
+  uint64_t total_line_writes = 0;  // sum over all lines
+  uint64_t lines_touched = 0;      // lines written at least once
+  uint64_t max_line_writes = 0;    // hottest line
+  double mean_line_writes = 0;     // over touched lines
+  /// Ratio max/mean over touched lines: 1.0 = perfectly even wear.
+  double hotspot_factor = 0;
+};
+
+/// Counter snapshot mirroring the perf counters the paper reads.
+struct NvmCounters {
+  uint64_t loads = 0;        // cache-line fills from NVM
+  uint64_t stores = 0;       // dirty-line write-backs to NVM
+  uint64_t hits = 0;         // cache-line hits
+  uint64_t stall_ns = 0;     // accumulated simulated time
+  uint64_t external_ns = 0;  // profile-independent charges (VFS, fsync)
+  uint64_t sync_calls = 0;   // sync primitive invocations
+  uint64_t bytes_read = 0;   // loads * line
+  uint64_t bytes_written = 0;
+};
+
+/// Software stand-in for the Intel Labs NVM hardware emulator.
+///
+/// The device owns a byte region with *two* images:
+///   - the working image: what the CPU sees; all reads/writes hit it
+///     immediately (this is "NVM as seen through the cache hierarchy"),
+///   - the durable image: what survives power failure; a cache line reaches
+///     it only when the simulated CPU cache writes it back (eviction, sync
+///     primitive, fsync).
+///
+/// `Crash()` discards the caches and replaces the working image with the
+/// durable one, so recovery code observes exactly the bytes that were made
+/// durable — torn multi-line writes and lost unflushed updates included.
+class NvmDevice {
+ public:
+  NvmDevice(size_t capacity, const NvmLatencyConfig& latency = {},
+            const CacheConfig& cache = {});
+  ~NvmDevice();
+
+  NvmDevice(const NvmDevice&) = delete;
+  NvmDevice& operator=(const NvmDevice&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  uint8_t* base() { return working_.get(); }
+
+  /// Translate between raw pointers into the working image and stable
+  /// region offsets (the representation of non-volatile pointers).
+  uint64_t OffsetOf(const void* p) const {
+    return static_cast<uint64_t>(static_cast<const uint8_t*>(p) -
+                                 working_.get());
+  }
+  void* PtrAt(uint64_t offset) { return working_.get() + offset; }
+  const void* PtrAt(uint64_t offset) const { return working_.get() + offset; }
+  bool Contains(const void* p) const {
+    return p >= working_.get() && p < working_.get() + capacity_;
+  }
+
+  // --- Instrumented access path -------------------------------------------
+  // All storage-engine traffic to NVM must use these so the cache model can
+  // count loads/stores and charge stalls.
+
+  /// Read n bytes at `offset` into `dst`.
+  void Read(uint64_t offset, void* dst, size_t n);
+  /// Write n bytes from `src` at `offset` (volatile until persisted).
+  void Write(uint64_t offset, const void* src, size_t n);
+  /// Model a read access to memory already mapped at `p` (no copy).
+  void TouchRead(const void* p, size_t n);
+  /// Model a write access to memory already mapped at `p` (no copy).
+  void TouchWrite(const void* p, size_t n);
+
+  /// Model an access to engine memory that is *not* inside the managed
+  /// region (volatile B+tree nodes, page caches, MemTable indexes…). In
+  /// the paper's NVM-only hierarchy this memory is NVM obtained through
+  /// the allocator interface and used as if it were DRAM, so it must pass
+  /// through the same CPU-cache model: misses are NVM loads, dirty
+  /// evictions NVM stores. The raw pointer value doubles as the cache
+  /// address (heap addresses never collide with region offsets).
+  void TouchVirtual(const void* p, size_t n, bool is_write);
+
+  /// The sync primitive (Section 2.3): flush the covered cache lines and
+  /// fence. After this returns, [offset, offset+n) is durable.
+  void Persist(uint64_t offset, size_t n);
+  void Persist(const void* p, size_t n) { Persist(OffsetOf(p), n); }
+
+  /// 8-byte atomic durable write — the primitive engines rely on for master
+  /// records and WAL list heads. The value is durable upon return and can
+  /// never be torn across a crash.
+  void AtomicPersistWrite64(uint64_t offset, uint64_t value);
+
+  // --- Crash / restart -----------------------------------------------------
+
+  /// Simulate power failure: every byte not yet written back is lost.
+  void Crash();
+
+  /// Write back the entire cache (a clean shutdown).
+  void FlushAll();
+
+  // --- Accounting -----------------------------------------------------------
+
+  NvmCounters counters() const;
+  void ResetCounters();
+
+  /// Per-line wear accounting (writes that actually reached the device,
+  /// i.e. write-backs into the managed region).
+  WearStats wear() const;
+
+  /// Total simulated time across all threads, in nanoseconds: cache
+  /// hits/misses, write-backs, sync primitives and VFS crossings. The
+  /// testbed reports throughput from this simulated clock (divided by the
+  /// worker count), which makes results deterministic and driven entirely
+  /// by the modeled NVM costs rather than host-machine speed.
+  uint64_t TotalStallNanos() const {
+    return stall_ns_.load(std::memory_order_relaxed);
+  }
+
+  const NvmLatencyConfig& latency_config() const { return latency_; }
+  void set_latency_config(const NvmLatencyConfig& cfg) { latency_ = cfg; }
+
+  /// Charge additional simulated time that does not depend on the NVM
+  /// latency profile (VFS/syscall crossings, fsync bookkeeping).
+  void ChargeExternalStall(uint64_t ns) {
+    external_ns_.fetch_add(ns, std::memory_order_relaxed);
+    ChargeStall(ns);
+  }
+
+  /// Bytes of the region handed out by the allocator/pmfs; maintained by
+  /// those components for footprint reporting.
+  std::atomic<uint64_t> allocated_bytes{0};
+
+ private:
+  void ChargeStall(uint64_t ns) {
+    stall_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  /// Run the cache model over [addr, addr+n) and charge hit/miss costs.
+  void ChargeAccess(uint64_t addr, size_t n, bool is_write);
+  uint64_t StoreCostNs() const;
+
+  size_t capacity_;
+  std::unique_ptr<uint8_t[]> working_;
+  std::unique_ptr<uint8_t[]> durable_;
+  std::unique_ptr<std::atomic<uint32_t>[]> line_writes_;  // wear per line
+  NvmLatencyConfig latency_;
+  std::unique_ptr<CacheSim> cache_;
+
+  std::atomic<uint64_t> stall_ns_{0};
+  std::atomic<uint64_t> external_ns_{0};
+  std::atomic<uint64_t> sync_calls_{0};
+};
+
+/// Process-wide "current device" used by non-volatile pointers so that
+/// persistent data structures don't need to thread a device argument
+/// through every node access. Tests and benches set this per scenario.
+class NvmEnv {
+ public:
+  static NvmDevice* Get();
+  static void Set(NvmDevice* device);
+};
+
+/// Offset-based non-volatile pointer (Section 2.3's naming mechanism plus
+/// SOFORT-style raw persistent pointers). An offset is valid across OS and
+/// DBMS restarts because the allocator always maps the region at the same
+/// virtual base — here, offsets are resolved against the current device.
+template <typename T>
+class NvmPtr {
+ public:
+  NvmPtr() : offset_(kNull) {}
+  explicit NvmPtr(uint64_t offset) : offset_(offset) {}
+
+  static NvmPtr FromRaw(const T* p) {
+    if (p == nullptr) return NvmPtr();
+    return NvmPtr(NvmEnv::Get()->OffsetOf(p));
+  }
+
+  bool IsNull() const { return offset_ == kNull; }
+  uint64_t offset() const { return offset_; }
+
+  T* get() const {
+    if (IsNull()) return nullptr;
+    return reinterpret_cast<T*>(NvmEnv::Get()->PtrAt(offset_));
+  }
+  T* operator->() const { return get(); }
+  T& operator*() const { return *get(); }
+  explicit operator bool() const { return !IsNull(); }
+
+  bool operator==(const NvmPtr& o) const { return offset_ == o.offset_; }
+  bool operator!=(const NvmPtr& o) const { return offset_ != o.offset_; }
+
+ private:
+  static constexpr uint64_t kNull = ~0ull;
+  uint64_t offset_;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,26 @@
+#include "nvm/sync.h"
+
+namespace nvmdb {
+
+void PmemPersist(NvmDevice* device, const void* p, size_t n) {
+  device->Persist(p, n);
+}
+
+void PmemPersist(NvmDevice* device, uint64_t offset, size_t n) {
+  device->Persist(offset, n);
+}
+
+ScopedSyncLatency::ScopedSyncLatency(NvmDevice* device,
+                                     uint64_t sync_latency_ns, bool use_clwb)
+    : device_(device), saved_(device->latency_config()) {
+  NvmLatencyConfig cfg = saved_;
+  cfg.sync_latency_ns = sync_latency_ns;
+  cfg.use_clwb = use_clwb;
+  device_->set_latency_config(cfg);
+}
+
+ScopedSyncLatency::~ScopedSyncLatency() {
+  device_->set_latency_config(saved_);
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "nvm/nvm_device.h"
+
+namespace nvmdb {
+
+/// Convenience wrappers around the device sync primitive, mirroring the
+/// libpmem-style API the paper's allocator exposes (Section 2.3): write
+/// back the covered cache lines (CLFLUSH / CLWB) and fence (SFENCE /
+/// PCOMMIT). After `PmemPersist` returns, the range is durable.
+void PmemPersist(NvmDevice* device, const void* p, size_t n);
+void PmemPersist(NvmDevice* device, uint64_t offset, size_t n);
+
+/// RAII override of the sync-primitive latency on a device; used by the
+/// Appendix C sweep (Fig. 16) to model PCOMMIT/CLWB costs from 10 ns to
+/// 10000 ns.
+class ScopedSyncLatency {
+ public:
+  ScopedSyncLatency(NvmDevice* device, uint64_t sync_latency_ns,
+                    bool use_clwb = false);
+  ~ScopedSyncLatency();
+
+  ScopedSyncLatency(const ScopedSyncLatency&) = delete;
+  ScopedSyncLatency& operator=(const ScopedSyncLatency&) = delete;
+
+ private:
+  NvmDevice* device_;
+  NvmLatencyConfig saved_;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,111 @@
+#include "testbed/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace nvmdb {
+
+RunResult Coordinator::Run(const std::vector<std::vector<TxnTask>>& queues) {
+  assert(queues.size() == db_->num_partitions());
+  RunResult result;
+  std::atomic<uint64_t> committed{0}, aborted{0};
+
+  const uint64_t stall_before = db_->device()->TotalStallNanos();
+  Stopwatch watch;
+
+  std::vector<std::thread> workers;
+  workers.reserve(queues.size());
+  for (size_t p = 0; p < queues.size(); p++) {
+    workers.emplace_back([this, p, &queues, &committed, &aborted]() {
+      StorageEngine* engine = db_->partition(p);
+      uint64_t local_committed = 0, local_aborted = 0;
+      for (const TxnTask& task : queues[p]) {
+        const uint64_t txn_id = engine->Begin();
+        if (task.body(engine, txn_id)) {
+          engine->Commit(txn_id);
+          local_committed++;
+        } else {
+          engine->Abort(txn_id);
+          local_aborted++;
+        }
+      }
+      committed.fetch_add(local_committed, std::memory_order_relaxed);
+      aborted.fetch_add(local_aborted, std::memory_order_relaxed);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  result.wall_ns = watch.ElapsedNanos();
+  result.stall_ns = db_->device()->TotalStallNanos() - stall_before;
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  return result;
+}
+
+RunResult Coordinator::RunSerial(size_t partition,
+                                 const std::vector<TxnTask>& queue) {
+  RunResult result;
+  NvmDevice* device = db_->device();
+  const uint64_t stall_before = device->TotalStallNanos();
+  Stopwatch watch;
+  StorageEngine* engine = db_->partition(partition);
+
+  // Response-latency tracking: a transaction's response time runs from
+  // Begin() until LastDurableTxn() covers it — for group-committing
+  // engines that is when the group is forced, not when Commit() returns.
+  std::vector<std::pair<uint64_t, uint64_t>> pending;  // txn id, start
+  std::vector<uint64_t> latencies;
+  latencies.reserve(queue.size());
+  auto drain_durable = [&]() {
+    const uint64_t durable = engine->LastDurableTxn();
+    const uint64_t now = device->TotalStallNanos();
+    size_t kept = 0;
+    for (auto& [txn, start] : pending) {
+      if (txn <= durable) {
+        latencies.push_back(now - start);
+      } else {
+        pending[kept++] = {txn, start};
+      }
+    }
+    pending.resize(kept);
+  };
+
+  for (const TxnTask& task : queue) {
+    const uint64_t start = device->TotalStallNanos();
+    const uint64_t txn_id = engine->Begin();
+    if (task.body(engine, txn_id)) {
+      engine->Commit(txn_id);
+      result.committed++;
+      pending.emplace_back(txn_id, start);
+      drain_durable();
+    } else {
+      engine->Abort(txn_id);
+      result.aborted++;
+    }
+  }
+  // Force the tail group so every committed txn gets a response time.
+  engine->Checkpoint();
+  drain_durable();
+
+  result.wall_ns = watch.ElapsedNanos();
+  result.stall_ns = device->TotalStallNanos() - stall_before;
+
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    uint64_t sum = 0;
+    for (uint64_t v : latencies) sum += v;
+    result.latency.count = latencies.size();
+    result.latency.mean_ns =
+        static_cast<double>(sum) / static_cast<double>(latencies.size());
+    result.latency.p50_ns = latencies[latencies.size() / 2];
+    result.latency.p95_ns = latencies[latencies.size() * 95 / 100];
+    result.latency.p99_ns = latencies[latencies.size() * 99 / 100];
+  }
+  return result;
+}
+
+}  // namespace nvmdb

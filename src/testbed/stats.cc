@@ -1,0 +1,41 @@
+#include "testbed/stats.h"
+
+#include <cstdio>
+
+namespace nvmdb {
+
+std::string FormatBreakdown(const EngineTimeBreakdown& breakdown) {
+  const uint64_t total = breakdown.total();
+  if (total == 0) return "storage 0% recovery 0% index 0% other 0%";
+  char buf[128];
+  const char* names[] = {"storage", "recovery", "index", "other"};
+  std::string out;
+  for (size_t i = 0; i < 4; i++) {
+    snprintf(buf, sizeof(buf), "%s %.1f%%%s", names[i],
+             100.0 * static_cast<double>(breakdown.ns[i]) /
+                 static_cast<double>(total),
+             i == 3 ? "" : " ");
+    out += buf;
+  }
+  return out;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1ull << 30) {
+    snprintf(buf, sizeof(buf), "%.2f GB",
+             static_cast<double>(bytes) / (1ull << 30));
+  } else if (bytes >= 1ull << 20) {
+    snprintf(buf, sizeof(buf), "%.2f MB",
+             static_cast<double>(bytes) / (1ull << 20));
+  } else if (bytes >= 1ull << 10) {
+    snprintf(buf, sizeof(buf), "%.2f KB",
+             static_cast<double>(bytes) / (1ull << 10));
+  } else {
+    snprintf(buf, sizeof(buf), "%llu B",
+             static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace nvmdb

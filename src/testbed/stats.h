@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/storage_engine.h"
+#include "nvm/nvm_device.h"
+
+namespace nvmdb {
+
+/// Delta of device counters between two points in time (the perf-counter
+/// sampling the paper does per experiment, Section 5.3).
+struct CounterDelta {
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t hits = 0;
+  uint64_t sync_calls = 0;
+  uint64_t external_ns = 0;
+};
+
+class CounterSampler {
+ public:
+  explicit CounterSampler(NvmDevice* device)
+      : device_(device), start_(device->counters()) {}
+
+  CounterDelta Delta() const {
+    const NvmCounters now = device_->counters();
+    CounterDelta d;
+    d.loads = now.loads - start_.loads;
+    d.stores = now.stores - start_.stores;
+    d.hits = now.hits - start_.hits;
+    d.sync_calls = now.sync_calls - start_.sync_calls;
+    d.external_ns = now.external_ns - start_.external_ns;
+    return d;
+  }
+
+ private:
+  NvmDevice* device_;
+  NvmCounters start_;
+};
+
+/// Render a Fig. 13-style percentage breakdown.
+std::string FormatBreakdown(const EngineTimeBreakdown& breakdown);
+
+/// Human-readable byte count (e.g. "1.5 GB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace nvmdb

@@ -1,0 +1,779 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+#include <set>
+
+namespace nvmdb {
+
+namespace {
+
+// Column indexes used by transactions (kept in sync with MakeTableDefs).
+// WAREHOUSE
+constexpr size_t kWName = 2, kWTax = 8, kWYtd = 9;
+// DISTRICT
+constexpr size_t kDTax = 9, kDYtd = 10, kDNextOid = 11;
+// CUSTOMER
+constexpr size_t kCWid = 1, kCDid = 2, kCId = 3, kCFirst = 4, kCMiddle = 5,
+                 kCLast = 6, kCCredit = 14, kCDiscount = 16, kCBalance = 17,
+                 kCYtdPayment = 18, kCPaymentCnt = 19, kCDeliveryCnt = 20,
+                 kCData = 21;
+// ORDERS
+constexpr size_t kOWid = 1, kODid = 2, kOOid = 3, kOCid = 4, kOCarrier = 6,
+                 kOOlCnt = 7;
+// ORDER_LINE
+constexpr size_t kOlOid = 3, kOlIid = 5, kOlDeliveryD = 7, kOlQuantity = 8,
+                 kOlAmount = 9;
+// NEW_ORDER
+constexpr size_t kNoOid = 1;
+// ITEM
+constexpr size_t kIPrice = 4, kIData = 5;
+// STOCK
+constexpr size_t kSQuantity = 3, kSYtd = 5, kSOrderCnt = 6, kSData = 8;
+
+// TPC-C NURand constant values.
+uint64_t NuRand(Random* rng, uint64_t a, uint64_t x, uint64_t y) {
+  const uint64_t c = 42 % (a + 1);
+  return ((((rng->Range(0, a) | rng->Range(x, y)) + c) % (y - x + 1)) + x);
+}
+
+const char* kSyllables[] = {"BAR", "OUGHT", "ABLE",  "PRI",   "PRES",
+                            "ESE", "ANTI",  "CALLY", "ATION", "EING"};
+
+}  // namespace
+
+std::string TpccWorkload::LastName(uint64_t num) {
+  return std::string(kSyllables[(num / 100) % 10]) +
+         kSyllables[(num / 10) % 10] + kSyllables[num % 10];
+}
+
+std::vector<TableDef> TpccWorkload::MakeTableDefs() {
+  std::vector<TableDef> defs;
+  auto u64 = [](const char* name) {
+    return Column{name, ColumnType::kUInt64, 8};
+  };
+  auto dbl = [](const char* name) {
+    return Column{name, ColumnType::kDouble, 8};
+  };
+  auto str = [](const char* name, uint32_t len) {
+    return Column{name, ColumnType::kVarchar, len};
+  };
+
+  {
+    TableDef def;
+    def.table_id = kWarehouse;
+    def.name = "warehouse";
+    def.schema = Schema({u64("w_pk"), u64("w_id"), str("w_name", 10),
+                         str("w_street_1", 20), str("w_city", 20),
+                         str("w_state", 2), str("w_zip", 9), str("w_pad", 9),
+                         dbl("w_tax"), dbl("w_ytd")});
+    defs.push_back(def);
+  }
+  {
+    TableDef def;
+    def.table_id = kDistrict;
+    def.name = "district";
+    def.schema = Schema({u64("d_pk"), u64("d_w_id"), u64("d_id"),
+                         str("d_name", 10), str("d_street_1", 20),
+                         str("d_city", 20), str("d_state", 2),
+                         str("d_zip", 9), str("d_pad", 9), dbl("d_tax"),
+                         dbl("d_ytd"), u64("d_next_o_id")});
+    defs.push_back(def);
+  }
+  {
+    TableDef def;
+    def.table_id = kCustomer;
+    def.name = "customer";
+    def.schema = Schema(
+        {u64("c_pk"), u64("c_w_id"), u64("c_d_id"), u64("c_id"),
+         str("c_first", 16), str("c_middle", 2), str("c_last", 16),
+         str("c_street_1", 20), str("c_street_2", 20), str("c_city", 20),
+         str("c_state", 2), str("c_zip", 9), str("c_phone", 16),
+         u64("c_since"), str("c_credit", 2), dbl("c_credit_lim"),
+         dbl("c_discount"), dbl("c_balance"), dbl("c_ytd_payment"),
+         u64("c_payment_cnt"), u64("c_delivery_cnt"), str("c_data", 250)});
+    SecondaryIndexDef by_name;
+    by_name.index_id = kCustomerByName;
+    by_name.key_columns = {kCWid, kCDid, kCLast};
+    def.secondary_indexes.push_back(by_name);
+    defs.push_back(def);
+  }
+  {
+    TableDef def;
+    def.table_id = kHistory;
+    def.name = "history";
+    def.schema = Schema({u64("h_pk"), u64("h_c_id"), u64("h_c_d_id"),
+                         u64("h_c_w_id"), u64("h_d_id"), u64("h_w_id"),
+                         u64("h_date"), dbl("h_amount"), str("h_data", 24)});
+    defs.push_back(def);
+  }
+  {
+    TableDef def;
+    def.table_id = kNewOrder;
+    def.name = "new_order";
+    def.schema = Schema(
+        {u64("no_pk"), u64("no_o_id"), u64("no_d_id"), u64("no_w_id")});
+    defs.push_back(def);
+  }
+  {
+    TableDef def;
+    def.table_id = kOrders;
+    def.name = "orders";
+    def.schema =
+        Schema({u64("o_pk"), u64("o_w_id"), u64("o_d_id"), u64("o_id"),
+                u64("o_c_id"), u64("o_entry_d"), u64("o_carrier_id"),
+                u64("o_ol_cnt"), u64("o_all_local")});
+    SecondaryIndexDef by_customer;
+    by_customer.index_id = kOrdersByCustomer;
+    by_customer.key_columns = {kOWid, kODid, kOCid};
+    def.secondary_indexes.push_back(by_customer);
+    defs.push_back(def);
+  }
+  {
+    TableDef def;
+    def.table_id = kOrderLine;
+    def.name = "order_line";
+    def.schema = Schema({u64("ol_pk"), u64("ol_w_id"), u64("ol_d_id"),
+                         u64("ol_o_id"), u64("ol_number"), u64("ol_i_id"),
+                         u64("ol_supply_w_id"), u64("ol_delivery_d"),
+                         u64("ol_quantity"), dbl("ol_amount"),
+                         str("ol_dist_info", 24)});
+    defs.push_back(def);
+  }
+  {
+    TableDef def;
+    def.table_id = kItem;
+    def.name = "item";
+    def.schema = Schema({u64("i_pk"), u64("i_id"), u64("i_im_id"),
+                         str("i_name", 24), dbl("i_price"),
+                         str("i_data", 50)});
+    defs.push_back(def);
+  }
+  {
+    TableDef def;
+    def.table_id = kStock;
+    def.name = "stock";
+    def.schema = Schema({u64("s_pk"), u64("s_w_id"), u64("s_i_id"),
+                         u64("s_quantity"), str("s_dist", 24), u64("s_ytd"),
+                         u64("s_order_cnt"), u64("s_remote_cnt"),
+                         str("s_data", 50)});
+    defs.push_back(def);
+  }
+  return defs;
+}
+
+Status TpccWorkload::Load(Database* db) {
+  const std::vector<TableDef> defs = MakeTableDefs();
+  for (const TableDef& def : defs) {
+    Status s = db->CreateTable(def);
+    if (!s.ok()) return s;
+  }
+  const Schema* w_schema = &defs[0].schema;
+  const Schema* d_schema = &defs[1].schema;
+  const Schema* c_schema = &defs[2].schema;
+  const Schema* no_schema = &defs[4].schema;
+  const Schema* o_schema = &defs[5].schema;
+  const Schema* ol_schema = &defs[6].schema;
+  const Schema* i_schema = &defs[7].schema;
+  const Schema* s_schema = &defs[8].schema;
+
+  for (size_t p = 0; p < config_.num_warehouses; p++) {
+    StorageEngine* engine = db->partition(p % db->num_partitions());
+    Random rng(config_.seed * 131 + p);
+    const uint64_t w = p + 1;
+    uint64_t txn = engine->Begin();
+    uint64_t ops = 0;
+    auto maybe_commit = [&]() {
+      if (++ops >= 256) {
+        engine->Commit(txn);
+        txn = engine->Begin();
+        ops = 0;
+      }
+    };
+    auto insert = [&](uint32_t table, const Tuple& t) -> Status {
+      Status s = engine->Insert(txn, table, t);
+      if (s.ok()) maybe_commit();
+      return s;
+    };
+
+    // Warehouse.
+    {
+      Tuple t(w_schema);
+      t.SetU64(0, WKey(w));
+      t.SetU64(1, w);
+      t.SetString(kWName, rng.String(8));
+      t.SetString(3, rng.String(16));
+      t.SetString(4, rng.String(12));
+      t.SetString(5, rng.String(2));
+      t.SetString(6, rng.String(9));
+      t.SetString(7, rng.String(9));
+      t.SetDouble(kWTax, static_cast<double>(rng.Uniform(2000)) / 10000.0);
+      t.SetDouble(kWYtd, 300000.0);
+      Status s = insert(kWarehouse, t);
+      if (!s.ok()) return s;
+    }
+
+    // Items + stock (items replicated per partition so all transactions
+    // stay single-partition, the paper's partitioning discipline).
+    for (uint64_t i = 1; i <= config_.items; i++) {
+      Tuple t(i_schema);
+      t.SetU64(0, IKey(i));
+      t.SetU64(1, i);
+      t.SetU64(2, rng.Range(1, 10000));
+      t.SetString(3, rng.String(16));
+      t.SetDouble(kIPrice, 1.0 + static_cast<double>(rng.Uniform(9900)) / 100.0);
+      t.SetString(kIData, rng.String(32));
+      Status s = insert(kItem, t);
+      if (!s.ok()) return s;
+
+      Tuple st(s_schema);
+      st.SetU64(0, SKey(w, i));
+      st.SetU64(1, w);
+      st.SetU64(2, i);
+      st.SetU64(kSQuantity, rng.Range(10, 100));
+      st.SetString(4, rng.String(24));
+      st.SetU64(kSYtd, 0);
+      st.SetU64(kSOrderCnt, 0);
+      st.SetU64(7, 0);
+      st.SetString(kSData, rng.String(32));
+      s = insert(kStock, st);
+      if (!s.ok()) return s;
+    }
+
+    // Districts, customers, initial orders.
+    for (uint64_t d = 1; d <= config_.districts_per_warehouse; d++) {
+      Tuple t(d_schema);
+      t.SetU64(0, DKey(w, d));
+      t.SetU64(1, w);
+      t.SetU64(2, d);
+      t.SetString(3, rng.String(8));
+      t.SetString(4, rng.String(16));
+      t.SetString(5, rng.String(12));
+      t.SetString(6, rng.String(2));
+      t.SetString(7, rng.String(9));
+      t.SetString(8, rng.String(9));
+      t.SetDouble(kDTax, static_cast<double>(rng.Uniform(2000)) / 10000.0);
+      t.SetDouble(kDYtd, 30000.0);
+      t.SetU64(kDNextOid, config_.initial_orders_per_district + 1);
+      Status s = insert(kDistrict, t);
+      if (!s.ok()) return s;
+
+      for (uint64_t c = 1; c <= config_.customers_per_district; c++) {
+        Tuple ct(c_schema);
+        ct.SetU64(0, CKey(w, d, c));
+        ct.SetU64(kCWid, w);
+        ct.SetU64(kCDid, d);
+        ct.SetU64(kCId, c);
+        ct.SetString(kCFirst, rng.String(12));
+        ct.SetString(kCMiddle, "OE");
+        ct.SetString(kCLast,
+                     LastName(c <= 1000 ? c - 1 : NuRand(&rng, 255, 0, 999)));
+        ct.SetString(7, rng.String(16));
+        ct.SetString(8, rng.String(16));
+        ct.SetString(9, rng.String(12));
+        ct.SetString(10, rng.String(2));
+        ct.SetString(11, rng.String(9));
+        ct.SetString(12, rng.String(16));
+        ct.SetU64(13, 0);
+        ct.SetString(kCCredit, rng.Percent(10) ? "BC" : "GC");
+        ct.SetDouble(15, 50000.0);
+        ct.SetDouble(kCDiscount,
+                     static_cast<double>(rng.Uniform(5000)) / 10000.0);
+        ct.SetDouble(kCBalance, -10.0);
+        ct.SetDouble(kCYtdPayment, 10.0);
+        ct.SetU64(kCPaymentCnt, 1);
+        ct.SetU64(kCDeliveryCnt, 0);
+        ct.SetString(kCData, rng.String(128));
+        Status s = insert(kCustomer, ct);
+        if (!s.ok()) return s;
+      }
+
+      // Initial orders: one per customer, in random customer order; the
+      // last third remain undelivered (rows in NEW_ORDER).
+      std::vector<uint64_t> cids(config_.customers_per_district);
+      for (uint64_t c = 0; c < cids.size(); c++) cids[c] = c + 1;
+      for (size_t i = cids.size(); i > 1; i--) {
+        std::swap(cids[i - 1], cids[rng.Uniform(i)]);
+      }
+      for (uint64_t o = 1; o <= config_.initial_orders_per_district; o++) {
+        const uint64_t c = cids[(o - 1) % cids.size()];
+        const uint64_t ol_cnt = rng.Range(5, 15);
+        const bool undelivered =
+            o > config_.initial_orders_per_district * 2 / 3;
+        Tuple ot(o_schema);
+        ot.SetU64(0, OKey(w, d, o));
+        ot.SetU64(kOWid, w);
+        ot.SetU64(kODid, d);
+        ot.SetU64(kOOid, o);
+        ot.SetU64(kOCid, c);
+        ot.SetU64(5, o);  // entry date surrogate
+        ot.SetU64(kOCarrier, undelivered ? 0 : rng.Range(1, 10));
+        ot.SetU64(kOOlCnt, ol_cnt);
+        ot.SetU64(8, 1);
+        Status s = insert(kOrders, ot);
+        if (!s.ok()) return s;
+
+        for (uint64_t l = 1; l <= ol_cnt; l++) {
+          Tuple olt(ol_schema);
+          olt.SetU64(0, OLKey(w, d, o, l));
+          olt.SetU64(1, w);
+          olt.SetU64(2, d);
+          olt.SetU64(kOlOid, o);
+          olt.SetU64(4, l);
+          olt.SetU64(kOlIid, rng.Range(1, config_.items));
+          olt.SetU64(6, w);
+          olt.SetU64(kOlDeliveryD, undelivered ? 0 : o);
+          olt.SetU64(kOlQuantity, 5);
+          olt.SetDouble(kOlAmount,
+                        undelivered
+                            ? static_cast<double>(rng.Uniform(999900)) / 100.0
+                            : 0.0);
+          olt.SetString(10, rng.String(24));
+          s = insert(kOrderLine, olt);
+          if (!s.ok()) return s;
+        }
+        if (undelivered) {
+          Tuple nt(no_schema);
+          nt.SetU64(0, OKey(w, d, o));
+          nt.SetU64(kNoOid, o);
+          nt.SetU64(2, d);
+          nt.SetU64(3, w);
+          s = insert(kNewOrder, nt);
+          if (!s.ok()) return s;
+        }
+      }
+    }
+    engine->Commit(txn);
+  }
+  db->Drain();
+  return Status::OK();
+}
+
+namespace {
+
+struct TxnContext {
+  uint64_t w;
+  TpccConfig cfg;
+};
+
+// Look up a customer 60% by last name (secondary index, pick the median
+// match per the spec) and 40% by id.
+bool FindCustomer(StorageEngine* engine, uint64_t txn, uint64_t w,
+                  uint64_t d, bool by_name, uint64_t c_id,
+                  const std::string& c_last, Tuple* out) {
+  if (!by_name) {
+    return engine
+        ->Select(txn, TpccWorkload::kCustomer,
+                 TpccWorkload::CKey(w, d, c_id), out)
+        .ok();
+  }
+  std::vector<Tuple> matches;
+  std::vector<Value> key_values = {Value::U64(w), Value::U64(d),
+                                   Value::Str(c_last)};
+  if (!engine
+           ->SelectSecondary(txn, TpccWorkload::kCustomer,
+                             TpccWorkload::kCustomerByName, key_values,
+                             &matches)
+           .ok() ||
+      matches.empty()) {
+    return false;
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Tuple& a, const Tuple& b) {
+              return a.GetString(kCFirst) < b.GetString(kCFirst);
+            });
+  *out = matches[matches.size() / 2];
+  return true;
+}
+
+bool DoNewOrder(StorageEngine* engine, uint64_t txn, uint64_t w, uint64_t d,
+                uint64_t c, const std::vector<uint64_t>& items,
+                const std::vector<uint64_t>& quantities,
+                const std::vector<TableDef>& defs) {
+  Tuple warehouse;
+  if (!engine->Select(txn, TpccWorkload::kWarehouse, TpccWorkload::WKey(w),
+                      &warehouse)
+           .ok()) {
+    return false;
+  }
+  Tuple district;
+  if (!engine->Select(txn, TpccWorkload::kDistrict, TpccWorkload::DKey(w, d),
+                      &district)
+           .ok()) {
+    return false;
+  }
+  const uint64_t o_id = district.GetU64(kDNextOid);
+  {
+    std::vector<ColumnUpdate> up;
+    up.push_back({kDNextOid, Value::U64(o_id + 1)});
+    if (!engine->Update(txn, TpccWorkload::kDistrict,
+                        TpccWorkload::DKey(w, d), up)
+             .ok()) {
+      return false;
+    }
+  }
+  Tuple customer;
+  if (!engine->Select(txn, TpccWorkload::kCustomer,
+                      TpccWorkload::CKey(w, d, c), &customer)
+           .ok()) {
+    return false;
+  }
+
+  // ORDERS + NEW_ORDER rows.
+  Tuple order(&defs[5].schema);
+  order.SetU64(0, TpccWorkload::OKey(w, d, o_id));
+  order.SetU64(kOWid, w);
+  order.SetU64(kODid, d);
+  order.SetU64(kOOid, o_id);
+  order.SetU64(kOCid, c);
+  order.SetU64(5, o_id);
+  order.SetU64(kOCarrier, 0);
+  order.SetU64(kOOlCnt, items.size());
+  order.SetU64(8, 1);
+  if (!engine->Insert(txn, TpccWorkload::kOrders, order).ok()) return false;
+
+  Tuple new_order(&defs[4].schema);
+  new_order.SetU64(0, TpccWorkload::OKey(w, d, o_id));
+  new_order.SetU64(kNoOid, o_id);
+  new_order.SetU64(2, d);
+  new_order.SetU64(3, w);
+  if (!engine->Insert(txn, TpccWorkload::kNewOrder, new_order).ok()) {
+    return false;
+  }
+
+  for (size_t l = 0; l < items.size(); l++) {
+    Tuple item;
+    if (!engine->Select(txn, TpccWorkload::kItem,
+                        TpccWorkload::IKey(items[l]), &item)
+             .ok()) {
+      return false;  // invalid item: the spec's 1% rollback
+    }
+    Tuple stock;
+    if (!engine->Select(txn, TpccWorkload::kStock,
+                        TpccWorkload::SKey(w, items[l]), &stock)
+             .ok()) {
+      return false;
+    }
+    uint64_t quantity = stock.GetU64(kSQuantity);
+    quantity = quantity >= quantities[l] + 10 ? quantity - quantities[l]
+                                              : quantity + 91 - quantities[l];
+    {
+      std::vector<ColumnUpdate> up;
+      up.push_back({kSQuantity, Value::U64(quantity)});
+      up.push_back({kSYtd, Value::U64(stock.GetU64(kSYtd) + quantities[l])});
+      up.push_back({kSOrderCnt, Value::U64(stock.GetU64(kSOrderCnt) + 1)});
+      if (!engine->Update(txn, TpccWorkload::kStock,
+                          TpccWorkload::SKey(w, items[l]), up)
+               .ok()) {
+        return false;
+      }
+    }
+    Tuple ol(&defs[6].schema);
+    ol.SetU64(0, TpccWorkload::OLKey(w, d, o_id, l + 1));
+    ol.SetU64(1, w);
+    ol.SetU64(2, d);
+    ol.SetU64(kOlOid, o_id);
+    ol.SetU64(4, l + 1);
+    ol.SetU64(kOlIid, items[l]);
+    ol.SetU64(6, w);
+    ol.SetU64(kOlDeliveryD, 0);
+    ol.SetU64(kOlQuantity, quantities[l]);
+    ol.SetDouble(kOlAmount, static_cast<double>(quantities[l]) *
+                                item.GetDouble(kIPrice));
+    ol.SetString(10, stock.GetString(4));
+    if (!engine->Insert(txn, TpccWorkload::kOrderLine, ol).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DoPayment(StorageEngine* engine, uint64_t txn, uint64_t w, uint64_t d,
+               bool by_name, uint64_t c_id, const std::string& c_last,
+               double amount, uint64_t h_seq, const Schema* h_schema) {
+  Tuple warehouse;
+  if (!engine->Select(txn, TpccWorkload::kWarehouse, TpccWorkload::WKey(w),
+                      &warehouse)
+           .ok()) {
+    return false;
+  }
+  {
+    std::vector<ColumnUpdate> up;
+    up.push_back({kWYtd, Value::Dbl(warehouse.GetDouble(kWYtd) + amount)});
+    if (!engine->Update(txn, TpccWorkload::kWarehouse, TpccWorkload::WKey(w),
+                        up)
+             .ok()) {
+      return false;
+    }
+  }
+  Tuple district;
+  if (!engine->Select(txn, TpccWorkload::kDistrict, TpccWorkload::DKey(w, d),
+                      &district)
+           .ok()) {
+    return false;
+  }
+  {
+    std::vector<ColumnUpdate> up;
+    up.push_back({kDYtd, Value::Dbl(district.GetDouble(kDYtd) + amount)});
+    if (!engine->Update(txn, TpccWorkload::kDistrict,
+                        TpccWorkload::DKey(w, d), up)
+             .ok()) {
+      return false;
+    }
+  }
+  Tuple customer;
+  if (!FindCustomer(engine, txn, w, d, by_name, c_id, c_last, &customer)) {
+    return false;
+  }
+  const uint64_t found_c = customer.GetU64(kCId);
+  {
+    std::vector<ColumnUpdate> up;
+    up.push_back(
+        {kCBalance, Value::Dbl(customer.GetDouble(kCBalance) - amount)});
+    up.push_back({kCYtdPayment,
+                  Value::Dbl(customer.GetDouble(kCYtdPayment) + amount)});
+    up.push_back(
+        {kCPaymentCnt, Value::U64(customer.GetU64(kCPaymentCnt) + 1)});
+    if (customer.GetString(kCCredit) == "BC") {
+      std::string data = std::to_string(found_c) + ":" + std::to_string(d) +
+                         ":" + std::to_string(w) + ":" +
+                         std::to_string(amount) + "|" +
+                         customer.GetString(kCData);
+      if (data.size() > 250) data.resize(250);
+      up.push_back({kCData, Value::Str(data)});
+    }
+    if (!engine->Update(txn, TpccWorkload::kCustomer,
+                        TpccWorkload::CKey(w, d, found_c), up)
+             .ok()) {
+      return false;
+    }
+  }
+  Tuple history(h_schema);
+  history.SetU64(0, TpccWorkload::HKey(w, h_seq));
+  history.SetU64(1, found_c);
+  history.SetU64(2, d);
+  history.SetU64(3, w);
+  history.SetU64(4, d);
+  history.SetU64(5, w);
+  history.SetU64(6, h_seq);
+  history.SetDouble(7, amount);
+  history.SetString(8, warehouse.GetString(kWName) + "    " +
+                           district.GetString(3));
+  return engine->Insert(txn, TpccWorkload::kHistory, history).ok();
+}
+
+bool DoOrderStatus(StorageEngine* engine, uint64_t txn, uint64_t w,
+                   uint64_t d, bool by_name, uint64_t c_id,
+                   const std::string& c_last) {
+  Tuple customer;
+  if (!FindCustomer(engine, txn, w, d, by_name, c_id, c_last, &customer)) {
+    return false;
+  }
+  const uint64_t found_c = customer.GetU64(kCId);
+  std::vector<Tuple> orders;
+  std::vector<Value> key_values = {Value::U64(w), Value::U64(d),
+                                   Value::U64(found_c)};
+  engine->SelectSecondary(txn, TpccWorkload::kOrders,
+                          TpccWorkload::kOrdersByCustomer, key_values,
+                          &orders);
+  if (orders.empty()) return true;  // customer has no orders yet
+  uint64_t last_o = 0;
+  for (const Tuple& o : orders) last_o = std::max(last_o, o.GetU64(kOOid));
+  uint64_t lines = 0;
+  engine->ScanRange(txn, TpccWorkload::kOrderLine,
+                    TpccWorkload::OLKey(w, d, last_o, 0),
+                    TpccWorkload::OLKey(w, d, last_o, 15),
+                    [&lines](uint64_t, const Tuple&) {
+                      lines++;
+                      return true;
+                    });
+  return true;
+}
+
+bool DoDelivery(StorageEngine* engine, uint64_t txn, uint64_t w,
+                uint64_t carrier, uint32_t districts) {
+  for (uint64_t d = 1; d <= districts; d++) {
+    // Oldest undelivered order for the district.
+    uint64_t o_id = 0;
+    engine->ScanRange(txn, TpccWorkload::kNewOrder,
+                      TpccWorkload::OKey(w, d, 0),
+                      TpccWorkload::OKey(w, d, 0xFFFFFF),
+                      [&o_id](uint64_t, const Tuple& t) {
+                        o_id = t.GetU64(kNoOid);
+                        return false;  // first = oldest
+                      });
+    if (o_id == 0) continue;
+    if (!engine->Delete(txn, TpccWorkload::kNewOrder,
+                        TpccWorkload::OKey(w, d, o_id))
+             .ok()) {
+      return false;
+    }
+    Tuple order;
+    if (!engine->Select(txn, TpccWorkload::kOrders,
+                        TpccWorkload::OKey(w, d, o_id), &order)
+             .ok()) {
+      return false;
+    }
+    {
+      std::vector<ColumnUpdate> up;
+      up.push_back({kOCarrier, Value::U64(carrier)});
+      if (!engine->Update(txn, TpccWorkload::kOrders,
+                          TpccWorkload::OKey(w, d, o_id), up)
+               .ok()) {
+        return false;
+      }
+    }
+    double total = 0;
+    std::vector<uint64_t> line_keys;
+    engine->ScanRange(txn, TpccWorkload::kOrderLine,
+                      TpccWorkload::OLKey(w, d, o_id, 0),
+                      TpccWorkload::OLKey(w, d, o_id, 15),
+                      [&](uint64_t key, const Tuple& t) {
+                        total += t.GetDouble(kOlAmount);
+                        line_keys.push_back(key);
+                        return true;
+                      });
+    for (uint64_t key : line_keys) {
+      std::vector<ColumnUpdate> up;
+      up.push_back({kOlDeliveryD, Value::U64(o_id)});
+      if (!engine->Update(txn, TpccWorkload::kOrderLine, key, up).ok()) {
+        return false;
+      }
+    }
+    const uint64_t c = order.GetU64(kOCid);
+    Tuple customer;
+    if (!engine->Select(txn, TpccWorkload::kCustomer,
+                        TpccWorkload::CKey(w, d, c), &customer)
+             .ok()) {
+      return false;
+    }
+    std::vector<ColumnUpdate> up;
+    up.push_back(
+        {kCBalance, Value::Dbl(customer.GetDouble(kCBalance) + total)});
+    up.push_back(
+        {kCDeliveryCnt, Value::U64(customer.GetU64(kCDeliveryCnt) + 1)});
+    if (!engine->Update(txn, TpccWorkload::kCustomer,
+                        TpccWorkload::CKey(w, d, c), up)
+             .ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DoStockLevel(StorageEngine* engine, uint64_t txn, uint64_t w,
+                  uint64_t d, uint64_t threshold) {
+  Tuple district;
+  if (!engine->Select(txn, TpccWorkload::kDistrict, TpccWorkload::DKey(w, d),
+                      &district)
+           .ok()) {
+    return false;
+  }
+  const uint64_t next_o = district.GetU64(kDNextOid);
+  const uint64_t from_o = next_o > 20 ? next_o - 20 : 1;
+  std::set<uint64_t> item_ids;
+  engine->ScanRange(txn, TpccWorkload::kOrderLine,
+                    TpccWorkload::OLKey(w, d, from_o, 0),
+                    TpccWorkload::OLKey(w, d, next_o, 15),
+                    [&item_ids](uint64_t, const Tuple& t) {
+                      item_ids.insert(t.GetU64(kOlIid));
+                      return true;
+                    });
+  uint64_t low = 0;
+  for (uint64_t i : item_ids) {
+    Tuple stock;
+    if (engine->Select(txn, TpccWorkload::kStock, TpccWorkload::SKey(w, i),
+                       &stock)
+            .ok() &&
+        stock.GetU64(kSQuantity) < threshold) {
+      low++;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<TxnTask>> TpccWorkload::GenerateQueues() {
+  const size_t parts = config_.num_warehouses;
+  std::vector<std::vector<TxnTask>> queues(parts);
+  const uint64_t txns_per_part = config_.num_txns / parts;
+  // Shared, immutable schema set for the closures.
+  auto defs = std::make_shared<std::vector<TableDef>>(MakeTableDefs());
+
+  // Only customers 1..min(1000, cpd) carry the deterministic last names,
+  // so by-name lookups must draw from that range or they would miss and
+  // spuriously abort at scaled-down customer counts.
+  const uint64_t max_name = std::min<uint64_t>(
+      999, config_.customers_per_district > 0
+               ? config_.customers_per_district - 1
+               : 0);
+
+  for (size_t p = 0; p < parts; p++) {
+    Random rng(config_.seed * 977 + p);
+    const uint64_t w = p + 1;
+    uint64_t h_seq = 1'000'000;  // beyond any load-time history rows
+    queues[p].reserve(txns_per_part);
+
+    for (uint64_t i = 0; i < txns_per_part; i++) {
+      const uint64_t dice = rng.Uniform(100);
+      const uint64_t d = rng.Range(1, config_.districts_per_warehouse);
+      if (dice < 45) {  // NewOrder
+        const uint64_t c =
+            1 + NuRand(&rng, 1023, 0, config_.customers_per_district - 1);
+        const uint64_t ol_cnt = rng.Range(5, 15);
+        std::vector<uint64_t> items, quantities;
+        for (uint64_t l = 0; l < ol_cnt; l++) {
+          uint64_t item = 1 + NuRand(&rng, 8191, 0, config_.items - 1);
+          // ~1% of NewOrder transactions reference an invalid item and
+          // roll back (TPC-C 2.4.1.4).
+          if (l == ol_cnt - 1 && rng.Percent(1)) item = config_.items + 999;
+          items.push_back(item);
+          quantities.push_back(rng.Range(1, 10));
+        }
+        queues[p].push_back({[w, d, c, items, quantities, defs](
+                                 StorageEngine* engine, uint64_t txn) {
+          return DoNewOrder(engine, txn, w, d, c, items, quantities, *defs);
+        }});
+      } else if (dice < 88) {  // Payment
+        const bool by_name = rng.Percent(60);
+        const uint64_t c =
+            1 + NuRand(&rng, 1023, 0, config_.customers_per_district - 1);
+        const std::string last = LastName(NuRand(&rng, 255, 0, max_name));
+        const double amount =
+            1.0 + static_cast<double>(rng.Uniform(499900)) / 100.0;
+        const uint64_t seq = h_seq++;
+        queues[p].push_back(
+            {[w, d, by_name, c, last, amount, seq, defs](
+                 StorageEngine* engine, uint64_t txn) {
+              return DoPayment(engine, txn, w, d, by_name, c, last, amount,
+                               seq, &(*defs)[3].schema);
+            }});
+      } else if (dice < 92) {  // OrderStatus
+        const bool by_name = rng.Percent(60);
+        const uint64_t c =
+            1 + NuRand(&rng, 1023, 0, config_.customers_per_district - 1);
+        const std::string last = LastName(NuRand(&rng, 255, 0, max_name));
+        queues[p].push_back(
+            {[w, d, by_name, c, last](StorageEngine* engine, uint64_t txn) {
+              return DoOrderStatus(engine, txn, w, d, by_name, c, last);
+            }});
+      } else if (dice < 96) {  // Delivery
+        const uint64_t carrier = rng.Range(1, 10);
+        const uint32_t districts = config_.districts_per_warehouse;
+        queues[p].push_back(
+            {[w, carrier, districts](StorageEngine* engine, uint64_t txn) {
+              return DoDelivery(engine, txn, w, carrier, districts);
+            }});
+      } else {  // StockLevel
+        const uint64_t threshold = rng.Range(10, 20);
+        queues[p].push_back(
+            {[w, d, threshold](StorageEngine* engine, uint64_t txn) {
+              return DoStockLevel(engine, txn, w, d, threshold);
+            }});
+      }
+    }
+  }
+  return queues;
+}
+
+}  // namespace nvmdb

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "testbed/coordinator.h"
+
+namespace nvmdb {
+
+/// TPC-C configuration. One warehouse per partition (the paper maps each
+/// of its 8 warehouses to a partition, Section 5.1); sizes are scaled down
+/// by default and restorable to spec scale via the fields.
+struct TpccConfig {
+  size_t num_warehouses = 8;  // == partitions
+  uint64_t num_txns = 40000;  // total across partitions
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 300;   // spec: 3000
+  uint32_t items = 2000;                   // spec: 100000
+  uint32_t initial_orders_per_district = 300;
+  uint64_t seed = 7;
+};
+
+/// Full TPC-C implementation: all nine tables, both secondary indexes
+/// (customer by last name, orders by customer) and the five transaction
+/// types in the standard mix — NewOrder 45%, Payment 43%, OrderStatus 4%,
+/// Delivery 4%, StockLevel 4%. Transactions modifying the database are
+/// ~88% of the mix, matching the paper. ~1% of NewOrders roll back
+/// (invalid item), exercising the engines' abort paths.
+class TpccWorkload {
+ public:
+  explicit TpccWorkload(const TpccConfig& config) : config_(config) {}
+
+  // Table ids.
+  static constexpr uint32_t kWarehouse = 1;
+  static constexpr uint32_t kDistrict = 2;
+  static constexpr uint32_t kCustomer = 3;
+  static constexpr uint32_t kHistory = 4;
+  static constexpr uint32_t kNewOrder = 5;
+  static constexpr uint32_t kOrders = 6;
+  static constexpr uint32_t kOrderLine = 7;
+  static constexpr uint32_t kItem = 8;
+  static constexpr uint32_t kStock = 9;
+
+  // Secondary index ids.
+  static constexpr uint32_t kCustomerByName = 0;
+  static constexpr uint32_t kOrdersByCustomer = 0;
+
+  // Key packing (all keys < 2^48 so they fit the CoW global key space).
+  static uint64_t WKey(uint64_t w) { return w; }
+  static uint64_t DKey(uint64_t w, uint64_t d) { return (w << 8) | d; }
+  static uint64_t CKey(uint64_t w, uint64_t d, uint64_t c) {
+    return (w << 24) | (d << 16) | c;
+  }
+  static uint64_t HKey(uint64_t w, uint64_t seq) { return (w << 32) | seq; }
+  static uint64_t OKey(uint64_t w, uint64_t d, uint64_t o) {
+    return (w << 32) | (d << 24) | o;
+  }
+  static uint64_t OLKey(uint64_t w, uint64_t d, uint64_t o, uint64_t l) {
+    return (w << 36) | (d << 28) | (o << 4) | l;
+  }
+  static uint64_t IKey(uint64_t i) { return i; }
+  static uint64_t SKey(uint64_t w, uint64_t i) { return (w << 24) | i; }
+
+  static std::vector<TableDef> MakeTableDefs();
+  static std::string LastName(uint64_t num);
+
+  Status Load(Database* db);
+  std::vector<std::vector<TxnTask>> GenerateQueues();
+
+  const TpccConfig& config() const { return config_; }
+
+ private:
+  TpccConfig config_;
+};
+
+}  // namespace nvmdb

@@ -1,0 +1,122 @@
+#include "workload/ycsb.h"
+
+namespace nvmdb {
+
+const char* YcsbMixtureName(YcsbMixture m) {
+  switch (m) {
+    case YcsbMixture::kReadOnly:
+      return "read-only";
+    case YcsbMixture::kReadHeavy:
+      return "read-heavy";
+    case YcsbMixture::kBalanced:
+      return "balanced";
+    case YcsbMixture::kWriteHeavy:
+      return "write-heavy";
+  }
+  return "?";
+}
+
+const char* YcsbSkewName(YcsbSkew s) {
+  return s == YcsbSkew::kLow ? "low-skew" : "high-skew";
+}
+
+int YcsbReadPercent(YcsbMixture m) {
+  switch (m) {
+    case YcsbMixture::kReadOnly:
+      return 100;
+    case YcsbMixture::kReadHeavy:
+      return 90;
+    case YcsbMixture::kBalanced:
+      return 50;
+    case YcsbMixture::kWriteHeavy:
+      return 10;
+  }
+  return 100;
+}
+
+TableDef YcsbWorkload::MakeTableDef(size_t field_size) {
+  TableDef def;
+  def.table_id = kTableId;
+  def.name = "usertable";
+  std::vector<Column> cols;
+  cols.push_back({"ycsb_key", ColumnType::kUInt64, 8});
+  for (int i = 1; i <= 10; i++) {
+    cols.push_back({"field" + std::to_string(i), ColumnType::kVarchar,
+                    static_cast<uint32_t>(field_size)});
+  }
+  def.schema = Schema(cols);
+  return def;
+}
+
+Status YcsbWorkload::Load(Database* db) {
+  Status s = db->CreateTable(MakeTableDef(config_.field_size));
+  if (!s.ok()) return s;
+
+  const TableDef def = MakeTableDef(config_.field_size);
+  Random rng(config_.seed);
+  const size_t parts = db->num_partitions();
+  // Bulk-load within one transaction per chunk per partition.
+  const uint64_t chunk = 512;
+  for (size_t p = 0; p < parts; p++) {
+    StorageEngine* engine = db->partition(p);
+    uint64_t loaded_in_txn = 0;
+    uint64_t txn = engine->Begin();
+    for (uint64_t key = p; key < config_.num_tuples; key += parts) {
+      Tuple t(&def.schema);
+      t.SetU64(0, key);
+      for (size_t c = 1; c <= 10; c++) {
+        t.SetString(c, rng.String(config_.field_size));
+      }
+      s = engine->Insert(txn, kTableId, t);
+      if (!s.ok()) return s;
+      if (++loaded_in_txn >= chunk) {
+        engine->Commit(txn);
+        txn = engine->Begin();
+        loaded_in_txn = 0;
+      }
+    }
+    engine->Commit(txn);
+  }
+  db->Drain();
+  return Status::OK();
+}
+
+std::vector<std::vector<TxnTask>> YcsbWorkload::GenerateQueues() {
+  const size_t parts = config_.num_partitions;
+  std::vector<std::vector<TxnTask>> queues(parts);
+  const int read_pct = YcsbReadPercent(config_.mixture);
+  const double hot_data = config_.skew == YcsbSkew::kLow ? 0.2 : 0.1;
+  const double hot_access = config_.skew == YcsbSkew::kLow ? 0.5 : 0.9;
+  const uint64_t txns_per_part = config_.num_txns / parts;
+
+  for (size_t p = 0; p < parts; p++) {
+    // Tuples on partition p: local index i -> key i * parts + p.
+    const uint64_t local_tuples =
+        (config_.num_tuples + parts - 1 - p) / parts;
+    HotspotGenerator hotspot(local_tuples, hot_data, hot_access,
+                             config_.seed * 1000 + p);
+    Random rng(config_.seed * 7777 + p);
+    queues[p].reserve(txns_per_part);
+    for (uint64_t i = 0; i < txns_per_part; i++) {
+      const uint64_t key = hotspot.Next() * parts + p;
+      if (rng.Percent(read_pct)) {
+        queues[p].push_back({[key](StorageEngine* engine, uint64_t txn) {
+          Tuple t;
+          return engine->Select(txn, kTableId, key, &t).ok();
+        }});
+      } else {
+        const size_t col = 1 + rng.Uniform(10);
+        std::string value = rng.String(config_.field_size);
+        queues[p].push_back(
+            {[key, col, value](StorageEngine* engine, uint64_t txn) {
+              std::vector<ColumnUpdate> updates;
+              updates.push_back({col, Value::Str(value)});
+              return engine->Update(txn, kTableId, key, updates).ok();
+            }});
+      }
+    }
+  }
+  return queues;
+}
+
+}  // namespace nvmdb

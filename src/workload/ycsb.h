@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "testbed/coordinator.h"
+
+namespace nvmdb {
+
+/// YCSB workload mixtures (Section 5.1).
+enum class YcsbMixture {
+  kReadOnly,   // 100% reads
+  kReadHeavy,  // 90% reads, 10% updates
+  kBalanced,   // 50% / 50%
+  kWriteHeavy, // 10% reads, 90% updates
+};
+
+/// Tuple-access skew settings (Section 5.1): a localized hotspot within
+/// each partition.
+enum class YcsbSkew {
+  kLow,   // 50% of accesses -> 20% of tuples
+  kHigh,  // 90% of accesses -> 10% of tuples
+};
+
+const char* YcsbMixtureName(YcsbMixture m);
+const char* YcsbSkewName(YcsbSkew s);
+int YcsbReadPercent(YcsbMixture m);
+
+struct YcsbConfig {
+  uint64_t num_tuples = 100000;  // paper: 2M (~2 GB); scaled by default
+  uint64_t num_txns = 80000;     // paper: 8M; total across partitions
+  size_t num_partitions = 8;
+  YcsbMixture mixture = YcsbMixture::kBalanced;
+  YcsbSkew skew = YcsbSkew::kLow;
+  size_t field_size = 100;  // 10 columns x 100 B ≈ 1 KB tuples
+  uint64_t seed = 42;
+};
+
+/// YCSB generator: a single `usertable` of 1 KB tuples (primary key plus
+/// ten 100-byte string columns), two transaction types (point read, point
+/// update of one column), pre-generated as a fixed workload divided evenly
+/// among partitions so every engine sees the identical request stream.
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(const YcsbConfig& config) : config_(config) {}
+
+  static constexpr uint32_t kTableId = 1;
+  static TableDef MakeTableDef(size_t field_size = 100);
+
+  /// Populate the database (key k lives on partition k % P).
+  Status Load(Database* db);
+
+  /// Pre-generate the fixed per-partition transaction queues.
+  std::vector<std::vector<TxnTask>> GenerateQueues();
+
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  YcsbConfig config_;
+};
+
+}  // namespace nvmdb

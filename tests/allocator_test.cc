@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nvm/pmem_allocator.h"
+#include "nvm/pmfs.h"
+
+namespace nvmdb {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest()
+      : device_(16ull * 1024 * 1024, NvmLatencyConfig::Dram()),
+        allocator_(&device_) {}
+
+  NvmDevice device_;
+  PmemAllocator allocator_;
+};
+
+TEST_F(AllocatorTest, AllocReturnsDistinctAlignedSlots) {
+  std::set<uint64_t> offsets;
+  for (int i = 0; i < 100; i++) {
+    const uint64_t off = allocator_.Alloc(64);
+    ASSERT_NE(off, 0u);
+    EXPECT_EQ(off % 16, 0u);
+    EXPECT_TRUE(offsets.insert(off).second);
+  }
+}
+
+TEST_F(AllocatorTest, UsableSizeIsQuarterStepClass) {
+  // Classes are 16-byte-aligned quarter steps: waste is bounded by 25%.
+  const uint64_t off = allocator_.Alloc(100);
+  EXPECT_GE(allocator_.UsableSize(off), 100u);
+  EXPECT_LE(allocator_.UsableSize(off), 128u);
+  EXPECT_EQ(allocator_.UsableSize(off) % 16, 0u);
+  const uint64_t off2 = allocator_.Alloc(16);
+  EXPECT_EQ(allocator_.UsableSize(off2), 16u);
+  const uint64_t off3 = allocator_.Alloc(1100);
+  EXPECT_GE(allocator_.UsableSize(off3), 1100u);
+  EXPECT_LT(allocator_.UsableSize(off3), 1100u * 5 / 4);
+}
+
+TEST_F(AllocatorTest, FreeReusesSlot) {
+  const uint64_t a = allocator_.Alloc(64);
+  allocator_.Free(a);
+  const uint64_t b = allocator_.Alloc(64);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(AllocatorTest, BestFitPrefersSmallestSufficientClass) {
+  const uint64_t small = allocator_.Alloc(32);
+  const uint64_t big = allocator_.Alloc(4096);
+  allocator_.Free(small);
+  allocator_.Free(big);
+  // A 30-byte request should reuse the 32-byte slot, not the 4 KB one.
+  const uint64_t got = allocator_.Alloc(30);
+  EXPECT_EQ(got, small);
+}
+
+TEST_F(AllocatorTest, SlotStateLifecycle) {
+  const uint64_t off = allocator_.Alloc(64);
+  EXPECT_EQ(allocator_.StateOf(off), PmemAllocator::SlotState::kAllocated);
+  allocator_.MarkPersisted(off);
+  EXPECT_EQ(allocator_.StateOf(off), PmemAllocator::SlotState::kPersisted);
+  allocator_.Free(off);
+  EXPECT_EQ(allocator_.StateOf(off), PmemAllocator::SlotState::kFree);
+}
+
+TEST_F(AllocatorTest, RecoveryReclaimsUnpersistedSlots) {
+  const uint64_t persisted = allocator_.Alloc(64);
+  device_.Write(persisted, "keep", 5);
+  device_.Persist(persisted, 5);
+  allocator_.MarkPersisted(persisted);
+  const uint64_t leaked = allocator_.Alloc(64);
+  (void)leaked;
+
+  device_.Crash();
+  PmemAllocator recovered(&device_, /*format=*/false);
+  EXPECT_EQ(recovered.StateOf(persisted),
+            PmemAllocator::SlotState::kPersisted);
+  EXPECT_EQ(recovered.StateOf(leaked), PmemAllocator::SlotState::kFree);
+  // The reclaimed slot is allocatable again.
+  const uint64_t again = recovered.Alloc(64);
+  EXPECT_EQ(again, leaked);
+}
+
+TEST_F(AllocatorTest, NamingMechanismSurvivesRestart) {
+  const uint64_t off = allocator_.Alloc(128);
+  allocator_.MarkPersisted(off);
+  ASSERT_TRUE(allocator_.SetRoot("my_table", off).ok());
+
+  device_.Crash();
+  PmemAllocator recovered(&device_, /*format=*/false);
+  EXPECT_EQ(recovered.GetRoot("my_table"), off);
+  EXPECT_EQ(recovered.GetRoot("absent"), 0u);
+}
+
+TEST_F(AllocatorTest, RootRebindAndClear) {
+  allocator_.SetRoot("r", 100);
+  allocator_.SetRoot("r", 200);
+  EXPECT_EQ(allocator_.GetRoot("r"), 200u);
+  allocator_.SetRoot("r", 0);
+  EXPECT_EQ(allocator_.GetRoot("r"), 0u);
+  // The slot is reusable for another name afterwards.
+  allocator_.SetRoot("s", 300);
+  EXPECT_EQ(allocator_.GetRoot("s"), 300u);
+}
+
+TEST_F(AllocatorTest, RejectsOverlongRootName) {
+  EXPECT_FALSE(allocator_.SetRoot(std::string(64, 'x'), 1).ok());
+  EXPECT_FALSE(allocator_.SetRoot("", 1).ok());
+}
+
+TEST_F(AllocatorTest, StatsTrackPerTagUsage) {
+  allocator_.Alloc(1000, StorageTag::kTable);
+  allocator_.Alloc(500, StorageTag::kIndex);
+  const AllocatorStats stats = allocator_.stats();
+  EXPECT_EQ(stats.used_by_tag[static_cast<size_t>(StorageTag::kTable)],
+            1024u);
+  EXPECT_EQ(stats.used_by_tag[static_cast<size_t>(StorageTag::kIndex)],
+            512u);
+  EXPECT_EQ(stats.total_used, 1536u);
+}
+
+TEST_F(AllocatorTest, FreeUpdatesStats) {
+  const uint64_t off = allocator_.Alloc(1000, StorageTag::kLog);
+  allocator_.Free(off);
+  const AllocatorStats stats = allocator_.stats();
+  EXPECT_EQ(stats.used_by_tag[static_cast<size_t>(StorageTag::kLog)], 0u);
+}
+
+TEST_F(AllocatorTest, OutOfSpaceReturnsZero) {
+  NvmDevice tiny(64 * 1024);
+  PmemAllocator allocator(&tiny);
+  EXPECT_EQ(allocator.Alloc(1 << 20), 0u);
+}
+
+TEST_F(AllocatorTest, ManySmallAllocsThenRecoverPreservesAccounting) {
+  std::vector<uint64_t> offs;
+  for (int i = 0; i < 200; i++) {
+    const uint64_t off = allocator_.Alloc(48, StorageTag::kTable);
+    allocator_.MarkPersisted(off);
+    offs.push_back(off);
+  }
+  for (int i = 0; i < 100; i++) allocator_.Free(offs[i]);
+
+  device_.Crash();
+  PmemAllocator recovered(&device_, /*format=*/false);
+  const AllocatorStats stats = recovered.stats();
+  EXPECT_EQ(stats.used_by_tag[static_cast<size_t>(StorageTag::kTable)],
+            100u * 64);
+}
+
+TEST_F(AllocatorTest, RotationSpreadsReusedSlots) {
+  // Free several same-class slots; successive allocations should not
+  // always return the same one first (wear leveling).
+  std::vector<uint64_t> offs;
+  for (int i = 0; i < 8; i++) offs.push_back(allocator_.Alloc(64));
+  for (uint64_t off : offs) allocator_.Free(off);
+  std::set<uint64_t> first_two;
+  first_two.insert(allocator_.Alloc(64));
+  first_two.insert(allocator_.Alloc(64));
+  EXPECT_EQ(first_two.size(), 2u);
+}
+
+// --- Pmfs --------------------------------------------------------------------
+
+class PmfsTest : public ::testing::Test {
+ protected:
+  PmfsTest()
+      : device_(32ull * 1024 * 1024, NvmLatencyConfig::Dram()),
+        allocator_(&device_),
+        fs_(&allocator_) {}
+
+  NvmDevice device_;
+  PmemAllocator allocator_;
+  Pmfs fs_;
+};
+
+TEST_F(PmfsTest, CreateWriteRead) {
+  Pmfs::Fd fd = fs_.Open("a.txt", true);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(fs_.Write(fd, 0, "hello", 5).ok());
+  char buf[8] = {};
+  size_t got = 0;
+  ASSERT_TRUE(fs_.Read(fd, 0, buf, 5, &got).ok());
+  EXPECT_EQ(got, 5u);
+  EXPECT_STREQ(buf, "hello");
+  EXPECT_EQ(fs_.Size(fd), 5u);
+}
+
+TEST_F(PmfsTest, OpenMissingWithoutCreateFails) {
+  EXPECT_LT(fs_.Open("missing", false), 0);
+}
+
+TEST_F(PmfsTest, AppendGrowsFile) {
+  Pmfs::Fd fd = fs_.Open("log", true);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(fs_.Append(fd, "0123456789", 10).ok());
+  }
+  EXPECT_EQ(fs_.Size(fd), 1000u);
+  char buf[10];
+  size_t got;
+  fs_.Read(fd, 990, buf, 10, &got);
+  EXPECT_EQ(got, 10u);
+  EXPECT_EQ(buf[9], '9');
+}
+
+TEST_F(PmfsTest, CrossBlockWriteAndRead) {
+  Pmfs::Fd fd = fs_.Open("big", true);
+  std::string data(10000, 'z');
+  for (size_t i = 0; i < data.size(); i++) {
+    data[i] = static_cast<char>('a' + i % 26);
+  }
+  ASSERT_TRUE(fs_.Write(fd, 100, data.data(), data.size()).ok());
+  std::string out(data.size(), '\0');
+  size_t got;
+  ASSERT_TRUE(fs_.Read(fd, 100, out.data(), out.size(), &got).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(PmfsTest, ReadPastEofClamps) {
+  Pmfs::Fd fd = fs_.Open("f", true);
+  fs_.Write(fd, 0, "abc", 3);
+  char buf[10];
+  size_t got;
+  fs_.Read(fd, 2, buf, 10, &got);
+  EXPECT_EQ(got, 1u);
+  fs_.Read(fd, 100, buf, 10, &got);
+  EXPECT_EQ(got, 0u);
+}
+
+TEST_F(PmfsTest, FsyncedDataSurvivesCrash) {
+  Pmfs::Fd fd = fs_.Open("durable", true);
+  fs_.Write(fd, 0, "persist me", 10);
+  fs_.Fsync(fd);
+
+  device_.Crash();
+  PmemAllocator allocator(&device_, false);
+  Pmfs fs(&allocator);
+  EXPECT_TRUE(fs.Exists("durable"));
+  Pmfs::Fd fd2 = fs.Open("durable", false);
+  char buf[16] = {};
+  size_t got;
+  fs.Read(fd2, 0, buf, 10, &got);
+  EXPECT_EQ(got, 10u);
+  EXPECT_STREQ(buf, "persist me");
+}
+
+TEST_F(PmfsTest, UnsyncedDataMayBeLostButMetadataConsistent) {
+  Pmfs::Fd fd = fs_.Open("risky", true);
+  fs_.Write(fd, 0, "abcdefgh", 8);
+  fs_.Fsync(fd);
+  fs_.Write(fd, 0, "XXXXXXXX", 8);  // no fsync
+
+  device_.Crash();
+  PmemAllocator allocator(&device_, false);
+  Pmfs fs(&allocator);
+  Pmfs::Fd fd2 = fs.Open("risky", false);
+  ASSERT_GE(fd2, 0);
+  char buf[9] = {};
+  size_t got;
+  fs.Read(fd2, 0, buf, 8, &got);
+  EXPECT_EQ(got, 8u);
+  EXPECT_STREQ(buf, "abcdefgh");  // the fsync'd version
+}
+
+TEST_F(PmfsTest, TruncateShrinksAndFreesBlocks) {
+  Pmfs::Fd fd = fs_.Open("t", true);
+  std::string data(20000, 'q');
+  fs_.Write(fd, 0, data.data(), data.size());
+  fs_.Fsync(fd);
+  const uint64_t blocks_before = fs_.FileBlockBytes("t");
+  ASSERT_TRUE(fs_.Truncate(fd, 100).ok());
+  EXPECT_EQ(fs_.Size(fd), 100u);
+  EXPECT_LT(fs_.FileBlockBytes("t"), blocks_before);
+}
+
+TEST_F(PmfsTest, DeleteRemovesFileAndReclaimsSpace) {
+  const AllocatorStats before = allocator_.stats();
+  Pmfs::Fd fd = fs_.Open("temp", true);
+  std::string data(50000, 'd');
+  fs_.Write(fd, 0, data.data(), data.size());
+  fs_.Close(fd);
+  ASSERT_TRUE(fs_.Delete("temp").ok());
+  EXPECT_FALSE(fs_.Exists("temp"));
+  const AllocatorStats after = allocator_.stats();
+  EXPECT_LE(after.total_used, before.total_used + 4096);
+}
+
+TEST_F(PmfsTest, ListEnumeratesFiles) {
+  fs_.Open("one", true);
+  fs_.Open("two", true);
+  const auto names = fs_.List();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST_F(PmfsTest, FilesystemChargesVfsOverhead) {
+  const uint64_t before = device_.TotalStallNanos();
+  Pmfs::Fd fd = fs_.Open("cost", true);
+  fs_.Write(fd, 0, "x", 1);
+  EXPECT_GE(device_.TotalStallNanos() - before,
+            fs_.config().vfs_call_overhead_ns);
+}
+
+TEST_F(PmfsTest, NamespaceSurvivesCleanReattach) {
+  Pmfs::Fd fd = fs_.Open("persisted", true);
+  fs_.Write(fd, 0, "data", 4);
+  fs_.Fsync(fd);
+  // Re-attach without crash (same allocator).
+  Pmfs fs2(&allocator_);
+  EXPECT_TRUE(fs2.Exists("persisted"));
+}
+
+}  // namespace
+}  // namespace nvmdb

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "index/cow_btree.h"
+
+namespace nvmdb {
+namespace {
+
+// Parameterized over the two page-store implementations the paper's two
+// CoW engines use.
+enum class StoreKind { kPmfs, kNvm };
+
+class CowBTreeTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  CowBTreeTest()
+      : device_(64ull * 1024 * 1024, NvmLatencyConfig::Dram()),
+        allocator_(&device_),
+        fs_(&allocator_) {
+    store_ = MakeStore(&allocator_, &fs_);
+    tree_ = std::make_unique<CowBTree>(store_.get());
+  }
+
+  static std::unique_ptr<PageStore> MakeStore(PmemAllocator* allocator,
+                                              Pmfs* fs) {
+    if (GetParam() == StoreKind::kPmfs) {
+      return std::make_unique<PmfsPageStore>(fs, "cow.db", 4096, 256,
+                                             StorageTag::kTable);
+    }
+    return std::make_unique<NvmPageStore>(allocator, "cow", 4096,
+                                          StorageTag::kIndex);
+  }
+
+  void Reattach() {
+    tree_.reset();
+    store_.reset();
+    allocator2_ = std::make_unique<PmemAllocator>(&device_, false);
+    fs2_ = std::make_unique<Pmfs>(allocator2_.get());
+    store_ = MakeStore(allocator2_.get(), fs2_.get());
+    tree_ = std::make_unique<CowBTree>(store_.get());
+  }
+
+  NvmDevice device_;
+  PmemAllocator allocator_;
+  Pmfs fs_;
+  std::unique_ptr<PmemAllocator> allocator2_;
+  std::unique_ptr<Pmfs> fs2_;
+  std::unique_ptr<PageStore> store_;
+  std::unique_ptr<CowBTree> tree_;
+};
+
+TEST_P(CowBTreeTest, PutGetDelete) {
+  EXPECT_TRUE(tree_->Put(1, Slice("one")));
+  EXPECT_TRUE(tree_->Put(2, Slice("two")));
+  std::string v;
+  ASSERT_TRUE(tree_->Get(1, &v));
+  EXPECT_EQ(v, "one");
+  EXPECT_FALSE(tree_->Get(3, &v));
+  EXPECT_TRUE(tree_->Delete(1));
+  EXPECT_FALSE(tree_->Get(1, &v));
+  EXPECT_FALSE(tree_->Delete(1));
+}
+
+TEST_P(CowBTreeTest, DirtyVsCommittedVisibility) {
+  tree_->Put(1, Slice("committed"));
+  tree_->Commit();
+  tree_->Put(1, Slice("dirty"));
+  std::string v;
+  tree_->Get(1, &v);
+  EXPECT_EQ(v, "dirty");
+  tree_->GetCommitted(1, &v);
+  EXPECT_EQ(v, "committed");
+}
+
+TEST_P(CowBTreeTest, AbortRestoresCommittedState) {
+  tree_->Put(1, Slice("keep"));
+  tree_->Commit();
+  tree_->Put(1, Slice("discard"));
+  tree_->Put(2, Slice("discard too"));
+  tree_->Delete(1);
+  tree_->Abort();
+  std::string v;
+  ASSERT_TRUE(tree_->Get(1, &v));
+  EXPECT_EQ(v, "keep");
+  EXPECT_FALSE(tree_->Get(2, &v));
+}
+
+TEST_P(CowBTreeTest, CommittedSurvivesCrashUncommittedDoesNot) {
+  tree_->Put(10, Slice("durable"));
+  tree_->Commit();
+  tree_->Put(20, Slice("in flight"));
+  // No commit: crash.
+  device_.Crash();
+  Reattach();
+  std::string v;
+  ASSERT_TRUE(tree_->Get(10, &v));
+  EXPECT_EQ(v, "durable");
+  EXPECT_FALSE(tree_->Get(20, &v));
+}
+
+TEST_P(CowBTreeTest, MasterRecordSwapIsAtomic) {
+  for (uint64_t i = 0; i < 50; i++) {
+    tree_->Put(i, Slice("v1"));
+  }
+  tree_->Commit();
+  for (uint64_t i = 0; i < 50; i++) {
+    tree_->Put(i, Slice("v2-longer-value"));
+  }
+  // Crash before commit: all keys must read v1, none v2.
+  device_.Crash();
+  Reattach();
+  for (uint64_t i = 0; i < 50; i++) {
+    std::string v;
+    ASSERT_TRUE(tree_->Get(i, &v));
+    EXPECT_EQ(v, "v1");
+  }
+}
+
+TEST_P(CowBTreeTest, ManyEntriesWithSplits) {
+  std::map<uint64_t, std::string> model;
+  Random rng(7);
+  for (int i = 0; i < 3000; i++) {
+    const uint64_t key = rng.Uniform(1000);
+    if (rng.Percent(75)) {
+      std::string value = rng.String(20 + rng.Uniform(200));
+      tree_->Put(key, Slice(value));
+      model[key] = value;
+    } else {
+      EXPECT_EQ(tree_->Delete(key), model.erase(key) > 0);
+    }
+    if (i % 100 == 0) tree_->Commit();
+  }
+  tree_->Commit();
+  for (const auto& [key, value] : model) {
+    std::string v;
+    ASSERT_TRUE(tree_->Get(key, &v)) << key;
+    EXPECT_EQ(v, value);
+  }
+  // Scan order matches the model.
+  auto it = model.begin();
+  tree_->Scan(0, ~0ull, [&](uint64_t k, const Slice& v) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v.ToString(), it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, model.end());
+}
+
+TEST_P(CowBTreeTest, ScanRange) {
+  for (uint64_t i = 0; i < 200; i++) {
+    tree_->Put(i * 5, Slice("x"));
+  }
+  std::vector<uint64_t> keys;
+  tree_->Scan(23, 41, [&](uint64_t k, const Slice&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<uint64_t>{25, 30, 35, 40}));
+}
+
+TEST_P(CowBTreeTest, RejectsOversizedValue) {
+  const std::string huge(8192, 'x');
+  EXPECT_FALSE(tree_->Put(1, Slice(huge)));
+}
+
+TEST_P(CowBTreeTest, GarbageCollectReclaimsOldVersions) {
+  for (uint64_t i = 0; i < 200; i++) tree_->Put(i, Slice("v"));
+  tree_->Commit();
+  const size_t pages_live = tree_->PageCount();
+  // Overwrite everything a few times: old pages freed at commit.
+  for (int round = 0; round < 5; round++) {
+    for (uint64_t i = 0; i < 200; i++) tree_->Put(i, Slice("w"));
+    tree_->Commit();
+  }
+  EXPECT_LE(tree_->PageCount(), pages_live + 2);
+  tree_->GarbageCollect();
+  // After GC, another full rewrite reuses freed pages rather than growing
+  // storage without bound.
+  const uint64_t bytes_before = store_->StorageBytes();
+  for (uint64_t i = 0; i < 200; i++) tree_->Put(i, Slice("z"));
+  tree_->Commit();
+  EXPECT_LE(store_->StorageBytes(), bytes_before * 2 + 64 * 1024);
+}
+
+TEST_P(CowBTreeTest, DeleteAllThenReuse) {
+  for (uint64_t i = 0; i < 100; i++) tree_->Put(i, Slice("a"));
+  tree_->Commit();
+  for (uint64_t i = 0; i < 100; i++) EXPECT_TRUE(tree_->Delete(i));
+  tree_->Commit();
+  std::string v;
+  EXPECT_FALSE(tree_->Get(0, &v));
+  EXPECT_TRUE(tree_->Put(5, Slice("fresh")));
+  ASSERT_TRUE(tree_->Get(5, &v));
+  EXPECT_EQ(v, "fresh");
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, CowBTreeTest,
+                         ::testing::Values(StoreKind::kPmfs,
+                                           StoreKind::kNvm),
+                         [](const auto& info) {
+                           return info.param == StoreKind::kPmfs ? "Pmfs"
+                                                                 : "Nvm";
+                         });
+
+}  // namespace
+}  // namespace nvmdb

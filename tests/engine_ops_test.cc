@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace nvmdb {
+namespace {
+
+using testutil::MakeDb;
+using testutil::SimpleTable;
+using testutil::SimpleTuple;
+
+/// Table 2's primitive operations, exercised uniformly on all six engines.
+class EngineOpsTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void SetUp() override {
+    db_ = MakeDb(GetParam());
+    def_ = SimpleTable();
+    ASSERT_TRUE(db_->CreateTable(def_).ok());
+    engine_ = db_->partition(0);
+  }
+
+  // Run one transaction that performs `fn` and commits.
+  template <typename Fn>
+  Status InTxn(Fn fn) {
+    const uint64_t txn = engine_->Begin();
+    Status s = fn(txn);
+    if (s.ok()) {
+      engine_->Commit(txn);
+    } else {
+      engine_->Abort(txn);
+    }
+    return s;
+  }
+
+  std::unique_ptr<Database> db_;
+  TableDef def_;
+  StorageEngine* engine_;
+};
+
+TEST_P(EngineOpsTest, InsertThenSelect) {
+  ASSERT_TRUE(InTxn([&](uint64_t txn) {
+                return engine_->Insert(txn, 1,
+                                       SimpleTuple(&def_.schema, 7, "bob"));
+              }).ok());
+  Tuple out;
+  const uint64_t txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Select(txn, 1, 7, &out).ok());
+  engine_->Commit(txn);
+  EXPECT_EQ(out.GetU64(0), 7u);
+  EXPECT_EQ(out.GetString(1), "bob");
+  EXPECT_EQ(out.GetString(2).size(), 100u);
+}
+
+TEST_P(EngineOpsTest, SelectMissingIsNotFound) {
+  const uint64_t txn = engine_->Begin();
+  Tuple out;
+  EXPECT_TRUE(engine_->Select(txn, 1, 404, &out).IsNotFound());
+  engine_->Commit(txn);
+}
+
+TEST_P(EngineOpsTest, DuplicateInsertRejected) {
+  InTxn([&](uint64_t txn) {
+    return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 1, "a"));
+  });
+  const Status s = InTxn([&](uint64_t txn) {
+    return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 1, "b"));
+  });
+  EXPECT_FALSE(s.ok());
+  // Original value intact.
+  Tuple out;
+  const uint64_t txn = engine_->Begin();
+  engine_->Select(txn, 1, 1, &out);
+  engine_->Commit(txn);
+  EXPECT_EQ(out.GetString(1), "a");
+}
+
+TEST_P(EngineOpsTest, UpdateInlineAndVarlenFields) {
+  InTxn([&](uint64_t txn) {
+    return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 2, "old", 5));
+  });
+  ASSERT_TRUE(InTxn([&](uint64_t txn) {
+                std::vector<ColumnUpdate> up;
+                up.push_back({1, Value::Str("newname")});
+                up.push_back({2, Value::Str(std::string(80, 'Z'))});
+                up.push_back({3, Value::U64(6)});
+                return engine_->Update(txn, 1, 2, up);
+              }).ok());
+  Tuple out;
+  const uint64_t txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Select(txn, 1, 2, &out).ok());
+  engine_->Commit(txn);
+  EXPECT_EQ(out.GetString(1), "newname");
+  EXPECT_EQ(out.GetString(2), std::string(80, 'Z'));
+  EXPECT_EQ(out.GetU64(3), 6u);
+}
+
+TEST_P(EngineOpsTest, UpdateMissingIsNotFound) {
+  const Status s = InTxn([&](uint64_t txn) {
+    std::vector<ColumnUpdate> up{{3, Value::U64(1)}};
+    return engine_->Update(txn, 1, 999, up);
+  });
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST_P(EngineOpsTest, DeleteRemovesTuple) {
+  InTxn([&](uint64_t txn) {
+    return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 3, "gone"));
+  });
+  ASSERT_TRUE(
+      InTxn([&](uint64_t txn) { return engine_->Delete(txn, 1, 3); }).ok());
+  Tuple out;
+  const uint64_t txn = engine_->Begin();
+  EXPECT_TRUE(engine_->Select(txn, 1, 3, &out).IsNotFound());
+  engine_->Commit(txn);
+  EXPECT_TRUE(
+      InTxn([&](uint64_t txn) { return engine_->Delete(txn, 1, 3); })
+          .IsNotFound());
+}
+
+TEST_P(EngineOpsTest, DeleteThenReinsertSameKey) {
+  InTxn([&](uint64_t txn) {
+    return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 4, "first"));
+  });
+  InTxn([&](uint64_t txn) { return engine_->Delete(txn, 1, 4); });
+  ASSERT_TRUE(InTxn([&](uint64_t txn) {
+                return engine_->Insert(
+                    txn, 1, SimpleTuple(&def_.schema, 4, "second"));
+              }).ok());
+  Tuple out;
+  const uint64_t txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Select(txn, 1, 4, &out).ok());
+  engine_->Commit(txn);
+  EXPECT_EQ(out.GetString(1), "second");
+}
+
+TEST_P(EngineOpsTest, ScanRangeOrderedAndBounded) {
+  InTxn([&](uint64_t txn) {
+    for (uint64_t i = 0; i < 50; i++) {
+      Status s = engine_->Insert(
+          txn, 1, SimpleTuple(&def_.schema, i * 2, "k" + std::to_string(i)));
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  });
+  std::vector<uint64_t> keys;
+  const uint64_t txn = engine_->Begin();
+  engine_->ScanRange(txn, 1, 10, 20, [&](uint64_t k, const Tuple& t) {
+    EXPECT_EQ(t.GetU64(0), k);
+    keys.push_back(k);
+    return true;
+  });
+  engine_->Commit(txn);
+  EXPECT_EQ(keys, (std::vector<uint64_t>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST_P(EngineOpsTest, SecondaryIndexLookup) {
+  InTxn([&](uint64_t txn) {
+    engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 1, "smith"));
+    engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 2, "jones"));
+    engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 3, "smith"));
+    return Status::OK();
+  });
+  std::vector<Tuple> matches;
+  const uint64_t txn = engine_->Begin();
+  ASSERT_TRUE(engine_
+                  ->SelectSecondary(txn, 1, 0, {Value::Str("smith")},
+                                    &matches)
+                  .ok());
+  engine_->Commit(txn);
+  ASSERT_EQ(matches.size(), 2u);
+  std::set<uint64_t> ids{matches[0].GetU64(0), matches[1].GetU64(0)};
+  EXPECT_TRUE(ids.count(1) && ids.count(3));
+}
+
+TEST_P(EngineOpsTest, SecondaryIndexFollowsUpdates) {
+  InTxn([&](uint64_t txn) {
+    return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 1, "before"));
+  });
+  InTxn([&](uint64_t txn) {
+    std::vector<ColumnUpdate> up{{1, Value::Str("after")}};
+    return engine_->Update(txn, 1, 1, up);
+  });
+  std::vector<Tuple> matches;
+  const uint64_t txn = engine_->Begin();
+  engine_->SelectSecondary(txn, 1, 0, {Value::Str("before")}, &matches);
+  EXPECT_TRUE(matches.empty());
+  engine_->SelectSecondary(txn, 1, 0, {Value::Str("after")}, &matches);
+  engine_->Commit(txn);
+  ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST_P(EngineOpsTest, SecondaryIndexFollowsDelete) {
+  InTxn([&](uint64_t txn) {
+    return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 1, "dead"));
+  });
+  InTxn([&](uint64_t txn) { return engine_->Delete(txn, 1, 1); });
+  std::vector<Tuple> matches;
+  const uint64_t txn = engine_->Begin();
+  engine_->SelectSecondary(txn, 1, 0, {Value::Str("dead")}, &matches);
+  engine_->Commit(txn);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST_P(EngineOpsTest, AbortUndoesInsert) {
+  const uint64_t txn = engine_->Begin();
+  engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 9, "phantom"));
+  engine_->Abort(txn);
+  Tuple out;
+  const uint64_t txn2 = engine_->Begin();
+  EXPECT_TRUE(engine_->Select(txn2, 1, 9, &out).IsNotFound());
+  engine_->Commit(txn2);
+}
+
+TEST_P(EngineOpsTest, AbortUndoesUpdate) {
+  InTxn([&](uint64_t txn) {
+    return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 9, "orig", 1));
+  });
+  const uint64_t txn = engine_->Begin();
+  std::vector<ColumnUpdate> up{{1, Value::Str("changed")},
+                               {3, Value::U64(2)}};
+  engine_->Update(txn, 1, 9, up);
+  engine_->Abort(txn);
+  Tuple out;
+  const uint64_t txn2 = engine_->Begin();
+  ASSERT_TRUE(engine_->Select(txn2, 1, 9, &out).ok());
+  engine_->Commit(txn2);
+  EXPECT_EQ(out.GetString(1), "orig");
+  EXPECT_EQ(out.GetU64(3), 1u);
+}
+
+TEST_P(EngineOpsTest, AbortUndoesDelete) {
+  InTxn([&](uint64_t txn) {
+    return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 9, "alive"));
+  });
+  const uint64_t txn = engine_->Begin();
+  engine_->Delete(txn, 1, 9);
+  engine_->Abort(txn);
+  Tuple out;
+  const uint64_t txn2 = engine_->Begin();
+  ASSERT_TRUE(engine_->Select(txn2, 1, 9, &out).ok());
+  engine_->Commit(txn2);
+  EXPECT_EQ(out.GetString(1), "alive");
+}
+
+TEST_P(EngineOpsTest, AbortUndoesMixedOps) {
+  InTxn([&](uint64_t txn) {
+    engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 1, "one", 1));
+    engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 2, "two", 2));
+    return Status::OK();
+  });
+  const uint64_t txn = engine_->Begin();
+  engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 3, "three"));
+  engine_->Update(txn, 1, 1, {{1, Value::Str("ONE")}});
+  engine_->Delete(txn, 1, 2);
+  engine_->Abort(txn);
+
+  const uint64_t txn2 = engine_->Begin();
+  Tuple out;
+  EXPECT_TRUE(engine_->Select(txn2, 1, 3, &out).IsNotFound());
+  ASSERT_TRUE(engine_->Select(txn2, 1, 1, &out).ok());
+  EXPECT_EQ(out.GetString(1), "one");
+  ASSERT_TRUE(engine_->Select(txn2, 1, 2, &out).ok());
+  EXPECT_EQ(out.GetString(1), "two");
+  engine_->Commit(txn2);
+}
+
+TEST_P(EngineOpsTest, MultipleTables) {
+  TableDef def2 = SimpleTable(2);
+  ASSERT_TRUE(db_->CreateTable(def2).ok());
+  InTxn([&](uint64_t txn) {
+    engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 1, "t1"));
+    engine_->Insert(txn, 2, SimpleTuple(&def2.schema, 1, "t2"));
+    return Status::OK();
+  });
+  Tuple out;
+  const uint64_t txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Select(txn, 1, 1, &out).ok());
+  EXPECT_EQ(out.GetString(1), "t1");
+  ASSERT_TRUE(engine_->Select(txn, 2, 1, &out).ok());
+  EXPECT_EQ(out.GetString(1), "t2");
+  engine_->Commit(txn);
+}
+
+TEST_P(EngineOpsTest, UnknownTableRejected) {
+  const uint64_t txn = engine_->Begin();
+  Tuple out;
+  EXPECT_TRUE(
+      engine_->Select(txn, 42, 1, &out).IsInvalidArgument());
+  engine_->Commit(txn);
+}
+
+TEST_P(EngineOpsTest, ManyTuplesRandomOpsMatchModel) {
+  std::map<uint64_t, uint64_t> model;  // key -> count column value
+  Random rng(static_cast<uint64_t>(GetParam()) + 99);
+  for (int i = 0; i < 2000; i++) {
+    const uint64_t key = rng.Uniform(300);
+    const int op = static_cast<int>(rng.Uniform(4));
+    InTxn([&](uint64_t txn) {
+      if (op == 0) {  // insert
+        if (model.count(key)) return Status::OK();
+        const uint64_t count = rng.Uniform(1000);
+        Status s = engine_->Insert(
+            txn, 1, SimpleTuple(&def_.schema, key, "n", count));
+        if (s.ok()) model[key] = count;
+        return Status::OK();
+      }
+      if (op == 1) {  // update
+        if (!model.count(key)) return Status::OK();
+        const uint64_t count = rng.Uniform(1000);
+        std::vector<ColumnUpdate> up{{3, Value::U64(count)}};
+        if (engine_->Update(txn, 1, key, up).ok()) model[key] = count;
+        return Status::OK();
+      }
+      if (op == 2) {  // delete
+        if (engine_->Delete(txn, 1, key).ok()) model.erase(key);
+        return Status::OK();
+      }
+      // select
+      Tuple out;
+      const Status s = engine_->Select(txn, 1, key, &out);
+      EXPECT_EQ(s.ok(), model.count(key) > 0) << "key " << key;
+      if (s.ok()) EXPECT_EQ(out.GetU64(3), model[key]);
+      return Status::OK();
+    });
+  }
+  // Final sweep.
+  const uint64_t txn = engine_->Begin();
+  for (const auto& [key, count] : model) {
+    Tuple out;
+    ASSERT_TRUE(engine_->Select(txn, 1, key, &out).ok()) << key;
+    EXPECT_EQ(out.GetU64(3), count);
+  }
+  engine_->Commit(txn);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineOpsTest,
+                         ::testing::ValuesIn(testutil::kAllEngines),
+                         [](const auto& info) {
+                           std::string name = EngineKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace nvmdb

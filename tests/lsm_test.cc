@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/memtable.h"
+
+namespace nvmdb {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnType::kUInt64, 8},
+                 {"name", ColumnType::kVarchar, 32},
+                 {"count", ColumnType::kUInt64, 8}});
+}
+
+Tuple MakeTuple(const Schema* schema, uint64_t id, const std::string& name,
+                uint64_t count) {
+  Tuple t(schema);
+  t.SetU64(0, id);
+  t.SetString(1, name);
+  t.SetU64(2, count);
+  return t;
+}
+
+// --- Delta encoding / coalescing ------------------------------------------------
+
+TEST(DeltaTest, EncodeDecodeUpdates) {
+  const Schema schema = TestSchema();
+  std::vector<ColumnUpdate> updates;
+  updates.push_back({1, Value::Str("renamed")});
+  updates.push_back({2, Value::U64(99)});
+  const std::string bytes = EncodeUpdates(schema, updates);
+  const auto out = DecodeUpdates(schema, Slice(bytes));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].column, 1u);
+  EXPECT_EQ(out[0].value.str, "renamed");
+  EXPECT_EQ(out[1].column, 2u);
+  EXPECT_EQ(out[1].value.num, 99u);
+}
+
+TEST(DeltaTest, MaterializeAppliesDeltasOverBase) {
+  const Schema schema = TestSchema();
+  const Tuple base = MakeTuple(&schema, 1, "orig", 5);
+  std::vector<DeltaRecord> records;
+  // Newest first: delta(count=7), delta(name=new), full(base).
+  records.push_back(
+      {DeltaKind::kDelta, EncodeUpdates(schema, {{2, Value::U64(7)}})});
+  records.push_back({DeltaKind::kDelta,
+                     EncodeUpdates(schema, {{1, Value::Str("new")}})});
+  records.push_back({DeltaKind::kFull, base.SerializeInlined()});
+  Tuple out(&schema);
+  ASSERT_TRUE(MaterializeNewestFirst(schema, records, &out));
+  EXPECT_EQ(out.GetU64(0), 1u);
+  EXPECT_EQ(out.GetString(1), "new");
+  EXPECT_EQ(out.GetU64(2), 7u);
+}
+
+TEST(DeltaTest, TombstoneConcludesAsDead) {
+  const Schema schema = TestSchema();
+  std::vector<DeltaRecord> records;
+  records.push_back({DeltaKind::kTombstone, ""});
+  records.push_back({DeltaKind::kFull,
+                     MakeTuple(&schema, 1, "x", 0).SerializeInlined()});
+  Tuple out(&schema);
+  EXPECT_FALSE(MaterializeNewestFirst(schema, records, &out));
+}
+
+TEST(DeltaTest, CoalesceMergesDeltasNewestWins) {
+  const Schema schema = TestSchema();
+  std::vector<DeltaRecord> records;
+  records.push_back(
+      {DeltaKind::kDelta, EncodeUpdates(schema, {{2, Value::U64(2)}})});
+  records.push_back(
+      {DeltaKind::kDelta, EncodeUpdates(schema, {{2, Value::U64(1)}})});
+  const DeltaRecord out = CoalesceNewestFirst(schema, records);
+  EXPECT_EQ(out.kind, DeltaKind::kDelta);
+  const auto updates = DecodeUpdates(schema, Slice(out.payload));
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].value.num, 2u);  // newest wins
+}
+
+TEST(DeltaTest, CoalesceFoldsIntoFullImage) {
+  const Schema schema = TestSchema();
+  std::vector<DeltaRecord> records;
+  records.push_back(
+      {DeltaKind::kDelta, EncodeUpdates(schema, {{2, Value::U64(10)}})});
+  records.push_back({DeltaKind::kFull,
+                     MakeTuple(&schema, 1, "base", 0).SerializeInlined()});
+  const DeltaRecord out = CoalesceNewestFirst(schema, records);
+  EXPECT_EQ(out.kind, DeltaKind::kFull);
+  const Tuple t = Tuple::ParseInlined(&schema, Slice(out.payload));
+  EXPECT_EQ(t.GetU64(2), 10u);
+  EXPECT_EQ(t.GetString(1), "base");
+}
+
+// --- MemTable ------------------------------------------------------------------
+
+class MemTableTest : public ::testing::Test {
+ protected:
+  MemTableTest()
+      : device_(32ull * 1024 * 1024, NvmLatencyConfig::Dram()),
+        allocator_(&device_),
+        schema_(TestSchema()),
+        mem_(&allocator_, 512) {}
+
+  NvmDevice device_;
+  PmemAllocator allocator_;
+  Schema schema_;
+  MemTable mem_;
+};
+
+TEST_F(MemTableTest, PushCollectNewestFirst) {
+  mem_.Push(1, DeltaKind::kFull, Slice("base"));
+  mem_.Push(1, DeltaKind::kDelta, Slice("d1"));
+  mem_.Push(1, DeltaKind::kDelta, Slice("d2"));
+  std::vector<DeltaRecord> records;
+  mem_.Collect(1, &records);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].payload, "d2");
+  EXPECT_EQ(records[2].payload, "base");
+}
+
+TEST_F(MemTableTest, PopNewestUndoesPush) {
+  mem_.Push(1, DeltaKind::kFull, Slice("base"));
+  const uint64_t off = mem_.Push(1, DeltaKind::kDelta, Slice("d1"));
+  EXPECT_TRUE(mem_.PopNewest(1, off));
+  std::vector<DeltaRecord> records;
+  mem_.Collect(1, &records);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "base");
+  // Popping a non-head record fails.
+  EXPECT_FALSE(mem_.PopNewest(1, off));
+}
+
+TEST_F(MemTableTest, PopLastRecordRemovesKey) {
+  const uint64_t off = mem_.Push(5, DeltaKind::kFull, Slice("x"));
+  EXPECT_TRUE(mem_.PopNewest(5, off));
+  EXPECT_FALSE(mem_.ContainsKey(5));
+  EXPECT_EQ(mem_.KeyCount(), 0u);
+}
+
+TEST_F(MemTableTest, ApproxBytesAndRelease) {
+  const AllocatorStats before = allocator_.stats();
+  for (uint64_t i = 0; i < 100; i++) {
+    mem_.Push(i, DeltaKind::kFull, Slice(std::string(50, 'a')));
+  }
+  EXPECT_GE(mem_.ApproxBytes(), 100u * 50);
+  mem_.ReleaseAll();
+  EXPECT_EQ(mem_.ApproxBytes(), 0u);
+  EXPECT_EQ(allocator_.stats().total_used, before.total_used);
+}
+
+TEST_F(MemTableTest, KeysInRangeSorted) {
+  for (uint64_t i : {5, 1, 9, 3, 7}) {
+    mem_.Push(i, DeltaKind::kFull, Slice("x"));
+  }
+  std::vector<uint64_t> keys;
+  mem_.CollectKeysInRange(2, 8, &keys);
+  EXPECT_EQ(keys, (std::vector<uint64_t>{3, 5, 7}));
+}
+
+// --- SSTable -------------------------------------------------------------------
+
+class SsTableTest : public ::testing::Test {
+ protected:
+  SsTableTest()
+      : device_(32ull * 1024 * 1024, NvmLatencyConfig::Dram()),
+        allocator_(&device_),
+        fs_(&allocator_),
+        schema_(TestSchema()) {}
+
+  std::vector<std::pair<uint64_t, DeltaRecord>> MakeEntries(int n) {
+    std::vector<std::pair<uint64_t, DeltaRecord>> entries;
+    for (int i = 0; i < n; i++) {
+      entries.emplace_back(
+          i * 2, DeltaRecord{DeltaKind::kFull,
+                             MakeTuple(&schema_, i * 2, "name", i)
+                                 .SerializeInlined()});
+    }
+    return entries;
+  }
+
+  NvmDevice device_;
+  PmemAllocator allocator_;
+  Pmfs fs_;
+  Schema schema_;
+};
+
+TEST_F(SsTableTest, BuildGetForEach) {
+  auto table = SsTable::Build(&fs_, "run1.sst", MakeEntries(100));
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->entry_count(), 100u);
+  DeltaRecord record;
+  ASSERT_TRUE(table->Get(42, &record));
+  const Tuple t = Tuple::ParseInlined(&schema_, Slice(record.payload));
+  EXPECT_EQ(t.GetU64(0), 42u);
+  EXPECT_FALSE(table->Get(43, &record));  // odd keys absent
+  size_t count = 0;
+  uint64_t last = 0;
+  table->ForEach([&](uint64_t key, const DeltaRecord&) {
+    EXPECT_GE(key, last);
+    last = key;
+    count++;
+  });
+  EXPECT_EQ(count, 100u);
+}
+
+TEST_F(SsTableTest, ReopenRebuildsIndexAndBloom) {
+  { auto table = SsTable::Build(&fs_, "run1.sst", MakeEntries(50)); }
+  auto table = SsTable::Open(&fs_, "run1.sst");
+  ASSERT_NE(table, nullptr);
+  DeltaRecord record;
+  EXPECT_TRUE(table->Get(0, &record));
+  EXPECT_TRUE(table->Get(98, &record));
+  EXPECT_FALSE(table->Get(99, &record));
+}
+
+TEST_F(SsTableTest, CorruptFileRejectedAtOpen) {
+  { auto table = SsTable::Build(&fs_, "run1.sst", MakeEntries(10)); }
+  Pmfs::Fd fd = fs_.Open("run1.sst", false);
+  char byte = 0x77;
+  fs_.Write(fd, 20, &byte, 1);
+  fs_.Fsync(fd);
+  fs_.Close(fd);
+  EXPECT_EQ(SsTable::Open(&fs_, "run1.sst"), nullptr);
+}
+
+TEST_F(SsTableTest, KeysInRange) {
+  auto table = SsTable::Build(&fs_, "run1.sst", MakeEntries(100));
+  std::vector<uint64_t> keys;
+  table->CollectKeysInRange(10, 16, &keys);
+  EXPECT_EQ(keys, (std::vector<uint64_t>{10, 12, 14, 16}));
+}
+
+TEST_F(SsTableTest, DestroyDeletesFile) {
+  auto table = SsTable::Build(&fs_, "run1.sst", MakeEntries(10));
+  table->Destroy();
+  EXPECT_FALSE(fs_.Exists("run1.sst"));
+}
+
+// --- LsmTree -------------------------------------------------------------------
+
+class LsmTreeTest : public SsTableTest {};
+
+TEST_F(LsmTreeTest, CollectStopsAtConclusiveRecord) {
+  LsmTree lsm(&fs_, &schema_, "t1", 4);
+  // Older run: full image. Newer run: delta.
+  lsm.AddLevel0(SsTable::Build(
+      &fs_, "a.sst",
+      {{1, {DeltaKind::kFull,
+            MakeTuple(&schema_, 1, "v1", 0).SerializeInlined()}}}));
+  lsm.AddLevel0(SsTable::Build(
+      &fs_, "b.sst",
+      {{1, {DeltaKind::kDelta,
+            EncodeUpdates(schema_, {{2, Value::U64(5)}})}}}));
+  std::vector<DeltaRecord> records;
+  lsm.Collect(1, &records);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].kind, DeltaKind::kDelta);
+  EXPECT_EQ(records[1].kind, DeltaKind::kFull);
+  Tuple t(&schema_);
+  ASSERT_TRUE(MaterializeNewestFirst(schema_, records, &t));
+  EXPECT_EQ(t.GetU64(2), 5u);
+}
+
+TEST_F(LsmTreeTest, CompactionMergesRuns) {
+  LsmTree lsm(&fs_, &schema_, "t1", 2);
+  for (int run = 0; run < 4; run++) {
+    std::vector<std::pair<uint64_t, DeltaRecord>> entries;
+    for (uint64_t k = 0; k < 20; k++) {
+      entries.emplace_back(
+          k, DeltaRecord{DeltaKind::kFull,
+                         MakeTuple(&schema_, k, "r" + std::to_string(run),
+                                   run)
+                             .SerializeInlined()});
+    }
+    lsm.AddLevel0(
+        SsTable::Build(&fs_, "r" + std::to_string(run) + ".sst", entries));
+  }
+  EXPECT_TRUE(lsm.MaybeCompact());
+  EXPECT_EQ(lsm.RunCount(), 1u);
+  // Newest run's values won the merge.
+  std::vector<DeltaRecord> records;
+  lsm.Collect(5, &records);
+  ASSERT_EQ(records.size(), 1u);
+  Tuple t = Tuple::ParseInlined(&schema_, Slice(records[0].payload));
+  EXPECT_EQ(t.GetString(1), "r3");
+}
+
+TEST_F(LsmTreeTest, TombstonesDroppedAtBottomKeptAbove) {
+  LsmTree lsm(&fs_, &schema_, "t1", 1);
+  lsm.AddLevel0(SsTable::Build(
+      &fs_, "a.sst",
+      {{1, {DeltaKind::kFull,
+            MakeTuple(&schema_, 1, "x", 0).SerializeInlined()}}}));
+  lsm.AddLevel0(
+      SsTable::Build(&fs_, "b.sst", {{1, {DeltaKind::kTombstone, ""}}}));
+  lsm.ForceCompact();
+  // Key 1 was deleted; the merged bottom run drops the tombstone and the
+  // key entirely.
+  std::vector<DeltaRecord> records;
+  lsm.Collect(1, &records);
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(LsmTreeTest, ManifestRecovery) {
+  {
+    LsmTree lsm(&fs_, &schema_, "t1", 4);
+    lsm.AddLevel0(SsTable::Build(
+        &fs_, "a.sst",
+        {{7, {DeltaKind::kFull,
+              MakeTuple(&schema_, 7, "keep", 3).SerializeInlined()}}}));
+  }
+  LsmTree lsm(&fs_, &schema_, "t1", 4);
+  ASSERT_TRUE(lsm.Recover().ok());
+  EXPECT_EQ(lsm.RunCount(), 1u);
+  std::vector<DeltaRecord> records;
+  lsm.Collect(7, &records);
+  ASSERT_EQ(records.size(), 1u);
+}
+
+TEST_F(LsmTreeTest, RangeCollectAcrossRuns) {
+  LsmTree lsm(&fs_, &schema_, "t1", 4);
+  lsm.AddLevel0(SsTable::Build(
+      &fs_, "a.sst",
+      {{2, {DeltaKind::kFull, MakeTuple(&schema_, 2, "a", 0)
+                                  .SerializeInlined()}},
+       {4, {DeltaKind::kFull, MakeTuple(&schema_, 4, "a", 0)
+                                  .SerializeInlined()}}}));
+  lsm.AddLevel0(SsTable::Build(
+      &fs_, "b.sst",
+      {{3, {DeltaKind::kFull, MakeTuple(&schema_, 3, "b", 0)
+                                  .SerializeInlined()}}}));
+  std::vector<uint64_t> keys;
+  lsm.CollectKeysInRange(2, 4, &keys);
+  EXPECT_EQ(keys, (std::vector<uint64_t>{2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace nvmdb

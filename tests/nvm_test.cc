@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nvm/cache_sim.h"
+#include "nvm/nvm_device.h"
+#include "nvm/sync.h"
+
+namespace nvmdb {
+namespace {
+
+// --- CacheSim ---------------------------------------------------------------
+
+TEST(CacheSimTest, HitAfterMiss) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 4096;
+  cfg.line_size = 64;
+  cfg.associativity = 4;
+  cfg.num_banks = 1;
+  CacheSim cache(cfg, {});
+  EXPECT_EQ(cache.Access(0, 64, false), 1u);  // miss
+  EXPECT_EQ(cache.Access(0, 64, false), 0u);  // hit
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheSimTest, MultiLineAccess) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 4096;
+  cfg.num_banks = 1;
+  CacheSim cache(cfg, {});
+  // 200 bytes spanning 4 lines (unaligned start).
+  EXPECT_EQ(cache.Access(30, 200, false), 4u);
+}
+
+TEST(CacheSimTest, DirtyEvictionTriggersWriteBack) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 256;  // 4 lines total
+  cfg.line_size = 64;
+  cfg.associativity = 2;
+  cfg.num_banks = 1;
+  size_t write_backs = 0;
+  CacheCallbacks callbacks;
+  callbacks.write_back = [&](uint64_t, size_t) { write_backs++; };
+  CacheSim cache(cfg, std::move(callbacks));
+  // Dirty many distinct lines; capacity forces evictions of dirty lines.
+  for (uint64_t i = 0; i < 64; i++) cache.Access(i * 64, 8, true);
+  EXPECT_GT(write_backs, 32u);
+}
+
+TEST(CacheSimTest, FlushWritesBackAndInvalidates) {
+  CacheConfig cfg;
+  cfg.num_banks = 1;
+  size_t write_backs = 0, fills = 0;
+  CacheCallbacks callbacks;
+  callbacks.write_back = [&](uint64_t, size_t) { write_backs++; };
+  callbacks.fill = [&](uint64_t, size_t) { fills++; };
+  CacheSim cache(cfg, std::move(callbacks));
+  cache.Access(128, 8, true);
+  EXPECT_EQ(cache.FlushRange(128, 8, /*invalidate=*/true), 1u);
+  EXPECT_EQ(write_backs, 1u);
+  // Invalidated: next access misses again.
+  const size_t fills_before = fills;
+  cache.Access(128, 8, false);
+  EXPECT_EQ(fills, fills_before + 1);
+}
+
+TEST(CacheSimTest, ClwbKeepsLineResident) {
+  CacheConfig cfg;
+  cfg.num_banks = 1;
+  CacheSim cache(cfg, {});
+  cache.Access(128, 8, true);
+  cache.FlushRange(128, 8, /*invalidate=*/false);  // CLWB semantics
+  EXPECT_EQ(cache.Access(128, 8, false), 0u);      // still cached
+}
+
+TEST(CacheSimTest, FlushCleanLineIsNoop) {
+  CacheConfig cfg;
+  cfg.num_banks = 1;
+  CacheSim cache(cfg, {});
+  cache.Access(0, 8, false);
+  EXPECT_EQ(cache.FlushRange(0, 8, true), 0u);
+}
+
+TEST(CacheSimTest, DropDirtyDiscardsWithoutWriteBack) {
+  CacheConfig cfg;
+  cfg.num_banks = 1;
+  size_t write_backs = 0;
+  CacheCallbacks callbacks;
+  callbacks.write_back = [&](uint64_t, size_t) { write_backs++; };
+  CacheSim cache(cfg, std::move(callbacks));
+  cache.Access(0, 64, true);
+  cache.DropDirty();
+  EXPECT_EQ(write_backs, 0u);
+  EXPECT_EQ(cache.FlushRange(0, 64, true), 0u);  // nothing cached anymore
+}
+
+// --- NvmDevice ---------------------------------------------------------------
+
+class NvmDeviceTest : public ::testing::Test {
+ protected:
+  NvmDeviceTest() : device_(1 << 20, NvmLatencyConfig::LowNvm()) {}
+  NvmDevice device_;
+};
+
+TEST_F(NvmDeviceTest, WriteReadRoundTrip) {
+  const char data[] = "hello nvm";
+  device_.Write(100, data, sizeof(data));
+  char out[sizeof(data)];
+  device_.Read(100, out, sizeof(data));
+  EXPECT_STREQ(out, "hello nvm");
+}
+
+TEST_F(NvmDeviceTest, UnpersistedWritesAreLostOnCrash) {
+  const char data[] = "volatile!";
+  device_.Write(4096, data, sizeof(data));
+  device_.Crash();
+  char out[sizeof(data)] = {};
+  device_.Read(4096, out, sizeof(data));
+  EXPECT_EQ(out[0], '\0');
+}
+
+TEST_F(NvmDeviceTest, PersistedWritesSurviveCrash) {
+  const char data[] = "durable";
+  device_.Write(4096, data, sizeof(data));
+  device_.Persist(4096, sizeof(data));
+  device_.Crash();
+  char out[sizeof(data)] = {};
+  device_.Read(4096, out, sizeof(data));
+  EXPECT_STREQ(out, "durable");
+}
+
+TEST_F(NvmDeviceTest, EvictedDirtyLinesSurviveCrash) {
+  // Fill far more lines than the cache holds; early lines get evicted
+  // (written back) and must survive even without explicit Persist.
+  CacheConfig small_cache;
+  small_cache.capacity_bytes = 8 * 1024;
+  small_cache.num_banks = 1;
+  NvmDevice device(1 << 20, NvmLatencyConfig::Dram(), small_cache);
+  for (uint64_t i = 0; i < 1024; i++) {
+    const uint64_t v = i * 3 + 1;
+    device.Write(i * 64, &v, 8);
+  }
+  device.Crash();
+  size_t survived = 0;
+  for (uint64_t i = 0; i < 1024; i++) {
+    uint64_t v = 0;
+    device.Read(i * 64, &v, 8);
+    if (v == i * 3 + 1) survived++;
+  }
+  // Most lines were evicted and written back; only the last ~128 lines
+  // (cache capacity) could be lost.
+  EXPECT_GT(survived, 800u);
+  EXPECT_LT(survived, 1024u);
+}
+
+TEST_F(NvmDeviceTest, AtomicPersistWrite64) {
+  device_.AtomicPersistWrite64(512, 0xDEADBEEFCAFEF00DULL);
+  device_.Crash();
+  uint64_t v = 0;
+  device_.Read(512, &v, 8);
+  EXPECT_EQ(v, 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST_F(NvmDeviceTest, FlushAllMakesEverythingDurable) {
+  for (uint64_t i = 0; i < 100; i++) device_.Write(i * 128, &i, 8);
+  device_.FlushAll();
+  device_.Crash();
+  for (uint64_t i = 0; i < 100; i++) {
+    uint64_t v = ~0ull;
+    device_.Read(i * 128, &v, 8);
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST_F(NvmDeviceTest, CountersTrackLoadsAndStores) {
+  const NvmCounters before = device_.counters();
+  char buf[256];
+  device_.Read(0, buf, 256);  // 4 line fills
+  const NvmCounters after = device_.counters();
+  EXPECT_GE(after.loads - before.loads, 4u);
+}
+
+TEST_F(NvmDeviceTest, MissesCostMoreThanHits) {
+  char buf[64];
+  device_.Read(8192, buf, 64);  // miss: full NVM read latency
+  const uint64_t after_miss = device_.TotalStallNanos();
+  EXPECT_GE(after_miss, device_.latency_config().read_latency_ns);
+  device_.Read(8192, buf, 64);  // hit: only the cache-hit cost
+  const uint64_t hit_cost = device_.TotalStallNanos() - after_miss;
+  EXPECT_EQ(hit_cost, device_.latency_config().cache_hit_ns);
+}
+
+TEST_F(NvmDeviceTest, DramProfileChargesBaselineLatency) {
+  NvmDevice device(1 << 20, NvmLatencyConfig::Dram());
+  char buf[64];
+  device.Read(0, buf, 64);
+  EXPECT_EQ(device.TotalStallNanos(),
+            NvmLatencyConfig::Dram().read_latency_ns);
+}
+
+TEST_F(NvmDeviceTest, HighLatencyChargesMoreThanLow) {
+  NvmDevice low(1 << 20, NvmLatencyConfig::LowNvm());
+  NvmDevice high(1 << 20, NvmLatencyConfig::HighNvm());
+  char buf[4096];
+  low.Read(0, buf, 4096);
+  high.Read(0, buf, 4096);
+  EXPECT_GT(high.TotalStallNanos(), low.TotalStallNanos() * 3);
+}
+
+TEST_F(NvmDeviceTest, SyncLatencySweepAffectsStall) {
+  NvmDevice device(1 << 20, NvmLatencyConfig::Dram());
+  uint64_t costs[2];
+  int idx = 0;
+  for (uint64_t lat : {10ull, 10000ull}) {
+    ScopedSyncLatency sweep(&device, lat);
+    const uint64_t before = device.TotalStallNanos();
+    for (int i = 0; i < 100; i++) {
+      uint64_t v = i;
+      device.Write(i * 64, &v, 8);
+      device.Persist(i * 64, 8);
+    }
+    costs[idx++] = device.TotalStallNanos() - before;
+  }
+  EXPECT_GT(costs[1], costs[0] * 50);
+}
+
+TEST_F(NvmDeviceTest, OffsetPointerRoundTrip) {
+  void* p = device_.PtrAt(12345);
+  EXPECT_EQ(device_.OffsetOf(p), 12345u);
+  EXPECT_TRUE(device_.Contains(p));
+}
+
+TEST(NvmPtrTest, ResolvesAgainstCurrentDevice) {
+  NvmDevice device(1 << 16);
+  NvmEnv::Set(&device);
+  uint64_t* raw = reinterpret_cast<uint64_t*>(device.PtrAt(256));
+  *raw = 77;
+  NvmPtr<uint64_t> ptr = NvmPtr<uint64_t>::FromRaw(raw);
+  EXPECT_FALSE(ptr.IsNull());
+  EXPECT_EQ(*ptr, 77u);
+  EXPECT_EQ(ptr.offset(), 256u);
+  NvmPtr<uint64_t> null;
+  EXPECT_TRUE(null.IsNull());
+  EXPECT_EQ(null.get(), nullptr);
+  NvmEnv::Set(nullptr);
+}
+
+}  // namespace
+}  // namespace nvmdb

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "nvm/pmem_allocator.h"
+#include "nvm/pmfs.h"
+#include "nvm/sync.h"
+#include "testbed/stats.h"
+
+namespace nvmdb {
+namespace {
+
+// --- Simulated-clock accounting ----------------------------------------------
+
+TEST(SimClockTest, VirtualAccessesChargeTheClock) {
+  NvmDevice device(1 << 20, NvmLatencyConfig::Dram());
+  std::vector<uint8_t> heap_object(4096);
+  const uint64_t before = device.TotalStallNanos();
+  device.TouchVirtual(heap_object.data(), heap_object.size(), false);
+  // 64 lines, all cold: charged at read latency.
+  EXPECT_GE(device.TotalStallNanos() - before,
+            64 * NvmLatencyConfig::Dram().read_latency_ns);
+}
+
+TEST(SimClockTest, VirtualAccessesHitAfterFirstTouch) {
+  NvmDevice device(1 << 20, NvmLatencyConfig::Dram());
+  std::vector<uint8_t> heap_object(256);
+  device.TouchVirtual(heap_object.data(), 256, false);
+  const NvmCounters before = device.counters();
+  device.TouchVirtual(heap_object.data(), 256, false);
+  const NvmCounters after = device.counters();
+  EXPECT_EQ(after.loads, before.loads);       // no new misses
+  EXPECT_GE(after.hits, before.hits + 4);     // served from cache
+}
+
+TEST(SimClockTest, VirtualWritesNeverReachDurableImage) {
+  NvmDevice device(1 << 20, NvmLatencyConfig::Dram());
+  // A virtual (heap-addressed) dirty line must not corrupt the region when
+  // written back: only the stall is charged.
+  std::vector<uint8_t> heap_object(64);
+  device.TouchVirtual(heap_object.data(), 64, true);
+  uint64_t probe = 0xABCD;
+  device.Write(128, &probe, 8);
+  device.Persist(128, 8);
+  device.Crash();
+  uint64_t v = 0;
+  device.Read(128, &v, 8);
+  EXPECT_EQ(v, 0xABCDu);
+}
+
+TEST(SimClockTest, ExternalChargesTrackedSeparately) {
+  NvmDevice device(1 << 20, NvmLatencyConfig::Dram());
+  device.ChargeExternalStall(12345);
+  const NvmCounters c = device.counters();
+  EXPECT_EQ(c.external_ns, 12345u);
+  EXPECT_GE(c.stall_ns, 12345u);
+}
+
+TEST(SimClockTest, ClwbModeAvoidsReloadAfterPersist) {
+  NvmLatencyConfig clwb = NvmLatencyConfig::Dram();
+  clwb.use_clwb = true;
+  NvmDevice device(1 << 20, clwb);
+  uint64_t v = 7;
+  device.Write(256, &v, 8);
+  device.Persist(256, 8);
+  const NvmCounters before = device.counters();
+  device.Read(256, &v, 8);  // CLWB kept the line: hit
+  const NvmCounters after = device.counters();
+  EXPECT_EQ(after.loads, before.loads);
+}
+
+TEST(SimClockTest, ClflushModeReloadsAfterPersist) {
+  NvmLatencyConfig clflush = NvmLatencyConfig::Dram();
+  clflush.use_clwb = false;
+  NvmDevice device(1 << 20, clflush);
+  uint64_t v = 7;
+  device.Write(256, &v, 8);
+  device.Persist(256, 8);
+  const NvmCounters before = device.counters();
+  device.Read(256, &v, 8);  // CLFLUSH invalidated the line: miss
+  const NvmCounters after = device.counters();
+  EXPECT_EQ(after.loads, before.loads + 1);
+}
+
+TEST(SimClockTest, ClwbPersistIsStillDurable) {
+  NvmLatencyConfig clwb = NvmLatencyConfig::Dram();
+  clwb.use_clwb = true;
+  NvmDevice device(1 << 20, clwb);
+  uint64_t v = 99;
+  device.Write(512, &v, 8);
+  device.Persist(512, 8);
+  // Dirty the line again WITHOUT persisting; the re-dirtied value must be
+  // lost but the persisted one kept.
+  uint64_t v2 = 100;
+  device.Write(512, &v2, 8);
+  device.Crash();
+  uint64_t out = 0;
+  device.Read(512, &out, 8);
+  EXPECT_EQ(out, 99u);
+}
+
+// --- Allocator fast paths -------------------------------------------------------
+
+class AllocFastPathTest : public ::testing::Test {
+ protected:
+  AllocFastPathTest() : device_(16ull << 20), allocator_(&device_) {}
+  NvmDevice device_;
+  PmemAllocator allocator_;
+};
+
+TEST_F(AllocFastPathTest, PersistPayloadAndMarkIsDurableInOneStep) {
+  const uint64_t off =
+      allocator_.Alloc(64, StorageTag::kTable, /*sync_header=*/false);
+  const char payload[] = "one-sync durability";
+  device_.Write(off, payload, sizeof(payload));
+  allocator_.PersistPayloadAndMark(off, sizeof(payload));
+
+  device_.Crash();
+  PmemAllocator recovered(&device_, false);
+  EXPECT_EQ(recovered.StateOf(off), PmemAllocator::SlotState::kPersisted);
+  char out[sizeof(payload)] = {};
+  device_.Read(off, out, sizeof(payload));
+  EXPECT_STREQ(out, payload);
+}
+
+TEST_F(AllocFastPathTest, UnmarkedSkipHeaderAllocVanishesOnCrash) {
+  const uint64_t off =
+      allocator_.Alloc(64, StorageTag::kTable, /*sync_header=*/false);
+  (void)off;
+  device_.Crash();
+  PmemAllocator recovered(&device_, false);
+  // The header was never durable, so the heap walk ends before it and the
+  // space is simply not part of the heap.
+  EXPECT_LE(recovered.high_water(), device_.OffsetOf(device_.PtrAt(0)) +
+                                        recovered.high_water());
+  EXPECT_EQ(recovered.stats().total_used, 0u);
+}
+
+TEST_F(AllocFastPathTest, ReusedSlotUnpersistedIsReclaimed) {
+  const uint64_t a = allocator_.Alloc(64);
+  allocator_.Free(a);
+  const uint64_t b = allocator_.Alloc(64);  // reuse, durable state kFree
+  ASSERT_EQ(a, b);
+  device_.Crash();
+  PmemAllocator recovered(&device_, false);
+  EXPECT_EQ(recovered.StateOf(a), PmemAllocator::SlotState::kFree);
+}
+
+TEST_F(AllocFastPathTest, HighWaterRederivedFromWalk) {
+  const uint64_t a = allocator_.Alloc(100, StorageTag::kTable);
+  allocator_.MarkPersisted(a);
+  const uint64_t hw = allocator_.high_water();
+  device_.Crash();
+  PmemAllocator recovered(&device_, false);
+  EXPECT_EQ(recovered.high_water(), hw);
+  // New allocations continue past the walked end.
+  const uint64_t b = recovered.Alloc(100, StorageTag::kTable);
+  EXPECT_GE(b, hw);
+}
+
+// --- Derivation consistency -----------------------------------------------------
+
+TEST(DerivationTest, RunningUnderProfileMatchesDerivedStall) {
+  // The analytic stall derivation in bench_util mirrors the runtime
+  // charging; verify the underlying identity here with raw counters:
+  // running N cold-line reads charges N * read_latency.
+  NvmLatencyConfig cfg = NvmLatencyConfig::HighNvm();
+  cfg.sync_latency_ns = 0;
+  NvmDevice device(1 << 20, cfg);
+  CounterSampler sampler(&device);
+  char buf[64];
+  const uint64_t before = device.TotalStallNanos();
+  for (int i = 0; i < 100; i++) device.Read(i * 4096, buf, 64);
+  const CounterDelta d = sampler.Delta();
+  const uint64_t stall = device.TotalStallNanos() - before;
+  EXPECT_EQ(d.loads, 100u);
+  EXPECT_EQ(stall, 100 * cfg.read_latency_ns + d.hits * cfg.cache_hit_ns);
+}
+
+}  // namespace
+}  // namespace nvmdb

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "testbed/database.h"
+
+namespace nvmdb {
+namespace testutil {
+
+/// A small two-varchar-column test schema: id, name(32), payload(100),
+/// count.
+inline TableDef SimpleTable(uint32_t table_id = 1) {
+  TableDef def;
+  def.table_id = table_id;
+  def.name = "simple";
+  def.schema = Schema({{"id", ColumnType::kUInt64, 8},
+                       {"name", ColumnType::kVarchar, 32},
+                       {"payload", ColumnType::kVarchar, 100},
+                       {"count", ColumnType::kUInt64, 8}});
+  SecondaryIndexDef by_name;
+  by_name.index_id = 0;
+  by_name.key_columns = {1};
+  def.secondary_indexes.push_back(by_name);
+  return def;
+}
+
+inline Tuple SimpleTuple(const Schema* schema, uint64_t id,
+                         const std::string& name, uint64_t count = 0) {
+  Tuple t(schema);
+  t.SetU64(0, id);
+  t.SetString(1, name);
+  t.SetString(2, std::string(100, static_cast<char>('a' + id % 26)));
+  t.SetU64(3, count);
+  return t;
+}
+
+/// Fresh single/multi-partition database for one engine kind.
+inline std::unique_ptr<Database> MakeDb(
+    EngineKind kind, size_t partitions = 1,
+    size_t capacity = 64ull * 1024 * 1024) {
+  DatabaseConfig config;
+  config.num_partitions = partitions;
+  config.nvm_capacity = capacity;
+  config.latency = NvmLatencyConfig::Dram();
+  config.engine = kind;
+  // Small group-commit and flush thresholds so tests exercise those paths
+  // quickly.
+  config.engine_config.group_commit_size = 4;
+  config.engine_config.memtable_threshold_bytes = 64 * 1024;
+  return std::make_unique<Database>(config);
+}
+
+inline const EngineKind kAllEngines[] = {
+    EngineKind::kInP,    EngineKind::kCoW,    EngineKind::kLog,
+    EngineKind::kNvmInP, EngineKind::kNvmCoW, EngineKind::kNvmLog,
+};
+
+}  // namespace testutil
+}  // namespace nvmdb

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "engine/keys.h"
+#include "engine/table_storage.h"
+#include "engine/tuple.h"
+
+namespace nvmdb {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({{"id", ColumnType::kUInt64, 8},
+                 {"short", ColumnType::kVarchar, 6},    // inlined
+                 {"long", ColumnType::kVarchar, 100},   // out-of-line
+                 {"signed", ColumnType::kInt64, 8},
+                 {"real", ColumnType::kDouble, 8}});
+}
+
+TEST(SchemaTest, LayoutAndLookup) {
+  const Schema schema = MixedSchema();
+  EXPECT_EQ(schema.num_columns(), 5u);
+  EXPECT_EQ(schema.FixedSize(), 40u);
+  EXPECT_EQ(schema.FixedOffset(2), 16u);
+  EXPECT_TRUE(schema.HasVarlen());
+  EXPECT_TRUE(schema.column(1).IsInlined());
+  EXPECT_FALSE(schema.column(2).IsInlined());
+  EXPECT_EQ(schema.ColumnIndex("signed"), 3);
+  EXPECT_EQ(schema.ColumnIndex("nope"), -1);
+}
+
+TEST(SchemaTest, NoVarlenSchema) {
+  Schema schema({{"a", ColumnType::kUInt64, 8}});
+  EXPECT_FALSE(schema.HasVarlen());
+}
+
+TEST(TupleTest, TypedAccessors) {
+  const Schema schema = MixedSchema();
+  Tuple t(&schema);
+  t.SetU64(0, 42);
+  t.SetString(1, "abc");
+  t.SetString(2, std::string(77, 'x'));
+  t.SetI64(3, -5);
+  t.SetDouble(4, 3.25);
+  EXPECT_EQ(t.Key(), 42u);
+  EXPECT_EQ(t.GetString(1), "abc");
+  EXPECT_EQ(t.GetI64(3), -5);
+  EXPECT_DOUBLE_EQ(t.GetDouble(4), 3.25);
+  EXPECT_EQ(t.LogicalSize(), 40u + 3 + 77);
+}
+
+TEST(TupleTest, SerializeInlinedRoundTrip) {
+  const Schema schema = MixedSchema();
+  Tuple t(&schema);
+  t.SetU64(0, 9);
+  t.SetString(1, "hi");
+  t.SetString(2, "variable length data here");
+  t.SetI64(3, -99);
+  t.SetDouble(4, 1.5);
+  const std::string bytes = t.SerializeInlined();
+  const Tuple parsed = Tuple::ParseInlined(&schema, Slice(bytes));
+  EXPECT_TRUE(parsed.EqualTo(t));
+  EXPECT_EQ(parsed.GetString(2), "variable length data here");
+  EXPECT_EQ(parsed.GetI64(3), -99);
+}
+
+TEST(TupleTest, ValueSettersViaUpdateStruct) {
+  const Schema schema = MixedSchema();
+  Tuple t(&schema);
+  t.Set(0, Value::U64(1));
+  t.Set(2, Value::Str("hello"));
+  EXPECT_EQ(t.GetU64(0), 1u);
+  EXPECT_EQ(t.GetString(2), "hello");
+}
+
+TEST(SecondaryHashTest, SameColumnsSameHash) {
+  const Schema schema = MixedSchema();
+  SecondaryIndexDef def;
+  def.key_columns = {1, 3};
+  Tuple a(&schema), b(&schema);
+  a.SetString(1, "x");
+  a.SetI64(3, 5);
+  b.SetString(1, "x");
+  b.SetI64(3, 5);
+  b.SetString(2, "different other column");
+  EXPECT_EQ(SecondaryKeyHash(a, def), SecondaryKeyHash(b, def));
+  b.SetI64(3, 6);
+  EXPECT_NE(SecondaryKeyHash(a, def), SecondaryKeyHash(b, def));
+}
+
+TEST(SecondaryHashTest, TupleAndValuesAgree) {
+  const Schema schema = MixedSchema();
+  SecondaryIndexDef def;
+  def.key_columns = {1, 3};
+  Tuple t(&schema);
+  t.SetString(1, "name");
+  t.SetI64(3, 123);
+  const uint64_t from_tuple = SecondaryKeyHash(t, def);
+  const uint64_t from_values =
+      SecondaryKeyHash(schema, def, {Value::Str("name"), Value::I64(123)});
+  EXPECT_EQ(from_tuple, from_values);
+  EXPECT_LT(from_tuple, 1ull << 48);
+}
+
+TEST(KeysTest, GlobalKeyPacking) {
+  const uint64_t g = GlobalKey(5, 1, 0x123456789ABCULL);
+  EXPECT_EQ(LocalKey(g), 0x123456789ABCULL);
+  EXPECT_LT(GlobalKeyLo(5, 1), g);
+  EXPECT_GT(GlobalKeyHi(5, 1), g);
+  // Different tables/indexes never overlap.
+  EXPECT_LT(GlobalKeyHi(5, 0), GlobalKeyLo(5, 1));
+  EXPECT_LT(GlobalKeyHi(4, 3), GlobalKeyLo(5, 0));
+}
+
+TEST(KeysTest, SecondaryComposite56Range) {
+  const uint64_t h = 0xABCDEF123456ULL;  // 48-bit hash
+  const uint64_t comp = SecComposite56(h, 0x1234);
+  EXPECT_GE(comp, SecComposite56Lo(h));
+  EXPECT_LE(comp, SecComposite56Hi(h));
+  EXPECT_LT(comp, 1ull << 56);
+}
+
+// --- TableHeap ---------------------------------------------------------------
+
+class TableHeapTest : public ::testing::TestWithParam<bool> {
+ protected:
+  TableHeapTest()
+      : device_(16ull * 1024 * 1024, NvmLatencyConfig::Dram()),
+        allocator_(&device_),
+        schema_(MixedSchema()),
+        heap_(&allocator_, &schema_, GetParam()) {}
+
+  Tuple Make(uint64_t id, const std::string& s, const std::string& l) {
+    Tuple t(&schema_);
+    t.SetU64(0, id);
+    t.SetString(1, s);
+    t.SetString(2, l);
+    t.SetI64(3, -1);
+    t.SetDouble(4, 2.5);
+    return t;
+  }
+
+  NvmDevice device_;
+  PmemAllocator allocator_;
+  Schema schema_;
+  TableHeap heap_;
+};
+
+TEST_P(TableHeapTest, InsertReadRoundTrip) {
+  const Tuple t = Make(1, "in", std::string(60, 'q'));
+  const uint64_t slot = heap_.Insert(t);
+  ASSERT_NE(slot, 0u);
+  EXPECT_TRUE(heap_.Read(slot).EqualTo(t));
+  EXPECT_EQ(heap_.ReadU64(slot, 0), 1u);
+  EXPECT_EQ(heap_.ReadString(slot, 1), "in");
+  EXPECT_EQ(heap_.ReadString(slot, 2), std::string(60, 'q'));
+}
+
+TEST_P(TableHeapTest, UpdateInPlaceWithUndo) {
+  const uint64_t slot = heap_.Insert(Make(1, "a", "first value"));
+  std::vector<TableHeap::UndoField> undo;
+  std::vector<uint64_t> deferred;
+  std::vector<ColumnUpdate> up;
+  up.push_back({2, Value::Str("second value, longer than before")});
+  up.push_back({3, Value::I64(-2)});
+  ASSERT_TRUE(heap_.Update(slot, up, &undo, &deferred).ok());
+  EXPECT_EQ(heap_.ReadString(slot, 2), "second value, longer than before");
+  EXPECT_EQ(undo.size(), 2u);
+  EXPECT_EQ(deferred.size(), 1u);  // old varlen slot pending free
+
+  // Roll back.
+  std::vector<uint64_t> abort_free;
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    heap_.ApplyUndo(slot, *it, &abort_free);
+  }
+  EXPECT_EQ(heap_.ReadString(slot, 2), "first value");
+  EXPECT_EQ(heap_.ReadU64(slot, 3), static_cast<uint64_t>(-1));
+  EXPECT_EQ(abort_free.size(), 1u);  // the new varlen slot
+}
+
+TEST_P(TableHeapTest, FreeReleasesVarlenToo) {
+  const AllocatorStats before = allocator_.stats();
+  const uint64_t slot = heap_.Insert(Make(1, "x", std::string(90, 'v')));
+  heap_.Free(slot);
+  EXPECT_EQ(allocator_.stats().total_used, before.total_used);
+}
+
+TEST_P(TableHeapTest, LiveTupleCount) {
+  EXPECT_EQ(heap_.live_tuples(), 0u);
+  const uint64_t a = heap_.Insert(Make(1, "a", "aa"));
+  heap_.Insert(Make(2, "b", "bb"));
+  EXPECT_EQ(heap_.live_tuples(), 2u);
+  heap_.Free(a);
+  EXPECT_EQ(heap_.live_tuples(), 1u);
+}
+
+TEST_P(TableHeapTest, InlineVarcharStoredWithoutVarlenSlot) {
+  const AllocatorStats before = allocator_.stats();
+  Tuple t(&schema_);
+  t.SetU64(0, 1);
+  t.SetString(1, "abcde");  // max 6 -> inlined
+  t.SetString(2, "");       // empty out-of-line value
+  const uint64_t slot = heap_.Insert(t);
+  EXPECT_EQ(heap_.ReadString(slot, 1), "abcde");
+  // Only the fixed slot and one (empty) varlen slot were allocated.
+  EXPECT_LE(allocator_.stats().total_used - before.total_used, 64u + 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TableHeapTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "NvmAware" : "Volatile";
+                         });
+
+TEST(TableHeapNvmTest, PersistedTupleSurvivesCrash) {
+  NvmDevice device(16ull * 1024 * 1024, NvmLatencyConfig::Dram());
+  PmemAllocator allocator(&device);
+  Schema schema = MixedSchema();
+  TableHeap heap(&allocator, &schema, /*nvm_aware=*/true);
+  Tuple t(&schema);
+  t.SetU64(0, 11);
+  t.SetString(1, "keep");
+  t.SetString(2, std::string(50, 'k'));
+  const uint64_t slot = heap.Insert(t);
+
+  device.Crash();
+  PmemAllocator recovered(&device, false);
+  TableHeap heap2(&recovered, &schema, true);
+  EXPECT_TRUE(heap2.Read(slot).EqualTo(t));
+}
+
+TEST(TableHeapNvmTest, DeferredMarkReclaimedOnCrash) {
+  NvmDevice device(16ull * 1024 * 1024, NvmLatencyConfig::Dram());
+  PmemAllocator allocator(&device);
+  Schema schema = MixedSchema();
+  TableHeap heap(&allocator, &schema, /*nvm_aware=*/true);
+  Tuple t(&schema);
+  t.SetU64(0, 11);
+  t.SetString(2, "lost");
+  const uint64_t slot = heap.Insert(t, /*defer_mark=*/true);
+  EXPECT_EQ(allocator.StateOf(slot), PmemAllocator::SlotState::kAllocated);
+
+  device.Crash();
+  PmemAllocator recovered(&device, false);
+  EXPECT_EQ(recovered.StateOf(slot), PmemAllocator::SlotState::kFree);
+}
+
+}  // namespace
+}  // namespace nvmdb

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "engine/checkpoint.h"
+#include "engine/nv_wal.h"
+#include "engine/wal.h"
+
+namespace nvmdb {
+namespace {
+
+// --- Record encoding -----------------------------------------------------------
+
+TEST(LogRecordTest, EncodeDecodeRoundTrip) {
+  LogRecord record;
+  record.op = LogOp::kUpdate;
+  record.txn_id = 42;
+  record.table_id = 7;
+  record.key = 123456789;
+  record.before = "old value";
+  record.after = "new value";
+  std::string bytes;
+  EncodeLogRecord(record, &bytes);
+
+  LogRecord out;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeLogRecord(bytes.data(), bytes.size(), &out, &consumed));
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(out.op, LogOp::kUpdate);
+  EXPECT_EQ(out.txn_id, 42u);
+  EXPECT_EQ(out.table_id, 7u);
+  EXPECT_EQ(out.key, 123456789u);
+  EXPECT_EQ(out.before, "old value");
+  EXPECT_EQ(out.after, "new value");
+}
+
+TEST(LogRecordTest, DecodeRejectsCorruption) {
+  LogRecord record;
+  record.op = LogOp::kInsert;
+  record.after = "payload";
+  std::string bytes;
+  EncodeLogRecord(record, &bytes);
+  bytes[10] ^= 0xFF;
+  LogRecord out;
+  size_t consumed;
+  EXPECT_FALSE(
+      DecodeLogRecord(bytes.data(), bytes.size(), &out, &consumed));
+}
+
+TEST(LogRecordTest, DecodeRejectsTruncation) {
+  LogRecord record;
+  record.after = std::string(100, 'x');
+  std::string bytes;
+  EncodeLogRecord(record, &bytes);
+  LogRecord out;
+  size_t consumed;
+  EXPECT_FALSE(DecodeLogRecord(bytes.data(), bytes.size() - 10, &out,
+                               &consumed));
+  EXPECT_FALSE(DecodeLogRecord(bytes.data(), 4, &out, &consumed));
+}
+
+// --- Filesystem WAL --------------------------------------------------------------
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest()
+      : device_(32ull * 1024 * 1024, NvmLatencyConfig::Dram()),
+        allocator_(&device_),
+        fs_(&allocator_) {}
+
+  LogRecord MakeRecord(uint64_t txn, LogOp op = LogOp::kInsert) {
+    LogRecord r;
+    r.op = op;
+    r.txn_id = txn;
+    r.table_id = 1;
+    r.key = txn * 10;
+    r.after = "payload-" + std::to_string(txn);
+    return r;
+  }
+
+  NvmDevice device_;
+  PmemAllocator allocator_;
+  Pmfs fs_;
+};
+
+TEST_F(WalTest, AppendFlushReadAll) {
+  Wal wal(&fs_, "test.wal", 1);
+  wal.Append(MakeRecord(1));
+  wal.LogCommit(1);
+  wal.Append(MakeRecord(2));
+  wal.LogCommit(2);
+  const auto records = wal.ReadAll();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].txn_id, 1u);
+  EXPECT_EQ(records[1].op, LogOp::kCommit);
+  EXPECT_EQ(records[3].op, LogOp::kCommit);
+}
+
+TEST_F(WalTest, GroupCommitFlushesEveryNth) {
+  Wal wal(&fs_, "test.wal", 4);
+  for (uint64_t t = 1; t <= 3; t++) {
+    wal.Append(MakeRecord(t));
+    EXPECT_FALSE(wal.LogCommit(t));
+  }
+  EXPECT_EQ(wal.last_durable_txn(), 0u);
+  wal.Append(MakeRecord(4));
+  EXPECT_TRUE(wal.LogCommit(4));  // group full -> forced
+  EXPECT_EQ(wal.last_durable_txn(), 4u);
+}
+
+TEST_F(WalTest, UnflushedRecordsLostOnCrash) {
+  {
+    Wal wal(&fs_, "test.wal", 100);
+    wal.Append(MakeRecord(1));
+    wal.LogCommit(1);
+    wal.Flush();
+    wal.Append(MakeRecord(2));
+    wal.LogCommit(2);  // group not full, not flushed
+  }
+  device_.Crash();
+  PmemAllocator allocator(&device_, false);
+  Pmfs fs(&allocator);
+  Wal wal(&fs, "test.wal", 100);
+  const auto records = wal.ReadAll();
+  ASSERT_EQ(records.size(), 2u);  // txn 1 + its commit only
+  EXPECT_EQ(records[0].txn_id, 1u);
+}
+
+TEST_F(WalTest, TornTailStopsParsingCleanly) {
+  Wal wal(&fs_, "test.wal", 1);
+  wal.Append(MakeRecord(1));
+  wal.LogCommit(1);
+  // Simulate a torn append: write garbage at the end of the file.
+  Pmfs::Fd fd = fs_.Open("test.wal", false);
+  fs_.Append(fd, "\x10\x20\x30\x40 torn bytes", 15);
+  fs_.Fsync(fd);
+  fs_.Close(fd);
+  const auto records = wal.ReadAll();
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST_F(WalTest, TruncateEmptiesLog) {
+  Wal wal(&fs_, "test.wal", 1);
+  wal.Append(MakeRecord(1));
+  wal.LogCommit(1);
+  EXPECT_GT(wal.DurableSizeBytes(), 0u);
+  wal.Truncate();
+  EXPECT_EQ(wal.DurableSizeBytes(), 0u);
+  EXPECT_TRUE(wal.ReadAll().empty());
+}
+
+// --- Non-volatile WAL --------------------------------------------------------------
+
+class NvWalTest : public WalTest {};
+
+TEST_F(NvWalTest, PushAndIterateNewestFirst) {
+  NvWal wal(&allocator_, "nvwal");
+  wal.Push("first", 5);
+  wal.Push("second", 6);
+  std::vector<std::string> seen;
+  wal.ForEach([&](const uint8_t* p, size_t n) {
+    seen.emplace_back(reinterpret_cast<const char*>(p), n);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "second");
+  EXPECT_EQ(seen[1], "first");
+  EXPECT_EQ(wal.EntryCount(), 2u);
+}
+
+TEST_F(NvWalTest, ClearEmptiesAndReclaims) {
+  NvWal wal(&allocator_, "nvwal");
+  const AllocatorStats before = allocator_.stats();
+  wal.Push("data", 4);
+  wal.Clear();
+  EXPECT_TRUE(wal.Empty());
+  const AllocatorStats after = allocator_.stats();
+  EXPECT_EQ(after.total_used, before.total_used);
+}
+
+TEST_F(NvWalTest, EntriesSurviveCrashImmediately) {
+  {
+    NvWal wal(&allocator_, "nvwal");
+    wal.Push("undo me", 7);
+  }
+  device_.Crash();
+  PmemAllocator allocator(&device_, false);
+  NvWal wal(&allocator, "nvwal");
+  std::vector<std::string> seen;
+  wal.ForEach([&](const uint8_t* p, size_t n) {
+    seen.emplace_back(reinterpret_cast<const char*>(p), n);
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "undo me");
+}
+
+TEST_F(NvWalTest, ClearedWalStaysEmptyAfterCrash) {
+  {
+    NvWal wal(&allocator_, "nvwal");
+    wal.Push("gone", 4);
+    wal.Clear();
+  }
+  device_.Crash();
+  PmemAllocator allocator(&device_, false);
+  NvWal wal(&allocator, "nvwal");
+  EXPECT_TRUE(wal.Empty());
+  EXPECT_EQ(wal.EntryCount(), 0u);
+}
+
+TEST_F(NvWalTest, NvmBytesTracksEntries) {
+  NvWal wal(&allocator_, "nvwal");
+  const uint64_t empty = wal.NvmBytes();
+  wal.Push(std::string(100, 'x').data(), 100);
+  EXPECT_GE(wal.NvmBytes(), empty + 100);
+}
+
+// --- Checkpoints --------------------------------------------------------------------
+
+TEST_F(WalTest, CheckpointRoundTrip) {
+  std::string payload;
+  for (int i = 0; i < 1000; i++) payload += "tuple-" + std::to_string(i);
+  ASSERT_TRUE(WriteCheckpoint(&fs_, "db.ckpt", payload).ok());
+  std::string out;
+  ASSERT_TRUE(ReadCheckpoint(&fs_, "db.ckpt", &out).ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST_F(WalTest, CheckpointIsCompressed) {
+  const std::string payload(100000, 'a');
+  ASSERT_TRUE(WriteCheckpoint(&fs_, "db.ckpt", payload).ok());
+  EXPECT_LT(fs_.FileBlockBytes("db.ckpt"), payload.size() / 4);
+}
+
+TEST_F(WalTest, MissingCheckpointIsNotFound) {
+  std::string out;
+  EXPECT_TRUE(ReadCheckpoint(&fs_, "absent.ckpt", &out).IsNotFound());
+}
+
+TEST_F(WalTest, CorruptCheckpointDetected) {
+  ASSERT_TRUE(WriteCheckpoint(&fs_, "db.ckpt", "hello world data").ok());
+  Pmfs::Fd fd = fs_.Open("db.ckpt", false);
+  char byte = 0x5A;
+  fs_.Write(fd, 14, &byte, 1);
+  fs_.Fsync(fd);
+  fs_.Close(fd);
+  std::string out;
+  EXPECT_TRUE(ReadCheckpoint(&fs_, "db.ckpt", &out).IsCorruption());
+}
+
+TEST_F(WalTest, CheckpointOverwriteKeepsLatest) {
+  WriteCheckpoint(&fs_, "db.ckpt", "version one");
+  WriteCheckpoint(&fs_, "db.ckpt", "version two");
+  std::string out;
+  ASSERT_TRUE(ReadCheckpoint(&fs_, "db.ckpt", &out).ok());
+  EXPECT_EQ(out, "version two");
+}
+
+}  // namespace
+}  // namespace nvmdb
