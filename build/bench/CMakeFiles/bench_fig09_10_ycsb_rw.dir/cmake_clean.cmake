@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_10_ycsb_rw.dir/bench_fig09_10_ycsb_rw.cc.o"
+  "CMakeFiles/bench_fig09_10_ycsb_rw.dir/bench_fig09_10_ycsb_rw.cc.o.d"
+  "bench_fig09_10_ycsb_rw"
+  "bench_fig09_10_ycsb_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_10_ycsb_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

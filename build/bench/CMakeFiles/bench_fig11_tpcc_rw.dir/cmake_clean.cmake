@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_tpcc_rw.dir/bench_fig11_tpcc_rw.cc.o"
+  "CMakeFiles/bench_fig11_tpcc_rw.dir/bench_fig11_tpcc_rw.cc.o.d"
+  "bench_fig11_tpcc_rw"
+  "bench_fig11_tpcc_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tpcc_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

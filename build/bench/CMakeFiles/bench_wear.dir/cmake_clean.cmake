@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wear.dir/bench_wear.cc.o"
+  "CMakeFiles/bench_wear.dir/bench_wear.cc.o.d"
+  "bench_wear"
+  "bench_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nvmdb_shell.dir/nvmdb_shell.cpp.o"
+  "CMakeFiles/example_nvmdb_shell.dir/nvmdb_shell.cpp.o.d"
+  "example_nvmdb_shell"
+  "example_nvmdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nvmdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

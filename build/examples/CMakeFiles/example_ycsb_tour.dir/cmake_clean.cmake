@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ycsb_tour.dir/ycsb_tour.cpp.o"
+  "CMakeFiles/example_ycsb_tour.dir/ycsb_tour.cpp.o.d"
+  "example_ycsb_tour"
+  "example_ycsb_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ycsb_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

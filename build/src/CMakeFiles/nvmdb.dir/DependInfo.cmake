@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bloom_filter.cc" "src/CMakeFiles/nvmdb.dir/common/bloom_filter.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/common/bloom_filter.cc.o.d"
+  "/root/repo/src/common/compress.cc" "src/CMakeFiles/nvmdb.dir/common/compress.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/common/compress.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/nvmdb.dir/common/config.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/common/config.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/nvmdb.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/nvmdb.dir/common/random.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/nvmdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/common/status.cc.o.d"
+  "/root/repo/src/engine/checkpoint.cc" "src/CMakeFiles/nvmdb.dir/engine/checkpoint.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/checkpoint.cc.o.d"
+  "/root/repo/src/engine/cow_engine.cc" "src/CMakeFiles/nvmdb.dir/engine/cow_engine.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/cow_engine.cc.o.d"
+  "/root/repo/src/engine/inp_engine.cc" "src/CMakeFiles/nvmdb.dir/engine/inp_engine.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/inp_engine.cc.o.d"
+  "/root/repo/src/engine/log_engine.cc" "src/CMakeFiles/nvmdb.dir/engine/log_engine.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/log_engine.cc.o.d"
+  "/root/repo/src/engine/nv_wal.cc" "src/CMakeFiles/nvmdb.dir/engine/nv_wal.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/nv_wal.cc.o.d"
+  "/root/repo/src/engine/nvm_cow_engine.cc" "src/CMakeFiles/nvmdb.dir/engine/nvm_cow_engine.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/nvm_cow_engine.cc.o.d"
+  "/root/repo/src/engine/nvm_inp_engine.cc" "src/CMakeFiles/nvmdb.dir/engine/nvm_inp_engine.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/nvm_inp_engine.cc.o.d"
+  "/root/repo/src/engine/nvm_log_engine.cc" "src/CMakeFiles/nvmdb.dir/engine/nvm_log_engine.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/nvm_log_engine.cc.o.d"
+  "/root/repo/src/engine/schema.cc" "src/CMakeFiles/nvmdb.dir/engine/schema.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/schema.cc.o.d"
+  "/root/repo/src/engine/storage_engine.cc" "src/CMakeFiles/nvmdb.dir/engine/storage_engine.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/storage_engine.cc.o.d"
+  "/root/repo/src/engine/table_storage.cc" "src/CMakeFiles/nvmdb.dir/engine/table_storage.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/table_storage.cc.o.d"
+  "/root/repo/src/engine/tuple.cc" "src/CMakeFiles/nvmdb.dir/engine/tuple.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/tuple.cc.o.d"
+  "/root/repo/src/engine/wal.cc" "src/CMakeFiles/nvmdb.dir/engine/wal.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/engine/wal.cc.o.d"
+  "/root/repo/src/index/cow_btree.cc" "src/CMakeFiles/nvmdb.dir/index/cow_btree.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/index/cow_btree.cc.o.d"
+  "/root/repo/src/index/page_store.cc" "src/CMakeFiles/nvmdb.dir/index/page_store.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/index/page_store.cc.o.d"
+  "/root/repo/src/lsm/delta.cc" "src/CMakeFiles/nvmdb.dir/lsm/delta.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/lsm/delta.cc.o.d"
+  "/root/repo/src/lsm/lsm_tree.cc" "src/CMakeFiles/nvmdb.dir/lsm/lsm_tree.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/lsm/lsm_tree.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/nvmdb.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/sstable.cc" "src/CMakeFiles/nvmdb.dir/lsm/sstable.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/lsm/sstable.cc.o.d"
+  "/root/repo/src/nvm/cache_sim.cc" "src/CMakeFiles/nvmdb.dir/nvm/cache_sim.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/nvm/cache_sim.cc.o.d"
+  "/root/repo/src/nvm/nvm_device.cc" "src/CMakeFiles/nvmdb.dir/nvm/nvm_device.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/nvm/nvm_device.cc.o.d"
+  "/root/repo/src/nvm/pmem_allocator.cc" "src/CMakeFiles/nvmdb.dir/nvm/pmem_allocator.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/nvm/pmem_allocator.cc.o.d"
+  "/root/repo/src/nvm/pmfs.cc" "src/CMakeFiles/nvmdb.dir/nvm/pmfs.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/nvm/pmfs.cc.o.d"
+  "/root/repo/src/nvm/sync.cc" "src/CMakeFiles/nvmdb.dir/nvm/sync.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/nvm/sync.cc.o.d"
+  "/root/repo/src/testbed/coordinator.cc" "src/CMakeFiles/nvmdb.dir/testbed/coordinator.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/testbed/coordinator.cc.o.d"
+  "/root/repo/src/testbed/database.cc" "src/CMakeFiles/nvmdb.dir/testbed/database.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/testbed/database.cc.o.d"
+  "/root/repo/src/testbed/stats.cc" "src/CMakeFiles/nvmdb.dir/testbed/stats.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/testbed/stats.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/nvmdb.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/nvmdb.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/nvmdb.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

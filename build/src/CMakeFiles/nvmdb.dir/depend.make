@@ -1,0 +1,2 @@
+# Empty dependencies file for nvmdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_btree_test.dir/cow_btree_test.cc.o"
+  "CMakeFiles/cow_btree_test.dir/cow_btree_test.cc.o.d"
+  "cow_btree_test"
+  "cow_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
