@@ -35,18 +35,21 @@ int main() {
   };
   Cell cells[4][2][6];
 
+  ClockTotals clocks;
   for (int m = 0; m < 4; m++) {
     for (int s = 0; s < 2; s++) {
       for (size_t e = 0; e < AllEngines().size(); e++) {
         const BenchRun run =
             RunYcsb(AllEngines()[e], mixtures[m], skews[s]);
         cells[m][s][e] = {run.committed, run.wall_ns, run.counters};
+        clocks.Add(run);
         fprintf(stderr, "  done %s %s %s\n",
                 YcsbMixtureName(mixtures[m]), YcsbSkewName(skews[s]),
                 EngineKindName(AllEngines()[e]));
       }
     }
   }
+  ReportClocks("YCSB measured phases", clocks);
 
   int figure = 5;
   for (const LatencyProfile& latency : latencies) {

@@ -215,6 +215,28 @@ inline const std::vector<EngineKind>& NvmEngines() {
   return engines;
 }
 
+/// Wall-clock vs simulated-clock accounting aggregated across bench runs.
+/// The simulated clock is what the figures report; the wall clock measures
+/// the simulator itself, so fast-path changes are judged by this summary
+/// rather than asserted.
+struct ClockTotals {
+  uint64_t wall_ns = 0;
+  uint64_t sim_ns = 0;
+  uint64_t runs = 0;
+
+  void Add(const BenchRun& run) {
+    wall_ns += run.wall_ns;
+    sim_ns += run.counters.stall_ns;
+    runs++;
+  }
+};
+
+inline void ReportClocks(const char* label, const ClockTotals& totals) {
+  printf("[clock] %s: %llu runs, %s\n", label,
+         (unsigned long long)totals.runs,
+         FormatClockComparison(totals.wall_ns, totals.sim_ns).c_str());
+}
+
 inline void PrintHeader(const char* title) {
   printf("\n================================================================\n");
   printf("%s\n", title);

@@ -4,109 +4,148 @@
 
 namespace nvmdb {
 
-CacheSim::CacheSim(const CacheConfig& config, CacheCallbacks callbacks)
-    : config_(config), callbacks_(std::move(callbacks)) {
-  size_t num_lines =
-      std::max<size_t>(config_.associativity,
-                       config_.capacity_bytes / config_.line_size);
-  size_t num_sets = std::max<size_t>(1, num_lines / config_.associativity);
-  size_t num_banks = std::max<size_t>(1, std::min(config_.num_banks, num_sets));
-  sets_per_bank_ = num_sets / num_banks;
-  if (sets_per_bank_ == 0) sets_per_bank_ = 1;
+namespace {
 
-  banks_ = std::vector<Bank>(num_banks);
-  for (auto& bank : banks_) {
-    bank.sets.resize(sets_per_bank_);
-    for (auto& set : bank.sets) {
-      set.ways.resize(config_.associativity);
-    }
-  }
+size_t CeilPow2(size_t x) {
+  size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
 }
 
-void CacheSim::Locate(uint64_t line_addr, size_t* bank, size_t* set) const {
-  const uint64_t line_index = line_addr / config_.line_size;
-  // Mix the index so adjacent lines spread across banks and sets; a plain
-  // modulo would pathologically collide for strided engine layouts.
+size_t FloorPow2(size_t x) {
+  size_t p = 1;
+  while (p * 2 <= x) p <<= 1;
+  return p;
+}
+
+unsigned Log2(size_t pow2) {
+  unsigned s = 0;
+  while ((size_t{1} << s) < pow2) s++;
+  return s;
+}
+
+// Mix the line index so adjacent lines spread across banks and sets; a
+// plain modulo would pathologically collide for strided engine layouts.
+// The mapping is identical to the seed model's (h % banks, (h / banks) %
+// sets) whenever banks and sets are powers of two.
+inline uint64_t MixLineIndex(uint64_t line_index) {
   uint64_t h = line_index * 0x9e3779b97f4a7c15ULL;
   h ^= h >> 29;
-  *bank = h % banks_.size();
-  *set = (h / banks_.size()) % sets_per_bank_;
+  return h;
 }
 
-size_t CacheSim::Access(uint64_t addr, size_t size, bool is_write) {
-  if (size == 0) return 0;
-  const size_t ls = config_.line_size;
-  const uint64_t first = addr / ls * ls;
-  const uint64_t last = (addr + size - 1) / ls * ls;
-  size_t missed = 0;
+}  // namespace
 
-  for (uint64_t line = first; line <= last; line += ls) {
-    size_t bank_idx, set_idx;
-    Locate(line, &bank_idx, &set_idx);
+CacheSim::CacheSim(const CacheConfig& config, CacheCallbacks callbacks)
+    : callbacks_(callbacks) {
+  line_size_ = CeilPow2(std::max<size_t>(1, config.line_size));
+  line_shift_ = Log2(line_size_);
+  associativity_ = std::max<size_t>(1, config.associativity);
+  const size_t num_lines =
+      std::max(associativity_, config.capacity_bytes / line_size_);
+  const size_t num_sets =
+      CeilPow2(std::max<size_t>(1, num_lines / associativity_));
+  num_banks_ =
+      std::min(FloorPow2(std::max<size_t>(1, config.num_banks)), num_sets);
+  sets_per_bank_ = num_sets / num_banks_;
+  bank_mask_ = num_banks_ - 1;
+  bank_shift_ = Log2(num_banks_);
+  set_mask_ = sets_per_bank_ - 1;
+
+  banks_ = std::vector<Bank>(num_banks_);
+  entries_.assign(num_sets * associativity_, kInvalidEntry);
+  stamps_.assign(num_sets * associativity_, 0);
+}
+
+uint32_t CacheSim::AccessLine(Bank& bank, size_t global_set,
+                              uint64_t line_index, bool is_write,
+                              CacheAccessResult* result) {
+  uint64_t* const ways = &entries_[global_set * associativity_];
+  uint64_t* const stamps = &stamps_[global_set * associativity_];
+  const uint64_t match = line_index << 1;
+
+  size_t victim = 0;
+  for (size_t w = 0; w < associativity_; w++) {
+    const uint64_t e = ways[w];
+    if ((e & ~uint64_t{1}) == match) {
+      stamps[w] = ++bank.lru_clock;
+      if (is_write) ways[w] = e | 1;
+      bank.hits++;
+      return 0;
+    }
+    if (e == kInvalidEntry) {
+      victim = w;  // prefer an empty way as victim
+    } else if (ways[victim] != kInvalidEntry && stamps[w] < stamps[victim]) {
+      victim = w;
+    }
+  }
+
+  // Miss: evict the victim (write back if dirty), then fill.
+  bank.misses++;
+  const uint64_t evicted = ways[victim];
+  if (evicted != kInvalidEntry && (evicted & 1)) {
+    bank.write_backs++;
+    result->write_backs++;
+    if (callbacks_.write_back) {
+      callbacks_.write_back(callbacks_.ctx, (evicted >> 1) << line_shift_,
+                            line_size_);
+    }
+  }
+  if (callbacks_.fill) {
+    callbacks_.fill(callbacks_.ctx, line_index << line_shift_, line_size_);
+  }
+  ways[victim] = match | (is_write ? 1 : 0);
+  stamps[victim] = ++bank.lru_clock;
+  return 1;
+}
+
+CacheAccessResult CacheSim::AccessEx(uint64_t addr, size_t size,
+                                     bool is_write) {
+  CacheAccessResult result;
+  if (size == 0) return result;
+  const uint64_t first = addr >> line_shift_;
+  const uint64_t last = (addr + size - 1) >> line_shift_;
+
+  for (uint64_t idx = first; idx <= last; idx++) {
+    const uint64_t h = MixLineIndex(idx);
+    const size_t bank_idx = h & bank_mask_;
+    const size_t set_idx = (h >> bank_shift_) & set_mask_;
     Bank& bank = banks_[bank_idx];
     std::lock_guard<std::mutex> guard(bank.mu);
-    Set& set = bank.sets[set_idx];
-    const uint64_t tag = line;
-
-    Line* hit = nullptr;
-    Line* victim = &set.ways[0];
-    for (auto& way : set.ways) {
-      if (way.tag == tag) {
-        hit = &way;
-        break;
-      }
-      if (way.tag == kInvalidTag) {
-        victim = &way;  // prefer an empty way as victim
-      } else if (victim->tag != kInvalidTag &&
-                 way.lru_stamp < victim->lru_stamp) {
-        victim = &way;
-      }
-    }
-
-    if (hit != nullptr) {
-      hit->lru_stamp = ++bank.lru_clock;
-      if (is_write) hit->dirty = true;
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-
-    // Miss: evict the victim (write back if dirty), then fill.
-    missed++;
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    if (victim->tag != kInvalidTag && victim->dirty) {
-      write_backs_.fetch_add(1, std::memory_order_relaxed);
-      if (callbacks_.write_back) callbacks_.write_back(victim->tag, ls);
-    }
-    if (callbacks_.fill) callbacks_.fill(line, ls);
-    victim->tag = tag;
-    victim->dirty = is_write;
-    victim->lru_stamp = ++bank.lru_clock;
+    result.missed += AccessLine(bank, bank_idx * sets_per_bank_ + set_idx,
+                                idx, is_write, &result);
   }
-  return missed;
+  return result;
 }
 
 size_t CacheSim::FlushRange(uint64_t addr, size_t size, bool invalidate) {
   if (size == 0) return 0;
-  const size_t ls = config_.line_size;
-  const uint64_t first = addr / ls * ls;
-  const uint64_t last = (addr + size - 1) / ls * ls;
+  const uint64_t first = addr >> line_shift_;
+  const uint64_t last = (addr + size - 1) >> line_shift_;
   size_t flushed = 0;
 
-  for (uint64_t line = first; line <= last; line += ls) {
-    size_t bank_idx, set_idx;
-    Locate(line, &bank_idx, &set_idx);
+  for (uint64_t idx = first; idx <= last; idx++) {
+    const uint64_t h = MixLineIndex(idx);
+    const size_t bank_idx = h & bank_mask_;
+    const size_t set_idx = (h >> bank_shift_) & set_mask_;
     Bank& bank = banks_[bank_idx];
     std::lock_guard<std::mutex> guard(bank.mu);
-    Set& set = bank.sets[set_idx];
-    for (auto& way : set.ways) {
-      if (way.tag != line) continue;
-      if (way.dirty) {
+    uint64_t* const ways =
+        &entries_[(bank_idx * sets_per_bank_ + set_idx) * associativity_];
+    const uint64_t match = idx << 1;
+    for (size_t w = 0; w < associativity_; w++) {
+      const uint64_t e = ways[w];
+      if ((e & ~uint64_t{1}) != match) continue;
+      if (e & 1) {
         flushed++;
-        write_backs_.fetch_add(1, std::memory_order_relaxed);
-        if (callbacks_.write_back) callbacks_.write_back(way.tag, ls);
-        way.dirty = false;
+        bank.write_backs++;
+        if (callbacks_.write_back) {
+          callbacks_.write_back(callbacks_.ctx, idx << line_shift_,
+                                line_size_);
+        }
+        ways[w] = match;  // clean
       }
-      if (invalidate) way.tag = kInvalidTag;
+      if (invalidate) ways[w] = kInvalidEntry;
       break;
     }
   }
@@ -115,18 +154,21 @@ size_t CacheSim::FlushRange(uint64_t addr, size_t size, bool invalidate) {
 
 size_t CacheSim::WriteBackAll() {
   size_t flushed = 0;
-  for (auto& bank : banks_) {
+  const size_t per_bank = sets_per_bank_ * associativity_;
+  for (size_t b = 0; b < num_banks_; b++) {
+    Bank& bank = banks_[b];
     std::lock_guard<std::mutex> guard(bank.mu);
-    for (auto& set : bank.sets) {
-      for (auto& way : set.ways) {
-        if (way.tag != kInvalidTag && way.dirty) {
-          flushed++;
-          write_backs_.fetch_add(1, std::memory_order_relaxed);
-          if (callbacks_.write_back) {
-            callbacks_.write_back(way.tag, config_.line_size);
-          }
-          way.dirty = false;
+    uint64_t* const ways = &entries_[b * per_bank];
+    for (size_t i = 0; i < per_bank; i++) {
+      const uint64_t e = ways[i];
+      if (e != kInvalidEntry && (e & 1)) {
+        flushed++;
+        bank.write_backs++;
+        if (callbacks_.write_back) {
+          callbacks_.write_back(callbacks_.ctx, (e >> 1) << line_shift_,
+                                line_size_);
         }
+        ways[i] = e & ~uint64_t{1};
       }
     }
   }
@@ -134,17 +176,41 @@ size_t CacheSim::WriteBackAll() {
 }
 
 void CacheSim::DropDirty() {
-  for (auto& bank : banks_) {
+  const size_t per_bank = sets_per_bank_ * associativity_;
+  for (size_t b = 0; b < num_banks_; b++) {
+    Bank& bank = banks_[b];
     std::lock_guard<std::mutex> guard(bank.mu);
-    for (auto& set : bank.sets) {
-      for (auto& way : set.ways) {
-        way.tag = kInvalidTag;
-        way.dirty = false;
-        way.lru_stamp = 0;
-      }
-    }
+    std::fill_n(entries_.begin() + b * per_bank, per_bank, kInvalidEntry);
+    std::fill_n(stamps_.begin() + b * per_bank, per_bank, uint64_t{0});
     bank.lru_clock = 0;
   }
+}
+
+uint64_t CacheSim::hits() const {
+  uint64_t total = 0;
+  for (const Bank& bank : banks_) {
+    std::lock_guard<std::mutex> guard(const_cast<Bank&>(bank).mu);
+    total += bank.hits;
+  }
+  return total;
+}
+
+uint64_t CacheSim::misses() const {
+  uint64_t total = 0;
+  for (const Bank& bank : banks_) {
+    std::lock_guard<std::mutex> guard(const_cast<Bank&>(bank).mu);
+    total += bank.misses;
+  }
+  return total;
+}
+
+uint64_t CacheSim::write_backs() const {
+  uint64_t total = 0;
+  for (const Bank& bank : banks_) {
+    std::lock_guard<std::mutex> guard(const_cast<Bank&>(bank).mu);
+    total += bank.write_backs;
+  }
+  return total;
 }
 
 }  // namespace nvmdb

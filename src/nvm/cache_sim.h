@@ -1,8 +1,6 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -11,6 +9,14 @@ namespace nvmdb {
 /// Configuration for the simulated CPU cache in front of NVM.
 /// Defaults model the L3 of the paper's Intel Xeon E5-4620 testbed
 /// (20 MB, 64 B lines).
+///
+/// Geometry is normalized at construction so the hot-path address→slot
+/// mapping is pure shift+mask: `line_size` and the total set count are
+/// rounded up to powers of two, and the bank count is rounded down to a
+/// power of two (never exceeding the requested striping). Configurations
+/// whose derived geometry is already power-of-two — every benchmark and
+/// test config in this repo — are unaffected; the 20 MB default rounds up
+/// to an effective 32 MB.
 struct CacheConfig {
   size_t capacity_bytes = 20ull * 1024 * 1024;
   size_t line_size = 64;
@@ -18,13 +24,29 @@ struct CacheConfig {
   size_t num_banks = 16;  // lock striping for multi-threaded access
 };
 
-/// Events the cache raises toward the owning device.
+/// Events the cache raises toward the owning device. Raw function
+/// pointers + context rather than std::function: these fire on every
+/// dirty eviction in the simulator's inner loop, and a std::function call
+/// costs an indirect dispatch plus potential allocation that profiles as
+/// a top-three entry in the access path.
 struct CacheCallbacks {
+  using LineEventFn = void (*)(void* ctx, uint64_t line_addr,
+                               size_t line_size);
   /// A dirty line is being written back to NVM (eviction, flush, or
   /// writeback-all). `line_addr` is the region offset of the line start.
-  std::function<void(uint64_t line_addr, size_t line_size)> write_back;
+  LineEventFn write_back = nullptr;
   /// A line is being filled from NVM (miss).
-  std::function<void(uint64_t line_addr, size_t line_size)> fill;
+  LineEventFn fill = nullptr;
+  /// Opaque pointer passed through to both callbacks.
+  void* ctx = nullptr;
+};
+
+/// What one Access() call did, so the caller can charge all simulated
+/// costs (miss latency, hit latency, write-back bandwidth) with a single
+/// accumulation instead of per-line bookkeeping.
+struct CacheAccessResult {
+  uint32_t missed = 0;       // lines not found resident
+  uint32_t write_backs = 0;  // dirty victims evicted to NVM
 };
 
 /// Set-associative write-back, write-allocate cache simulator.
@@ -35,13 +57,23 @@ struct CacheCallbacks {
 /// dirty write-backs to NVM *stores* — the same counters the paper reads
 /// via `perf` (Section 5.3). A crash (`DropDirty`) discards dirty lines,
 /// which is how data that was never flushed gets lost.
+///
+/// Line metadata lives in one flat contiguous array of packed 8-byte
+/// entries (line index + dirty bit) with a parallel LRU-stamp array,
+/// indexed [bank][set][way]; no per-set or per-way heap nodes exist, so a
+/// set probe is a short linear scan over adjacent memory.
 class CacheSim {
  public:
   CacheSim(const CacheConfig& config, CacheCallbacks callbacks);
 
-  /// Touch [addr, addr+size). Returns the number of missed lines.
-  /// Write hits mark lines dirty; write misses allocate.
-  size_t Access(uint64_t addr, size_t size, bool is_write);
+  /// Touch [addr, addr+size). Write hits mark lines dirty; write misses
+  /// allocate. Returns per-call miss and write-back counts.
+  CacheAccessResult AccessEx(uint64_t addr, size_t size, bool is_write);
+
+  /// Compatibility shim: number of missed lines only.
+  size_t Access(uint64_t addr, size_t size, bool is_write) {
+    return AccessEx(addr, size, is_write).missed;
+  }
 
   /// CLFLUSH/CLWB semantics over [addr, addr+size): dirty lines are written
   /// back; when `invalidate` is true (CLFLUSH) the lines are also evicted,
@@ -56,45 +88,52 @@ class CacheSim {
   /// back — their contents are lost.
   void DropDirty();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t write_backs() const { return write_backs_; }
+  // Statistics are exact: each bank counts under its own lock (no shared
+  // atomic contention on the hot path) and the getters aggregate across
+  // banks, taking each bank's lock so concurrent updates are never torn
+  // or lost. After all accessing threads quiesce,
+  // hits() + misses() == total lines accessed, exactly.
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t write_backs() const;
 
-  size_t line_size() const { return config_.line_size; }
+  size_t line_size() const { return line_size_; }
 
  private:
-  struct Line {
-    uint64_t tag = kInvalidTag;
-    uint64_t lru_stamp = 0;
-    bool dirty = false;
-  };
+  // Packed line entry: (line_index << 1) | dirty. line_index is the line
+  // address divided by line_size; even 48-bit heap addresses leave the top
+  // tag bits free. kInvalidEntry (all ones) can never collide with a real
+  // entry because a real line index never has all 63 tag bits set.
+  static constexpr uint64_t kInvalidEntry = ~0ull;
 
-  struct Set {
-    std::vector<Line> ways;
-  };
-
-  struct Bank {
+  // Per-bank mutable state, cache-line aligned so banks never false-share.
+  struct alignas(64) Bank {
     std::mutex mu;
-    std::vector<Set> sets;
     uint64_t lru_clock = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t write_backs = 0;
   };
 
-  static constexpr uint64_t kInvalidTag = ~0ull;
+  // Touch one line; requires the owning bank's lock. Returns 1 if the
+  // line missed and adds any dirty-victim write-back to `result`.
+  uint32_t AccessLine(Bank& bank, size_t global_set, uint64_t line_index,
+                      bool is_write, CacheAccessResult* result);
 
-  // Returns (bank index, set index within bank) for a line address.
-  void Locate(uint64_t line_addr, size_t* bank, size_t* set) const;
+  size_t line_size_;        // power of two
+  unsigned line_shift_;     // log2(line_size_)
+  size_t associativity_;
+  size_t num_banks_;        // power of two
+  size_t sets_per_bank_;    // power of two
+  uint64_t bank_mask_;      // num_banks_ - 1
+  unsigned bank_shift_;     // log2(num_banks_)
+  uint64_t set_mask_;       // sets_per_bank_ - 1
 
-  CacheConfig config_;
   CacheCallbacks callbacks_;
   std::vector<Bank> banks_;
-  size_t sets_per_bank_;
-
-  // Statistics are approximate under concurrency (relaxed atomics would be
-  // fine too; plain counters guarded per-bank then aggregated would cost
-  // more than the fidelity is worth).
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> write_backs_{0};
+  // Flat [bank][set][way] metadata; entries_ and stamps_ are parallel.
+  std::vector<uint64_t> entries_;
+  std::vector<uint64_t> stamps_;
 };
 
 }  // namespace nvmdb

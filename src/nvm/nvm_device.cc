@@ -1,8 +1,31 @@
 #include "nvm/nvm_device.h"
 
+#include <sys/mman.h>
+
 #include <cassert>
+#include <cstdlib>
 
 namespace nvmdb {
+
+namespace {
+
+/// Zero-filled region that only costs page faults for the bytes actually
+/// touched. Falls back to calloc if mmap is unavailable.
+void* AllocZeroed(size_t bytes) {
+  void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p != MAP_FAILED) return p;
+  p = calloc(1, bytes);
+  assert(p != nullptr);
+  return p;
+}
+
+void FreeZeroed(void* p, size_t bytes) {
+  if (p == nullptr) return;
+  if (munmap(p, bytes) != 0) free(p);
+}
+
+}  // namespace
 
 NvmLatencyConfig NvmLatencyConfig::Dram() {
   NvmLatencyConfig cfg;
@@ -33,36 +56,29 @@ NvmLatencyConfig NvmLatencyConfig::HighNvm() {
 
 NvmDevice::NvmDevice(size_t capacity, const NvmLatencyConfig& latency,
                      const CacheConfig& cache_cfg)
-    : capacity_(capacity),
-      working_(new uint8_t[capacity]),
-      durable_(new uint8_t[capacity]),
-      latency_(latency) {
-  memset(working_.get(), 0, capacity_);
-  memset(durable_.get(), 0, capacity_);
-  const size_t num_lines = capacity / 64 + 1;
-  line_writes_.reset(new std::atomic<uint32_t>[num_lines]);
-  for (size_t i = 0; i < num_lines; i++) {
-    line_writes_[i].store(0, std::memory_order_relaxed);
-  }
+    : capacity_(capacity), latency_(latency) {
+  working_ = static_cast<uint8_t*>(AllocZeroed(capacity_));
+  durable_ = static_cast<uint8_t*>(AllocZeroed(capacity_));
+  // std::atomic<uint32_t> is lock-free and layout-compatible with a zeroed
+  // uint32_t on every supported platform, so the wear array can live in a
+  // lazily-zeroed mapping too instead of an eagerly-constructed new[].
+  line_writes_ = static_cast<std::atomic<uint32_t>*>(
+      AllocZeroed((capacity_ / 64 + 1) * sizeof(std::atomic<uint32_t>)));
 
   CacheCallbacks callbacks;
-  callbacks.write_back = [this](uint64_t line_addr, size_t line_size) {
-    // A dirty line reaching NVM: copy working -> durable and charge the
-    // store against the throttled write bandwidth.
-    if (line_addr + line_size <= capacity_) {
-      memcpy(durable_.get() + line_addr, working_.get() + line_addr,
-             line_size);
-      line_writes_[line_addr / 64].fetch_add(1, std::memory_order_relaxed);
-    }
-    ChargeStall(StoreCostNs());
-  };
-  // Miss latency is charged at the access site (together with hit costs),
-  // not in the fill callback, so no fill hook is needed.
-  cache_ = std::make_unique<CacheSim>(cache_cfg, std::move(callbacks));
+  callbacks.write_back = &NvmDevice::WriteBackTrampoline;
+  callbacks.ctx = this;
+  // Miss latency is charged at the access site (together with hit and
+  // write-back costs), not in a fill callback, so no fill hook is needed.
+  cache_ = std::make_unique<CacheSim>(cache_cfg, callbacks);
 }
 
 NvmDevice::~NvmDevice() {
   if (NvmEnv::Get() == this) NvmEnv::Set(nullptr);
+  FreeZeroed(working_, capacity_);
+  FreeZeroed(durable_, capacity_);
+  FreeZeroed(line_writes_,
+             (capacity_ / 64 + 1) * sizeof(std::atomic<uint32_t>));
 }
 
 uint64_t NvmDevice::StoreCostNs() const {
@@ -73,24 +89,37 @@ uint64_t NvmDevice::StoreCostNs() const {
                                gbps);
 }
 
+void NvmDevice::OnWriteBack(uint64_t line_addr, size_t line_size) {
+  // A dirty line reaching NVM: copy working -> durable and count wear.
+  // Lines outside the managed region (virtual heap addresses routed
+  // through TouchVirtual) have no durable bytes but still cost a store.
+  if (line_addr + line_size <= capacity_) {
+    memcpy(durable_ + line_addr, working_ + line_addr, line_size);
+    line_writes_[line_addr / 64].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void NvmDevice::ChargeAccess(uint64_t addr, size_t n, bool is_write) {
-  const size_t missed = cache_->Access(addr, n, is_write);
+  const CacheAccessResult r = cache_->AccessEx(addr, n, is_write);
   const size_t lines =
       (addr + n - 1) / cache_->line_size() - addr / cache_->line_size() + 1;
-  ChargeStall(missed * latency_.read_latency_ns +
-              (lines - missed) * latency_.cache_hit_ns);
+  // One atomic add covers the whole call: miss latency, hit latency, and
+  // write-back bandwidth for every line the access touched.
+  ChargeStall(r.missed * latency_.read_latency_ns +
+              (lines - r.missed) * latency_.cache_hit_ns +
+              r.write_backs * StoreCostNs());
 }
 
 void NvmDevice::Read(uint64_t offset, void* dst, size_t n) {
   assert(offset + n <= capacity_);
   ChargeAccess(offset, n, /*is_write=*/false);
-  memcpy(dst, working_.get() + offset, n);
+  memcpy(dst, working_ + offset, n);
 }
 
 void NvmDevice::Write(uint64_t offset, const void* src, size_t n) {
   assert(offset + n <= capacity_);
   ChargeAccess(offset, n, /*is_write=*/true);
-  memcpy(working_.get() + offset, src, n);
+  memcpy(working_ + offset, src, n);
 }
 
 void NvmDevice::TouchRead(const void* p, size_t n) {
@@ -105,8 +134,8 @@ void NvmDevice::TouchWrite(const void* p, size_t n) {
 
 void NvmDevice::TouchVirtual(const void* p, size_t n, bool is_write) {
   // Raw heap addresses live far above the region's offset space, so they
-  // never alias a managed line; the write-back callback's bounds check
-  // skips the durable copy but still charges the store.
+  // never alias a managed line; the write-back handler's bounds check
+  // skips the durable copy but the store cost is still charged.
   if (n == 0) return;
   ChargeAccess(reinterpret_cast<uint64_t>(p), n, is_write);
 }
@@ -118,14 +147,15 @@ void NvmDevice::Persist(uint64_t offset, size_t n) {
   // then unconditionally mirror the range into the durable image so the
   // post-condition "range is durable" holds even for bytes written through
   // an uninstrumented pointer.
-  cache_->FlushRange(offset, n, /*invalidate=*/!latency_.use_clwb);
+  const size_t flushed =
+      cache_->FlushRange(offset, n, /*invalidate=*/!latency_.use_clwb);
   const size_t ls = cache_->line_size();
   const uint64_t first = offset / ls * ls;
   uint64_t last_end = (offset + n + ls - 1) / ls * ls;
   if (last_end > capacity_) last_end = capacity_;
-  memcpy(durable_.get() + first, working_.get() + first, last_end - first);
-  // SFENCE + flush latency.
-  ChargeStall(latency_.sync_latency_ns);
+  memcpy(durable_ + first, working_ + first, last_end - first);
+  // Write-back bandwidth plus SFENCE + flush latency, in one accumulation.
+  ChargeStall(flushed * StoreCostNs() + latency_.sync_latency_ns);
   sync_calls_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -133,12 +163,13 @@ void NvmDevice::AtomicPersistWrite64(uint64_t offset, uint64_t value) {
   assert(offset % 8 == 0);
   assert(offset + 8 <= capacity_);
   ChargeAccess(offset, 8, /*is_write=*/true);
-  memcpy(working_.get() + offset, &value, 8);
-  cache_->FlushRange(offset, 8, /*invalidate=*/!latency_.use_clwb);
+  memcpy(working_ + offset, &value, 8);
+  const size_t flushed =
+      cache_->FlushRange(offset, 8, /*invalidate=*/!latency_.use_clwb);
   // The durable copy of an aligned 8-byte store is itself atomic: either
   // the old or the new value survives a crash, never a torn mix.
-  memcpy(durable_.get() + offset, &value, 8);
-  ChargeStall(latency_.sync_latency_ns);
+  memcpy(durable_ + offset, &value, 8);
+  ChargeStall(flushed * StoreCostNs() + latency_.sync_latency_ns);
   sync_calls_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -146,12 +177,13 @@ void NvmDevice::Crash() {
   // Dirty cached lines die with the caches; the working image reverts to
   // exactly what had been made durable.
   cache_->DropDirty();
-  memcpy(working_.get(), durable_.get(), capacity_);
+  memcpy(working_, durable_, capacity_);
 }
 
 void NvmDevice::FlushAll() {
-  cache_->WriteBackAll();
-  memcpy(durable_.get(), working_.get(), capacity_);
+  const size_t flushed = cache_->WriteBackAll();
+  ChargeStall(flushed * StoreCostNs());
+  memcpy(durable_, working_, capacity_);
 }
 
 NvmCounters NvmDevice::counters() const {

@@ -56,6 +56,8 @@ struct WearStats {
 };
 
 /// Counter snapshot mirroring the perf counters the paper reads.
+/// All fields are exact, including under concurrency: the cache counts
+/// per bank under the bank lock and aggregation takes those locks.
 struct NvmCounters {
   uint64_t loads = 0;        // cache-line fills from NVM
   uint64_t stores = 0;       // dirty-line write-backs to NVM
@@ -89,18 +91,17 @@ class NvmDevice {
   NvmDevice& operator=(const NvmDevice&) = delete;
 
   size_t capacity() const { return capacity_; }
-  uint8_t* base() { return working_.get(); }
+  uint8_t* base() { return working_; }
 
   /// Translate between raw pointers into the working image and stable
   /// region offsets (the representation of non-volatile pointers).
   uint64_t OffsetOf(const void* p) const {
-    return static_cast<uint64_t>(static_cast<const uint8_t*>(p) -
-                                 working_.get());
+    return static_cast<uint64_t>(static_cast<const uint8_t*>(p) - working_);
   }
-  void* PtrAt(uint64_t offset) { return working_.get() + offset; }
-  const void* PtrAt(uint64_t offset) const { return working_.get() + offset; }
+  void* PtrAt(uint64_t offset) { return working_ + offset; }
+  const void* PtrAt(uint64_t offset) const { return working_ + offset; }
   bool Contains(const void* p) const {
-    return p >= working_.get() && p < working_.get() + capacity_;
+    return p >= working_ && p < working_ + capacity_;
   }
 
   // --- Instrumented access path -------------------------------------------
@@ -179,14 +180,29 @@ class NvmDevice {
   void ChargeStall(uint64_t ns) {
     stall_ns_.fetch_add(ns, std::memory_order_relaxed);
   }
-  /// Run the cache model over [addr, addr+n) and charge hit/miss costs.
+  /// Run the cache model over [addr, addr+n) and charge hit/miss/write-back
+  /// costs with a single atomic accumulation for the whole call.
   void ChargeAccess(uint64_t addr, size_t n, bool is_write);
   uint64_t StoreCostNs() const;
 
+  /// Target of the cache's write-back callback (dispatched through a raw
+  /// function pointer, not std::function): mirror the line into the
+  /// durable image and count wear. Stall accounting happens at the access
+  /// site, not here.
+  void OnWriteBack(uint64_t line_addr, size_t line_size);
+  static void WriteBackTrampoline(void* ctx, uint64_t line_addr,
+                                  size_t line_size) {
+    static_cast<NvmDevice*>(ctx)->OnWriteBack(line_addr, line_size);
+  }
+
   size_t capacity_;
-  std::unique_ptr<uint8_t[]> working_;
-  std::unique_ptr<uint8_t[]> durable_;
-  std::unique_ptr<std::atomic<uint32_t>[]> line_writes_;  // wear per line
+  // Working/durable images and the per-line wear array are lazily-zeroed
+  // anonymous mappings: a fresh device costs no page-touch proportional to
+  // capacity, only to the bytes actually used (the seed's new[]+memset
+  // burned ~1.5 GB of page faults per benchmark database).
+  uint8_t* working_ = nullptr;
+  uint8_t* durable_ = nullptr;
+  std::atomic<uint32_t>* line_writes_ = nullptr;  // wear per line
   NvmLatencyConfig latency_;
   std::unique_ptr<CacheSim> cache_;
 

@@ -54,6 +54,15 @@ struct RunResult {
     const double secs = EffectiveSeconds(workers);
     return secs <= 0 ? 0 : static_cast<double>(committed) / secs;
   }
+
+  /// Simulated nanoseconds produced per wall-clock nanosecond spent
+  /// computing them — the simulator's real-time speed factor. Higher is a
+  /// faster simulator; the modeled results are unaffected.
+  double SimWallRatio() const {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(stall_ns) /
+                              static_cast<double>(wall_ns);
+  }
 };
 
 /// Executes per-partition transaction queues on worker threads, one worker

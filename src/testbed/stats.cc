@@ -20,6 +20,18 @@ std::string FormatBreakdown(const EngineTimeBreakdown& breakdown) {
   return out;
 }
 
+std::string FormatClockComparison(uint64_t wall_ns, uint64_t sim_ns) {
+  char buf[128];
+  const double ratio = wall_ns == 0 ? 0.0
+                                    : static_cast<double>(sim_ns) /
+                                          static_cast<double>(wall_ns);
+  snprintf(buf, sizeof(buf),
+           "wall %.2f s, simulated %.2f s (%.2fx real time)",
+           static_cast<double>(wall_ns) * 1e-9,
+           static_cast<double>(sim_ns) * 1e-9, ratio);
+  return buf;
+}
+
 std::string FormatBytes(uint64_t bytes) {
   char buf[64];
   if (bytes >= 1ull << 30) {

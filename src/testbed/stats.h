@@ -16,6 +16,7 @@ struct CounterDelta {
   uint64_t hits = 0;
   uint64_t sync_calls = 0;
   uint64_t external_ns = 0;
+  uint64_t stall_ns = 0;  // simulated clock advanced during the interval
 };
 
 class CounterSampler {
@@ -31,6 +32,7 @@ class CounterSampler {
     d.hits = now.hits - start_.hits;
     d.sync_calls = now.sync_calls - start_.sync_calls;
     d.external_ns = now.external_ns - start_.external_ns;
+    d.stall_ns = now.stall_ns - start_.stall_ns;
     return d;
   }
 
@@ -41,6 +43,11 @@ class CounterSampler {
 
 /// Render a Fig. 13-style percentage breakdown.
 std::string FormatBreakdown(const EngineTimeBreakdown& breakdown);
+
+/// Render host wall-clock vs simulated-clock time side by side, with the
+/// simulator's real-time factor (simulated ns advanced per wall ns spent
+/// computing them). This is the number the fast-path work optimizes.
+std::string FormatClockComparison(uint64_t wall_ns, uint64_t sim_ns);
 
 /// Human-readable byte count (e.g. "1.5 GB").
 std::string FormatBytes(uint64_t bytes);

@@ -1,0 +1,272 @@
+/// Golden-model test for the CacheSim fast path: the seed's straightforward
+/// vector-of-banks/sets/lines implementation is kept here as a reference,
+/// and a randomized access/flush/crash trace is driven through both models
+/// in lockstep. Hit/miss/write-back *sequences* (not just totals) must be
+/// identical — the fast path is an optimization, never a model change.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "nvm/cache_sim.h"
+
+namespace nvmdb {
+namespace {
+
+/// One observable cache event, in emission order.
+struct Event {
+  enum Kind : uint8_t { kWriteBack, kFill };
+  Kind kind;
+  uint64_t line_addr;
+
+  bool operator==(const Event& o) const {
+    return kind == o.kind && line_addr == o.line_addr;
+  }
+};
+
+/// Reference model: a line-for-line keep of the seed implementation
+/// (pointer-chasing layout, div/mod Locate, per-line eviction scan). Only
+/// the callback plumbing differs: events append to a vector.
+class ReferenceCache {
+ public:
+  ReferenceCache(const CacheConfig& config, std::vector<Event>* events)
+      : config_(config), events_(events) {
+    size_t num_lines = std::max<size_t>(
+        config_.associativity, config_.capacity_bytes / config_.line_size);
+    size_t num_sets =
+        std::max<size_t>(1, num_lines / config_.associativity);
+    size_t num_banks =
+        std::max<size_t>(1, std::min(config_.num_banks, num_sets));
+    sets_per_bank_ = num_sets / num_banks;
+    if (sets_per_bank_ == 0) sets_per_bank_ = 1;
+    banks_.resize(num_banks);
+    for (auto& bank : banks_) {
+      bank.sets.resize(sets_per_bank_);
+      for (auto& set : bank.sets) set.ways.resize(config_.associativity);
+    }
+  }
+
+  size_t Access(uint64_t addr, size_t size, bool is_write) {
+    if (size == 0) return 0;
+    const size_t ls = config_.line_size;
+    const uint64_t first = addr / ls * ls;
+    const uint64_t last = (addr + size - 1) / ls * ls;
+    size_t missed = 0;
+    for (uint64_t line = first; line <= last; line += ls) {
+      size_t bank_idx, set_idx;
+      Locate(line, &bank_idx, &set_idx);
+      Bank& bank = banks_[bank_idx];
+      Set& set = bank.sets[set_idx];
+      const uint64_t tag = line;
+
+      Line* hit = nullptr;
+      Line* victim = &set.ways[0];
+      for (auto& way : set.ways) {
+        if (way.tag == tag) {
+          hit = &way;
+          break;
+        }
+        if (way.tag == kInvalidTag) {
+          victim = &way;
+        } else if (victim->tag != kInvalidTag &&
+                   way.lru_stamp < victim->lru_stamp) {
+          victim = &way;
+        }
+      }
+
+      if (hit != nullptr) {
+        hit->lru_stamp = ++bank.lru_clock;
+        if (is_write) hit->dirty = true;
+        hits++;
+        continue;
+      }
+
+      missed++;
+      misses++;
+      if (victim->tag != kInvalidTag && victim->dirty) {
+        write_backs++;
+        events_->push_back({Event::kWriteBack, victim->tag});
+      }
+      events_->push_back({Event::kFill, line});
+      victim->tag = tag;
+      victim->dirty = is_write;
+      victim->lru_stamp = ++bank.lru_clock;
+    }
+    return missed;
+  }
+
+  size_t FlushRange(uint64_t addr, size_t size, bool invalidate) {
+    if (size == 0) return 0;
+    const size_t ls = config_.line_size;
+    const uint64_t first = addr / ls * ls;
+    const uint64_t last = (addr + size - 1) / ls * ls;
+    size_t flushed = 0;
+    for (uint64_t line = first; line <= last; line += ls) {
+      size_t bank_idx, set_idx;
+      Locate(line, &bank_idx, &set_idx);
+      Set& set = banks_[bank_idx].sets[set_idx];
+      for (auto& way : set.ways) {
+        if (way.tag != line) continue;
+        if (way.dirty) {
+          flushed++;
+          write_backs++;
+          events_->push_back({Event::kWriteBack, way.tag});
+          way.dirty = false;
+        }
+        if (invalidate) way.tag = kInvalidTag;
+        break;
+      }
+    }
+    return flushed;
+  }
+
+  size_t WriteBackAll() {
+    size_t flushed = 0;
+    for (auto& bank : banks_) {
+      for (auto& set : bank.sets) {
+        for (auto& way : set.ways) {
+          if (way.tag != kInvalidTag && way.dirty) {
+            flushed++;
+            write_backs++;
+            events_->push_back({Event::kWriteBack, way.tag});
+            way.dirty = false;
+          }
+        }
+      }
+    }
+    return flushed;
+  }
+
+  void DropDirty() {
+    for (auto& bank : banks_) {
+      for (auto& set : bank.sets) {
+        for (auto& way : set.ways) {
+          way.tag = kInvalidTag;
+          way.dirty = false;
+          way.lru_stamp = 0;
+        }
+      }
+      bank.lru_clock = 0;
+    }
+  }
+
+  uint64_t hits = 0, misses = 0, write_backs = 0;
+
+ private:
+  struct Line {
+    uint64_t tag = kInvalidTag;
+    uint64_t lru_stamp = 0;
+    bool dirty = false;
+  };
+  struct Set {
+    std::vector<Line> ways;
+  };
+  struct Bank {
+    std::vector<Set> sets;
+    uint64_t lru_clock = 0;
+  };
+  static constexpr uint64_t kInvalidTag = ~0ull;
+
+  void Locate(uint64_t line_addr, size_t* bank, size_t* set) const {
+    const uint64_t line_index = line_addr / config_.line_size;
+    uint64_t h = line_index * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    *bank = h % banks_.size();
+    *set = (h / banks_.size()) % sets_per_bank_;
+  }
+
+  CacheConfig config_;
+  std::vector<Event>* events_;
+  std::vector<Bank> banks_;
+  size_t sets_per_bank_;
+};
+
+void RunTrace(const CacheConfig& cfg, uint64_t seed, uint64_t num_ops,
+              uint64_t address_space) {
+  std::vector<Event> ref_events;
+  std::vector<Event> fast_events;
+  ReferenceCache reference(cfg, &ref_events);
+
+  CacheCallbacks callbacks;
+  callbacks.ctx = &fast_events;
+  callbacks.write_back = [](void* ctx, uint64_t line_addr, size_t) {
+    static_cast<std::vector<Event>*>(ctx)->push_back(
+        {Event::kWriteBack, line_addr});
+  };
+  callbacks.fill = [](void* ctx, uint64_t line_addr, size_t) {
+    static_cast<std::vector<Event>*>(ctx)->push_back(
+        {Event::kFill, line_addr});
+  };
+  CacheSim fast(cfg, callbacks);
+
+  std::mt19937_64 rng(seed);
+  for (uint64_t op = 0; op < num_ops; op++) {
+    const uint64_t kind = rng() % 100;
+    const uint64_t addr = rng() % address_space;
+    const size_t size = 1 + rng() % 256;
+    const bool flag = (rng() & 1) != 0;
+    if (kind < 80) {
+      ASSERT_EQ(reference.Access(addr, size, flag),
+                fast.Access(addr, size, flag))
+          << "op " << op;
+    } else if (kind < 94) {
+      ASSERT_EQ(reference.FlushRange(addr, size, flag),
+                fast.FlushRange(addr, size, flag))
+          << "op " << op;
+    } else if (kind < 97) {
+      ASSERT_EQ(reference.WriteBackAll(), fast.WriteBackAll()) << "op " << op;
+    } else {
+      // Crash: all cached state vanishes, nothing is written back.
+      reference.DropDirty();
+      fast.DropDirty();
+    }
+    ASSERT_EQ(ref_events.size(), fast_events.size()) << "op " << op;
+  }
+
+  EXPECT_EQ(reference.hits, fast.hits());
+  EXPECT_EQ(reference.misses, fast.misses());
+  EXPECT_EQ(reference.write_backs, fast.write_backs());
+  ASSERT_EQ(ref_events.size(), fast_events.size());
+  for (size_t i = 0; i < ref_events.size(); i++) {
+    ASSERT_TRUE(ref_events[i] == fast_events[i])
+        << "event " << i << ": ref kind " << int(ref_events[i].kind)
+        << " line " << ref_events[i].line_addr << " vs fast kind "
+        << int(fast_events[i].kind) << " line " << fast_events[i].line_addr;
+  }
+}
+
+// Power-of-two geometries, where the fast path's shift+mask Locate must
+// reproduce the reference's div/mod mapping exactly.
+
+TEST(CacheGoldenTest, SmallSingleBank) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 4 * 1024;  // 64 lines, 16 sets
+  cfg.line_size = 64;
+  cfg.associativity = 4;
+  cfg.num_banks = 1;
+  RunTrace(cfg, /*seed=*/1, /*num_ops=*/50000, /*address_space=*/64 * 1024);
+}
+
+TEST(CacheGoldenTest, MultiBankBenchGeometry) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 256 * 1024;  // benchmark shape, scaled down
+  cfg.line_size = 64;
+  cfg.associativity = 16;
+  cfg.num_banks = 16;
+  RunTrace(cfg, /*seed=*/2, /*num_ops=*/50000,
+           /*address_space=*/4 * 1024 * 1024);
+}
+
+TEST(CacheGoldenTest, HighPressureEvictions) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 8 * 1024;  // tiny cache, huge address space
+  cfg.line_size = 64;
+  cfg.associativity = 2;
+  cfg.num_banks = 4;
+  RunTrace(cfg, /*seed=*/3, /*num_ops=*/50000,
+           /*address_space=*/16 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace nvmdb
