@@ -38,8 +38,10 @@ Status WriteCheckpoint(Pmfs* fs, const std::string& file_name,
   return s;
 }
 
-Status ReadCheckpoint(Pmfs* fs, const std::string& file_name,
-                      std::string* payload) {
+namespace {
+
+Status ReadCheckpointFile(Pmfs* fs, const std::string& file_name,
+                          std::string* payload) {
   if (!fs->Exists(file_name)) return Status::NotFound(file_name);
   Pmfs::Fd fd = fs->Open(file_name, /*create=*/false);
   if (fd < 0) return Status::IOError("checkpoint open");
@@ -62,6 +64,24 @@ Status ReadCheckpoint(Pmfs* fs, const std::string& file_name,
     return Status::Corruption("checkpoint decompress");
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status ReadCheckpoint(Pmfs* fs, const std::string& file_name,
+                      std::string* payload) {
+  Status s = ReadCheckpointFile(fs, file_name, payload);
+  if (s.ok()) return s;
+  // A crash inside WriteCheckpoint's swap window (after the old final file
+  // is deleted, before the new one is durable) leaves the final name
+  // missing or torn while the fsync'd temp copy is still whole. The temp
+  // copy is only ever deleted after the final file is durable, so falling
+  // back to it can never resurrect a stale checkpoint.
+  payload->clear();
+  Status tmp = ReadCheckpointFile(fs, file_name + ".tmp", payload);
+  if (tmp.ok()) return tmp;
+  payload->clear();
+  return s;
 }
 
 }  // namespace nvmdb

@@ -48,10 +48,12 @@ void NvWal::ForEach(
     const std::function<void(const uint8_t*, size_t)>& fn) const {
   uint64_t off = head();
   while (off != 0) {
-    // Stop if the entry's slot is not in the persisted state: either a
-    // truncation was interrupted (entries already freed) or the slot was
-    // reclaimed by recovery.
-    if (allocator_->StateOf(off) != PmemAllocator::SlotState::kPersisted) {
+    // Stop if the offset is not a well-formed slot in the persisted state:
+    // either a truncation was interrupted (entries already freed), the slot
+    // was reclaimed by recovery, or the pointer came from torn durable
+    // state. Durable pointers are never dereferenced unvalidated.
+    if (!allocator_->ValidPayloadOffset(off) ||
+        allocator_->StateOf(off) != PmemAllocator::SlotState::kPersisted) {
       break;
     }
     EntryHeader hdr;
@@ -74,8 +76,9 @@ void NvWal::Clear() {
   } else {
     uint64_t off = head();
     while (off != 0) {
-      if (allocator_->StateOf(off) !=
-          PmemAllocator::SlotState::kPersisted) {
+      if (!allocator_->ValidPayloadOffset(off) ||
+          allocator_->StateOf(off) !=
+              PmemAllocator::SlotState::kPersisted) {
         break;
       }
       EntryHeader hdr;
@@ -100,7 +103,8 @@ uint64_t NvWal::NvmBytes() const {
   uint64_t bytes = sizeof(uint64_t);
   uint64_t off = head();
   while (off != 0) {
-    if (allocator_->StateOf(off) != PmemAllocator::SlotState::kPersisted) {
+    if (!allocator_->ValidPayloadOffset(off) ||
+        allocator_->StateOf(off) != PmemAllocator::SlotState::kPersisted) {
       break;
     }
     EntryHeader hdr;

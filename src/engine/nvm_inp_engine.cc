@@ -348,6 +348,10 @@ void NvmInPEngine::UndoOne(const uint8_t* payload, size_t size) {
   memcpy(&fcount, payload + 21, 2);
   Table* table = GetTable(table_id);
   if (table == nullptr) return;
+  // Reachable WAL entries are fully durable (the atomic head swap follows
+  // the entry persist), but validate the slot pointer before StateOf
+  // dereferences its header anyway: recovery must never trust raw offsets.
+  if (!allocator_->ValidPayloadOffset(slot)) return;
 
   switch (static_cast<LogOp>(op)) {
     case LogOp::kInsert: {
@@ -356,6 +360,16 @@ void NvmInPEngine::UndoOne(const uint8_t* payload, size_t size) {
       if (allocator_->StateOf(slot) !=
           PmemAllocator::SlotState::kPersisted) {
         table->primary->Erase(key);
+        return;
+      }
+      // A torn final persist can durably mark the slot persisted while
+      // some payload lines stayed stale. The index insert always follows
+      // the tuple persist, so a torn tuple has no secondary entries —
+      // reclaim the slot without materializing it (heap->Free rejects the
+      // garbage varlen pointers).
+      if (!table->heap->TupleReadable(slot)) {
+        table->primary->Erase(key);
+        table->heap->Free(slot);
         return;
       }
       const Tuple t = table->heap->Read(slot);
@@ -369,7 +383,9 @@ void NvmInPEngine::UndoOne(const uint8_t* payload, size_t size) {
       const bool slot_live = allocator_->StateOf(slot) ==
                              PmemAllocator::SlotState::kPersisted;
       if (!slot_live) return;
-      const Tuple newer = table->heap->Read(slot);
+      const bool readable = table->heap->TupleReadable(slot);
+      const Tuple newer =
+          readable ? table->heap->Read(slot) : Tuple(table->heap->schema());
       for (int i = static_cast<int>(fcount) - 1; i >= 0; i--) {
         const uint8_t* f =
             payload + kUndoHeaderBytes + i * kUndoFieldBytes;

@@ -95,6 +95,8 @@ void NvmLogEngine::NvMemTable::CommitRecord(uint64_t key,
 
 void NvmLogEngine::NvMemTable::UndoRecord(uint64_t key,
                                           uint64_t record_off) {
+  // Recovery input: validate before dereferencing the slot header.
+  if (!allocator_->ValidPayloadOffset(record_off)) return;
   if (allocator_->StateOf(record_off) !=
       PmemAllocator::SlotState::kPersisted) {
     // Never published (crash between WAL push and CommitRecord); the

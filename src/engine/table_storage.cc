@@ -36,6 +36,11 @@ uint64_t TableHeap::WriteVarlen(const std::string& value) {
 std::string TableHeap::ReadVarlen(uint64_t varlen_slot) const {
   uint32_t len = 0;
   device_->Read(varlen_slot, &len, 4);
+  // A length can never exceed its slot's capacity; clamping costs nothing
+  // on the simulated clock (header metadata is host-side) and keeps a
+  // torn varlen payload from driving an out-of-bounds read in recovery.
+  const size_t cap = allocator_->UsableSize(varlen_slot);
+  if (len > cap - kVarlenHeader) len = static_cast<uint32_t>(cap - kVarlenHeader);
   std::string out(len, '\0');
   if (len > 0) device_->Read(varlen_slot + 4, out.data(), len);
   return out;
@@ -215,6 +220,9 @@ void TableHeap::FreeVarlen(uint64_t varlen_slot) {
 
 void TableHeap::FreeVarlenIfPersisted(uint64_t varlen_slot) {
   if (varlen_slot == 0) return;
+  // Recovery hands this offsets read back from durable state; validate
+  // before StateOf dereferences the slot header.
+  if (!allocator_->ValidPayloadOffset(varlen_slot)) return;
   if (allocator_->StateOf(varlen_slot) ==
       PmemAllocator::SlotState::kPersisted) {
     allocator_->Free(varlen_slot);
@@ -257,6 +265,18 @@ void TableHeap::PersistFieldSpan(uint64_t slot, size_t min_col,
                                  size_t max_col) {
   device_->Persist(slot + schema_->FixedOffset(min_col),
                    (max_col - min_col + 1) * 8);
+}
+
+bool TableHeap::TupleReadable(uint64_t slot) const {
+  for (size_t i = 0; i < schema_->num_columns(); i++) {
+    const Column& col = schema_->column(i);
+    if (col.type == ColumnType::kVarchar && !col.IsInlined()) {
+      uint64_t voff = 0;
+      device_->Read(slot + schema_->FixedOffset(i), &voff, 8);
+      if (!allocator_->ValidPayloadOffset(voff)) return false;
+    }
+  }
+  return true;
 }
 
 void TableHeap::MarkSlotPersisted(uint64_t slot) {

@@ -102,6 +102,13 @@ class TableHeap {
   /// payloads (used when the payload sync already happened).
   void MarkSlotPersisted(uint64_t slot);
 
+  /// True iff every out-of-line varlen pointer in the tuple's fixed part
+  /// refers to a well-formed allocator slot. Recovery calls this before
+  /// materializing a tuple whose final persist may have been torn — a slot
+  /// durably marked persisted can still carry stale payload lines, and
+  /// following a garbage pointer would read out of bounds.
+  bool TupleReadable(uint64_t slot) const;
+
   const Schema* schema() const { return schema_; }
   size_t slot_size() const { return slot_size_; }
   size_t live_tuples() const { return live_tuples_; }

@@ -1,5 +1,6 @@
 #include "engine/wal.h"
 
+#include <cassert>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -32,7 +33,10 @@ bool DecodeLogRecord(const char* data, size_t size, LogRecord* out,
   uint32_t crc, len;
   memcpy(&crc, data, 4);
   memcpy(&len, data + 4, 4);
-  if (size < 8ull + len || len < 25) return false;
+  // Minimum well-formed payload: op 1 + txn 8 + table 4 + key 8 + blen 4 +
+  // alen 4 = 29 bytes (before/after may be empty).
+  constexpr uint32_t kFixedPayload = 29;
+  if (size < 8ull + len || len < kFixedPayload) return false;
   const char* payload = data + 8;
   if (Crc32c(payload, len) != crc) return false;  // torn write
 
@@ -48,13 +52,18 @@ bool DecodeLogRecord(const char* data, size_t size, LogRecord* out,
   uint32_t blen;
   memcpy(&blen, p, 4);
   p += 4;
-  if (static_cast<size_t>(p - payload) + blen + 4 > len) return false;
+  // blen/alen are untrusted u32s read from the log; compare them against
+  // the remaining payload (len - fixed fields) so the additions below can
+  // never wrap and the assigns can never over-read.
+  if (blen > len - kFixedPayload) return false;
   out->before.assign(p, blen);
   p += blen;
   uint32_t alen;
   memcpy(&alen, p, 4);
   p += 4;
-  if (static_cast<size_t>(p - payload) + alen > len) return false;
+  // The after-image must exactly fill the rest of the payload; a short
+  // alen would silently drop trailing bytes a CRC collision smuggled in.
+  if (alen != len - kFixedPayload - blen) return false;
   out->after.assign(p, alen);
   *consumed = 8ull + len;
   return true;
@@ -81,7 +90,9 @@ bool Wal::LogCommit(uint64_t txn_id) {
   LogRecord commit;
   commit.op = LogOp::kCommit;
   commit.txn_id = txn_id;
-  EncodeLogRecord(commit, &buffer_);
+  // Route through Append so the commit record's buffer traffic is modeled
+  // identically to every other record (it used to bypass TouchVirtual).
+  Append(commit);
   last_buffered_commit_ = txn_id;
   commits_in_group_++;
   if (commits_in_group_ >= group_commit_size_) {
@@ -100,7 +111,13 @@ Status Wal::Flush() {
   Status s = fs_->Fsync(fd_);
   if (!s.ok()) return s;
   commits_in_group_ = 0;
-  last_durable_txn_ = last_buffered_commit_;
+  // Durability acknowledgements only move forward: after a checkpoint
+  // truncation resets last_buffered_commit_ to the durable watermark, an
+  // empty-buffer Flush must not rewind (or advance to a stale id).
+  assert(last_buffered_commit_ >= last_durable_txn_);
+  if (last_buffered_commit_ > last_durable_txn_) {
+    last_durable_txn_ = last_buffered_commit_;
+  }
   return Status::OK();
 }
 
@@ -130,6 +147,11 @@ std::vector<LogRecord> Wal::ReadAll() {
 Status Wal::Truncate() {
   buffer_.clear();
   commits_in_group_ = 0;
+  // Buffered-but-unflushed commits died with the buffer; without this, the
+  // next empty-buffer Flush() would advance last_durable_txn_ to a stale
+  // pre-truncation txn id and acknowledge transactions whose records no
+  // longer exist anywhere.
+  last_buffered_commit_ = last_durable_txn_;
   return fs_->Truncate(fd_, 0);
 }
 

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "nvm/crash_sim.h"
+
 namespace nvmdb {
 
 namespace {
@@ -143,6 +145,9 @@ void NvmDevice::TouchVirtual(const void* p, size_t n, bool is_write) {
 void NvmDevice::Persist(uint64_t offset, size_t n) {
   if (n == 0) return;
   assert(offset + n <= capacity_);
+  // Crash-point hook: this is a durability event, and a capture must see
+  // the durable image *before* the range below is mirrored into it.
+  if (crash_sim_ != nullptr) crash_sim_->OnPersist(this, offset, n);
   // CLFLUSH/CLWB each covered line (counts stores for dirty cached lines),
   // then unconditionally mirror the range into the durable image so the
   // post-condition "range is durable" holds even for bytes written through
@@ -162,6 +167,7 @@ void NvmDevice::Persist(uint64_t offset, size_t n) {
 void NvmDevice::AtomicPersistWrite64(uint64_t offset, uint64_t value) {
   assert(offset % 8 == 0);
   assert(offset + 8 <= capacity_);
+  if (crash_sim_ != nullptr) crash_sim_->OnAtomicPersist(this, offset, value);
   ChargeAccess(offset, 8, /*is_write=*/true);
   memcpy(working_ + offset, &value, 8);
   const size_t flushed =
@@ -178,6 +184,14 @@ void NvmDevice::Crash() {
   // exactly what had been made durable.
   cache_->DropDirty();
   memcpy(working_, durable_, capacity_);
+}
+
+void NvmDevice::RestoreImages(const uint8_t* image, size_t n) {
+  assert(n == capacity_);
+  (void)n;
+  cache_->DropDirty();
+  memcpy(durable_, image, capacity_);
+  memcpy(working_, image, capacity_);
 }
 
 void NvmDevice::FlushAll() {

@@ -11,6 +11,8 @@
 
 namespace nvmdb {
 
+class CrashSim;
+
 /// Latency/bandwidth profile of the emulated NVM device. The paper's
 /// hardware emulator exposes exactly these knobs (Section 2.2): a tunable
 /// read latency (as a multiple of the 160 ns DRAM latency) and a throttled
@@ -141,8 +143,28 @@ class NvmDevice {
   /// Simulate power failure: every byte not yet written back is lost.
   void Crash();
 
+  /// Crash onto an externally captured durable image (a CrashSim
+  /// snapshot): cached state is discarded and both images are replaced by
+  /// `image`, so recovery observes exactly the bytes that were durable at
+  /// the captured event. `n` must equal capacity().
+  void RestoreImages(const uint8_t* image, size_t n);
+
   /// Write back the entire cache (a clean shutdown).
   void FlushAll();
+
+  // --- Crash-point fault injection -----------------------------------------
+
+  /// Install (or remove, with nullptr) a crash-point simulator. Every
+  /// durability event — Persist, AtomicPersistWrite64, fsync barrier —
+  /// is reported to it. Not owned; the caller keeps it alive while
+  /// installed.
+  void set_crash_sim(CrashSim* sim) { crash_sim_ = sim; }
+  CrashSim* crash_sim() const { return crash_sim_; }
+
+  /// Read-only views for CrashSim captures.
+  const uint8_t* durable_image() const { return durable_; }
+  const uint8_t* working_image() const { return working_; }
+  size_t cache_line_size() const { return cache_->line_size(); }
 
   // --- Accounting -----------------------------------------------------------
 
@@ -209,6 +231,7 @@ class NvmDevice {
   std::atomic<uint64_t> stall_ns_{0};
   std::atomic<uint64_t> external_ns_{0};
   std::atomic<uint64_t> sync_calls_{0};
+  CrashSim* crash_sim_ = nullptr;
 };
 
 /// Process-wide "current device" used by non-volatile pointers so that

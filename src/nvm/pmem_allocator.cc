@@ -150,11 +150,33 @@ void PmemAllocator::PersistPayloadAndMark(uint64_t payload_offset,
                    sizeof(SlotHeader) + payload_len);
 }
 
+bool PmemAllocator::ValidPayloadOffset(uint64_t payload_offset) const {
+  if (payload_offset < sizeof(SlotHeader) ||
+      payload_offset % kMinClass != 0) {
+    return false;
+  }
+  const uint64_t slot_off = payload_offset - sizeof(SlotHeader);
+  if (slot_off < header()->heap_start ||
+      slot_off + sizeof(SlotHeader) > device_->capacity()) {
+    return false;
+  }
+  return SlotAt(slot_off)->magic == kSlotMagic;
+}
+
 void PmemAllocator::Free(uint64_t payload_offset) {
+  // A garbage pointer here is a legitimate recovery input (a torn tuple's
+  // varlen offset), not a caller bug — reject it instead of asserting.
+  if (!ValidPayloadOffset(payload_offset)) return;
   const uint64_t slot_off = payload_offset - sizeof(SlotHeader);
   SlotHeader* slot = SlotAt(slot_off);
-  assert(slot->magic == kSlotMagic);
   std::lock_guard<std::mutex> guard(mu_);
+  if (slot->state == static_cast<uint16_t>(SlotState::kFree)) {
+    // Already free: either the crash hit mid-way through a multi-slot free
+    // and recovery is re-running it, or the allocator walk in Recover()
+    // already reclaimed this slot. Pushing it again would hand the same
+    // offset out twice.
+    return;
+  }
   const size_t tag_idx = slot->tag % static_cast<size_t>(StorageTag::kCount);
   slot->state = static_cast<uint16_t>(SlotState::kFree);
   device_->TouchWrite(&slot->state, sizeof(slot->state));
@@ -276,6 +298,40 @@ void PmemAllocator::Recover() {
   h->high_water = off;
   device_->TouchWrite(&h->high_water, sizeof(h->high_water));
   device_->allocated_bytes.store(total_used_, std::memory_order_relaxed);
+}
+
+Status PmemAllocator::AuditHeap(uint64_t* live_slots) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const RegionHeader* h = header();
+  if (h->magic != kRegionMagic) return Status::Corruption("region magic");
+  if (h->heap_start < sizeof(RegionHeader) ||
+      h->heap_start > device_->capacity()) {
+    return Status::Corruption("heap_start out of range");
+  }
+  uint64_t live = 0;
+  uint64_t off = h->heap_start;
+  while (off + sizeof(SlotHeader) <= device_->capacity()) {
+    const SlotHeader* slot = SlotAt(off);
+    if (slot->magic != kSlotMagic) break;  // clean heap end
+    if (slot->state != static_cast<uint16_t>(SlotState::kFree) &&
+        slot->state != static_cast<uint16_t>(SlotState::kAllocated) &&
+        slot->state != static_cast<uint16_t>(SlotState::kPersisted)) {
+      return Status::Corruption("slot state at offset " + std::to_string(off));
+    }
+    if (slot->capacity == 0 || slot->capacity % kMinClass != 0) {
+      return Status::Corruption("slot capacity at offset " +
+                                std::to_string(off));
+    }
+    const uint64_t end = off + sizeof(SlotHeader) + slot->capacity;
+    if (end > device_->capacity()) {
+      return Status::Corruption("slot overruns region at offset " +
+                                std::to_string(off));
+    }
+    if (slot->state == static_cast<uint16_t>(SlotState::kPersisted)) live++;
+    off = end;
+  }
+  if (live_slots != nullptr) *live_slots = live;
+  return Status::OK();
 }
 
 AllocatorStats PmemAllocator::stats() const {

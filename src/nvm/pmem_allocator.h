@@ -90,7 +90,20 @@ class PmemAllocator {
   void PersistPayloadAndMark(uint64_t payload_offset, size_t payload_len);
 
   /// Return a slot to the free state (persisted immediately).
+  ///
+  /// Idempotent and defensive: freeing an already-free slot, or an offset
+  /// that does not point at a well-formed slot header, is a no-op. Crash
+  /// recovery needs this — undoing an in-flight transaction may re-run a
+  /// free that was partially durable when the crash hit, and a torn tuple
+  /// may hand recovery a garbage varlen pointer. Double-inserting a slot
+  /// into the free lists would let Alloc hand the same offset out twice.
   void Free(uint64_t payload_offset);
+
+  /// True iff `payload_offset` points just past a well-formed slot header:
+  /// in bounds, 16-byte aligned, magic intact. Recovery paths use this to
+  /// reject pointers read from possibly-torn durable state before
+  /// dereferencing them (StateOf/UsableSize assume a valid slot).
+  bool ValidPayloadOffset(uint64_t payload_offset) const;
 
   /// Payload size of a live slot.
   size_t UsableSize(uint64_t payload_offset) const;
@@ -116,6 +129,14 @@ class PmemAllocator {
   /// reclaims allocated-but-not-persisted slots, coalesces free runs, and
   /// rebuilds the free lists. Idempotent.
   void Recover();
+
+  /// Structural invariant check for crash harnesses: walk the heap from
+  /// `heap_start` and verify every slot header is well-formed (magic, a
+  /// known durability state, a nonzero 16-byte-aligned capacity that stays
+  /// inside the region) until the first never-persisted header — i.e. the
+  /// walk Recover() relies on terminates cleanly. Returns the number of
+  /// live (persisted) slots via `live_slots` when non-null.
+  Status AuditHeap(uint64_t* live_slots = nullptr) const;
 
   AllocatorStats stats() const;
 

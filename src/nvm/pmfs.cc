@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "nvm/sync.h"
+
 namespace nvmdb {
 
 namespace {
@@ -254,6 +256,9 @@ Status Pmfs::Fsync(Fd fd) {
     device_->Persist(inode, sizeof(Inode));
     h.inode_dirty = false;
   }
+  // The point where the fsync as a whole retires and callers may
+  // acknowledge durability — one crash-point event.
+  PmemBarrier(device_);
   return Status::OK();
 }
 

@@ -1,6 +1,12 @@
 #include "nvm/sync.h"
 
+#include "nvm/crash_sim.h"
+
 namespace nvmdb {
+
+void PmemBarrier(NvmDevice* device) {
+  if (CrashSim* sim = device->crash_sim()) sim->OnBarrier(device);
+}
 
 void PmemPersist(NvmDevice* device, const void* p, size_t n) {
   device->Persist(p, n);

@@ -13,6 +13,13 @@ namespace nvmdb {
 void PmemPersist(NvmDevice* device, const void* p, size_t n);
 void PmemPersist(NvmDevice* device, uint64_t offset, size_t n);
 
+/// Data-less durability barrier: marks the point where a batched
+/// durability operation (an fsync) is complete and may be acknowledged.
+/// Counts as one crash-point event when a CrashSim is installed; free
+/// otherwise. The individual block/inode persists before the barrier are
+/// already durable — this names the moment the *whole* fsync retires.
+void PmemBarrier(NvmDevice* device);
+
 /// RAII override of the sync-primitive latency on a device; used by the
 /// Appendix C sweep (Fig. 16) to model PCOMMIT/CLWB costs from 10 ns to
 /// 10000 ns.

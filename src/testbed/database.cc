@@ -1,6 +1,9 @@
 #include "testbed/database.h"
 
+#include <cassert>
+
 #include "common/timer.h"
+#include "nvm/crash_sim.h"
 
 namespace nvmdb {
 
@@ -46,6 +49,15 @@ void Database::Crash() {
   fs_.reset();
   allocator_.reset();
   device_->Crash();
+}
+
+void Database::CrashAt(const CrashSim& sim) {
+  assert(sim.captured());
+  assert(sim.image().size() == device_->capacity());
+  engines_.clear();
+  fs_.reset();
+  allocator_.reset();
+  device_->RestoreImages(sim.image().data(), sim.image().size());
 }
 
 uint64_t Database::Recover() {

@@ -11,6 +11,8 @@
 
 namespace nvmdb {
 
+class CrashSim;
+
 /// Configuration of a whole DBMS testbed instance (Section 3's Fig. 2).
 struct DatabaseConfig {
   size_t num_partitions = 8;
@@ -47,6 +49,13 @@ class Database {
   /// Simulate a power failure: unflushed data is lost, all volatile state
   /// (engines, allocator free lists, file handles) is torn down.
   void Crash();
+
+  /// Power failure at the crash point `sim` captured: volatile state is
+  /// torn down and the device contents are replaced with the durable-only
+  /// image snapshotted at the armed event, so the subsequent `Recover()`
+  /// observes exactly what a crash at that event would have left. `sim`
+  /// must hold a capture.
+  void CrashAt(const CrashSim& sim);
 
   /// Bring the database back after Crash(): allocator recovery, engine
   /// re-instantiation, table re-registration, engine recovery protocols.

@@ -48,6 +48,38 @@ TEST_F(AllocatorTest, FreeReusesSlot) {
   EXPECT_EQ(a, b);
 }
 
+TEST_F(AllocatorTest, DoubleFreeIsANoOp) {
+  // Crash recovery may re-run a free that was partially durable when the
+  // crash hit (an in-flight abort's undo record stays reachable until the
+  // WAL head swap). Freeing an already-free slot must not push it into
+  // the free lists a second time, or Alloc would hand one offset to two
+  // owners.
+  const uint64_t a = allocator_.Alloc(64);
+  allocator_.Free(a);
+  allocator_.Free(a);  // recovery re-running the free
+  const uint64_t b = allocator_.Alloc(64);
+  const uint64_t c = allocator_.Alloc(64);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(b, c);  // the second handout must be a different slot
+}
+
+TEST_F(AllocatorTest, FreeRejectsMalformedOffsets) {
+  // Pointers read back from durable state after a torn persist can be
+  // garbage; Free must reject them instead of corrupting the free lists.
+  const uint64_t a = allocator_.Alloc(64);
+  allocator_.Free(0);                          // null
+  allocator_.Free(7);                          // unaligned, below heap
+  allocator_.Free(a + 8);                      // unaligned mid-slot
+  allocator_.Free(device_.capacity() + 1024);  // out of bounds
+  EXPECT_FALSE(allocator_.ValidPayloadOffset(0));
+  EXPECT_FALSE(allocator_.ValidPayloadOffset(a + 8));
+  EXPECT_TRUE(allocator_.ValidPayloadOffset(a));
+  // The live slot is untouched and the allocator still works.
+  EXPECT_EQ(allocator_.StateOf(a), PmemAllocator::SlotState::kAllocated);
+  const uint64_t b = allocator_.Alloc(64);
+  EXPECT_NE(a, b);
+}
+
 TEST_F(AllocatorTest, BestFitPrefersSmallestSufficientClass) {
   const uint64_t small = allocator_.Alloc(32);
   const uint64_t big = allocator_.Alloc(4096);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "engine/checkpoint.h"
 #include "engine/nv_wal.h"
 #include "engine/wal.h"
@@ -55,6 +56,95 @@ TEST(LogRecordTest, DecodeRejectsTruncation) {
   EXPECT_FALSE(DecodeLogRecord(bytes.data(), bytes.size() - 10, &out,
                                &consumed));
   EXPECT_FALSE(DecodeLogRecord(bytes.data(), 4, &out, &consumed));
+}
+
+namespace {
+/// A record whose payload is `payload` verbatim, framed with a *valid*
+/// CRC — the parser's structural checks must reject malformed payloads on
+/// their own, not lean on CRC mismatches.
+std::string FrameWithValidCrc(const std::string& payload) {
+  std::string bytes;
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  bytes.append(reinterpret_cast<const char*>(&crc), 4);
+  bytes.append(reinterpret_cast<const char*>(&len), 4);
+  bytes.append(payload);
+  return bytes;
+}
+
+std::string FixedFields(uint32_t blen_value) {
+  std::string payload;
+  payload.push_back(static_cast<char>(LogOp::kInsert));
+  const uint64_t txn = 1, key = 2;
+  const uint32_t table = 3;
+  payload.append(reinterpret_cast<const char*>(&txn), 8);
+  payload.append(reinterpret_cast<const char*>(&table), 4);
+  payload.append(reinterpret_cast<const char*>(&key), 8);
+  payload.append(reinterpret_cast<const char*>(&blen_value), 4);
+  return payload;  // 25 bytes: everything up to and including blen
+}
+}  // namespace
+
+TEST(LogRecordTest, DecodeRejectsPayloadShorterThanFixedFields) {
+  // 25..28-byte payloads carry valid CRCs but cannot hold the mandatory
+  // alen field; the old `len >= 25` bound over-read them.
+  for (size_t len = 25; len <= 28; len++) {
+    std::string payload = FixedFields(0);
+    payload.resize(len, '\0');
+    const std::string bytes = FrameWithValidCrc(payload);
+    LogRecord out;
+    size_t consumed;
+    EXPECT_FALSE(
+        DecodeLogRecord(bytes.data(), bytes.size(), &out, &consumed))
+        << "accepted " << len << "-byte payload";
+  }
+  // The 29-byte minimum (empty before/after) is well-formed.
+  std::string payload = FixedFields(0);
+  const uint32_t alen = 0;
+  payload.append(reinterpret_cast<const char*>(&alen), 4);
+  const std::string bytes = FrameWithValidCrc(payload);
+  LogRecord out;
+  size_t consumed;
+  ASSERT_TRUE(DecodeLogRecord(bytes.data(), bytes.size(), &out, &consumed));
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_TRUE(out.before.empty());
+  EXPECT_TRUE(out.after.empty());
+}
+
+TEST(LogRecordTest, DecodeRejectsOverflowingBeforeLength) {
+  // blen is an untrusted u32; near-max values used to wrap the bounds
+  // arithmetic. They must be rejected, never used to size a read.
+  for (uint32_t blen : {0xFFFFFFFFu, 0xFFFFFFFBu, 30u}) {
+    std::string payload = FixedFields(blen);
+    const uint32_t alen = 0;
+    payload.append(reinterpret_cast<const char*>(&alen), 4);
+    const std::string bytes = FrameWithValidCrc(payload);
+    LogRecord out;
+    size_t consumed;
+    EXPECT_FALSE(
+        DecodeLogRecord(bytes.data(), bytes.size(), &out, &consumed))
+        << "accepted blen " << blen;
+  }
+}
+
+TEST(LogRecordTest, DecodeRejectsSlackAfterImages) {
+  // blen/alen must exactly tile the payload: a short alen silently
+  // dropping trailing bytes is a framing error, not a shorter record.
+  LogRecord record;
+  record.op = LogOp::kUpdate;
+  record.before = "before!";
+  record.after = "after!!";
+  std::string bytes;
+  EncodeLogRecord(record, &bytes);
+  std::string payload = bytes.substr(8);
+  const size_t alen_pos = 1 + 8 + 4 + 8 + 4 + record.before.size();
+  uint32_t short_alen = static_cast<uint32_t>(record.after.size() - 2);
+  memcpy(payload.data() + alen_pos, &short_alen, 4);
+  const std::string reframed = FrameWithValidCrc(payload);
+  LogRecord out;
+  size_t consumed;
+  EXPECT_FALSE(
+      DecodeLogRecord(reframed.data(), reframed.size(), &out, &consumed));
 }
 
 // --- Filesystem WAL --------------------------------------------------------------
@@ -135,6 +225,18 @@ TEST_F(WalTest, TornTailStopsParsingCleanly) {
   fs_.Close(fd);
   const auto records = wal.ReadAll();
   EXPECT_EQ(records.size(), 2u);
+}
+
+TEST_F(WalTest, LogCommitChargesBufferTrafficLikeAppend) {
+  // Commit records used to be encoded straight into the buffer without
+  // TouchVirtual, leaving their NVM traffic unmodeled while Append's was.
+  Wal wal(&fs_, "test.wal", 100);  // group never fills; no flush noise
+  wal.Append(MakeRecord(1));
+  const NvmCounters before = device_.counters();
+  wal.LogCommit(1);
+  const NvmCounters after = device_.counters();
+  EXPECT_GT(after.hits + after.loads, before.hits + before.loads)
+      << "commit record generated no modeled cache traffic";
 }
 
 TEST_F(WalTest, TruncateEmptiesLog) {
