@@ -8,6 +8,11 @@
 ///     amplification control of Section 4.3.
 ///  C. MemTable flush threshold for the Log engine: flush/compaction
 ///     frequency vs WAL length.
+///
+/// Each cell runs a single-partition database (latency attribution needs
+/// one worker inside a cell), but all 28 cells across the three sections
+/// run concurrently on the grid scheduler; every table prints after the
+/// barrier.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -18,8 +23,11 @@ using namespace nvmdb::bench;
 namespace {
 
 struct SerialRun {
-  double throughput;
+  double throughput = 0;
   LatencySummary latency;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t sim_ns = 0;
 };
 
 SerialRun RunYcsbSerial(EngineKind engine, const EngineConfig& overrides,
@@ -41,34 +49,112 @@ SerialRun RunYcsbSerial(EngineKind engine, const EngineConfig& overrides,
   Coordinator coordinator(db.get());
   const RunResult result =
       coordinator.RunSerial(0, workload.GenerateQueues()[0]);
+  const CounterDelta delta = sampler.Delta();
   SerialRun out;
   out.throughput = DeriveThroughput(result.committed, result.wall_ns,
-                                    sampler.Delta(),
-                                    NvmLatencyConfig::LowNvm(), 1);
+                                    delta, NvmLatencyConfig::LowNvm(), 1);
   out.latency = result.latency;
+  out.committed = result.committed;
+  out.aborted = result.aborted;
+  out.sim_ns = delta.stall_ns;
   return out;
+}
+
+BenchCell SerialCell(std::vector<std::pair<std::string, std::string>> key,
+                     const SerialRun& run) {
+  BenchCell cell;
+  cell.key = std::move(key);
+  cell.committed = run.committed;
+  cell.aborted = run.aborted;
+  cell.sim_ns = run.sim_ns;
+  cell.metrics = {{"tps_low_nvm", run.throughput},
+                  {"mean_resp_us", run.latency.mean_ns / 1000.0},
+                  {"p99_resp_us", run.latency.p99_ns / 1000.0}};
+  return cell;
 }
 
 }  // namespace
 
 int main() {
+  const EngineKind a_engines[] = {EngineKind::kInP, EngineKind::kCoW,
+                                  EngineKind::kNvmCoW, EngineKind::kNvmInP};
+  const size_t a_groups[] = {1, 4, 16, 64};
+  const YcsbMixture b_mixtures[] = {YcsbMixture::kReadHeavy,
+                                    YcsbMixture::kBalanced};
+  const size_t c_thresholds[] = {64ull * 1024, 256ull * 1024,
+                                 1024ull * 1024, 4096ull * 1024};
+  const YcsbMixture c_mixtures[] = {YcsbMixture::kBalanced,
+                                    YcsbMixture::kWriteHeavy};
+
+  SerialRun a_runs[4][4];
+  SerialRun b_runs[2][2];
+  SerialRun c_runs[4][2];
+
+  BenchRunner runner("ablation");
+  AddScaleContext(&runner);
+  for (int e = 0; e < 4; e++) {
+    for (int g = 0; g < 4; g++) {
+      const EngineKind engine = a_engines[e];
+      const size_t group = a_groups[g];
+      runner.Submit([&a_runs, e, g, engine, group]() {
+        EngineConfig ec;
+        ec.group_commit_size = group;
+        a_runs[e][g] =
+            RunYcsbSerial(engine, ec, YcsbMixture::kWriteHeavy);
+        return SerialCell({{"section", "group_commit"},
+                           {"engine", EngineKindName(engine)},
+                           {"group", std::to_string(group)}},
+                          a_runs[e][g]);
+      });
+    }
+  }
+  for (int b = 0; b < 2; b++) {
+    for (int m = 0; m < 2; m++) {
+      const bool use_blooms = b == 0;
+      const YcsbMixture mixture = b_mixtures[m];
+      runner.Submit([&b_runs, b, m, use_blooms, mixture]() {
+        EngineConfig ec;
+        ec.use_bloom_filters = use_blooms;
+        // Small MemTables and a high compaction trigger leave many
+        // immutable runs alive, which is when the filters earn their keep.
+        ec.memtable_threshold_bytes = 16 * 1024;
+        ec.lsm_level0_limit = 48;
+        b_runs[b][m] = RunYcsbSerial(EngineKind::kNvmLog, ec, mixture);
+        return SerialCell({{"section", "bloom_filters"},
+                           {"blooms", use_blooms ? "on" : "off"},
+                           {"mixture", YcsbMixtureName(mixture)}},
+                          b_runs[b][m]);
+      });
+    }
+  }
+  for (int t = 0; t < 4; t++) {
+    for (int m = 0; m < 2; m++) {
+      const size_t threshold = c_thresholds[t];
+      const YcsbMixture mixture = c_mixtures[m];
+      runner.Submit([&c_runs, t, m, threshold, mixture]() {
+        EngineConfig ec;
+        ec.memtable_threshold_bytes = threshold;
+        c_runs[t][m] = RunYcsbSerial(EngineKind::kLog, ec, mixture);
+        return SerialCell({{"section", "memtable_threshold"},
+                           {"threshold", std::to_string(threshold)},
+                           {"mixture", YcsbMixtureName(mixture)}},
+                          c_runs[t][m]);
+      });
+    }
+  }
+  runner.Wait();
+
   PrintHeader(
       "Ablation A: group-commit size vs throughput & response latency "
       "(YCSB write-heavy, 1 partition, low NVM latency)");
   printf("%-10s %6s %14s %14s %14s\n", "engine", "group", "txn/sec",
          "mean resp us", "p99 resp us");
-  for (EngineKind engine :
-       {EngineKind::kInP, EngineKind::kCoW, EngineKind::kNvmCoW,
-        EngineKind::kNvmInP}) {
-    for (size_t group : {1, 4, 16, 64}) {
-      EngineConfig ec;
-      ec.group_commit_size = group;
-      const SerialRun r =
-          RunYcsbSerial(engine, ec, YcsbMixture::kWriteHeavy);
-      printf("%-10s %6zu %14.0f %14.2f %14.2f\n", EngineKindName(engine),
-             group, r.throughput, r.latency.mean_ns / 1000.0,
-             r.latency.p99_ns / 1000.0);
-      fflush(stdout);
+  for (int e = 0; e < 4; e++) {
+    for (int g = 0; g < 4; g++) {
+      const SerialRun& r = a_runs[e][g];
+      printf("%-10s %6zu %14.0f %14.2f %14.2f\n",
+             EngineKindName(a_engines[e]), a_groups[g], r.throughput,
+             r.latency.mean_ns / 1000.0, r.latency.p99_ns / 1000.0);
     }
   }
   printf(
@@ -79,20 +165,9 @@ int main() {
   PrintHeader(
       "Ablation B: NVM-Log Bloom filters (read amplification control)");
   printf("%-12s %14s %14s\n", "blooms", "read-heavy", "balanced");
-  for (bool use_blooms : {true, false}) {
-    printf("%-12s", use_blooms ? "on" : "off");
-    for (YcsbMixture mixture :
-         {YcsbMixture::kReadHeavy, YcsbMixture::kBalanced}) {
-      EngineConfig ec;
-      ec.use_bloom_filters = use_blooms;
-      // Small MemTables and a high compaction trigger leave many immutable
-      // runs alive, which is when the filters earn their keep.
-      ec.memtable_threshold_bytes = 16 * 1024;
-      ec.lsm_level0_limit = 48;
-      const SerialRun r = RunYcsbSerial(EngineKind::kNvmLog, ec, mixture);
-      printf("%14.0f", r.throughput);
-      fflush(stdout);
-    }
+  for (int b = 0; b < 2; b++) {
+    printf("%-12s", b == 0 ? "on" : "off");
+    for (int m = 0; m < 2; m++) printf("%14.0f", b_runs[b][m].throughput);
     printf("\n");
   }
   printf(
@@ -103,17 +178,9 @@ int main() {
 
   PrintHeader("Ablation C: Log engine MemTable flush threshold");
   printf("%-14s %14s %14s\n", "threshold", "balanced", "write-heavy");
-  for (size_t threshold :
-       {64ull * 1024, 256ull * 1024, 1024ull * 1024, 4096ull * 1024}) {
-    printf("%-14s", FormatBytes(threshold).c_str());
-    for (YcsbMixture mixture :
-         {YcsbMixture::kBalanced, YcsbMixture::kWriteHeavy}) {
-      EngineConfig ec;
-      ec.memtable_threshold_bytes = threshold;
-      const SerialRun r = RunYcsbSerial(EngineKind::kLog, ec, mixture);
-      printf("%14.0f", r.throughput);
-      fflush(stdout);
-    }
+  for (int t = 0; t < 4; t++) {
+    printf("%-14s", FormatBytes(c_thresholds[t]).c_str());
+    for (int m = 0; m < 2; m++) printf("%14.0f", c_runs[t][m].throughput);
     printf("\n");
   }
   printf(

@@ -5,6 +5,10 @@
 /// the Low/High-NVM numbers are derived from the recorded NVM load/store/
 /// sync counters (the counters are latency-invariant — see bench_util.h).
 ///
+/// The 48 cells are independent (each builds its own database), so they
+/// run concurrently on the grid scheduler; all tables print after the
+/// barrier, in grid order, so stdout is identical for any NVMDB_BENCH_JOBS.
+///
 /// Expected shape (paper): NVM-aware engines up to ~5.5x the traditional
 /// ones on write-heavy mixtures; NVM-InP ~ InP on read-only; CoW slowest
 /// reader among in-place engines, Log slowest overall on reads due to
@@ -27,28 +31,31 @@ int main() {
          (unsigned long long)Scale().ycsb_tuples,
          (unsigned long long)Scale().ycsb_txns, Scale().partitions);
 
-  // results[mixture][skew][engine] -> {committed, wall, counters}
-  struct Cell {
-    uint64_t committed = 0;
-    uint64_t wall_ns = 0;
-    CounterDelta counters;
-  };
-  Cell cells[4][2][6];
-
-  ClockTotals clocks;
+  // runs[((m * 2) + s) * 6 + e], filled by the grid cells.
+  std::vector<BenchRun> runs(4 * 2 * AllEngines().size());
+  BenchRunner runner("fig05_07_ycsb");
+  AddScaleContext(&runner);
   for (int m = 0; m < 4; m++) {
     for (int s = 0; s < 2; s++) {
       for (size_t e = 0; e < AllEngines().size(); e++) {
-        const BenchRun run =
-            RunYcsb(AllEngines()[e], mixtures[m], skews[s]);
-        cells[m][s][e] = {run.committed, run.wall_ns, run.counters};
-        clocks.Add(run);
-        fprintf(stderr, "  done %s %s %s\n",
-                YcsbMixtureName(mixtures[m]), YcsbSkewName(skews[s]),
-                EngineKindName(AllEngines()[e]));
+        const size_t idx = (m * 2 + s) * AllEngines().size() + e;
+        const YcsbMixture mixture = mixtures[m];
+        const YcsbSkew skew = skews[s];
+        const EngineKind engine = AllEngines()[e];
+        runner.Submit([&runs, idx, mixture, skew, engine]() {
+          runs[idx] = RunYcsb(engine, mixture, skew);
+          return CellFromRun({{"mixture", YcsbMixtureName(mixture)},
+                              {"skew", YcsbSkewName(skew)},
+                              {"engine", EngineKindName(engine)}},
+                             runs[idx], Scale().partitions);
+        });
       }
     }
   }
+  runner.Wait();
+
+  ClockTotals clocks;
+  for (const BenchRun& run : runs) clocks.Add(run);
   ReportClocks("YCSB measured phases", clocks);
 
   int figure = 5;
@@ -66,11 +73,10 @@ int main() {
       for (int s = 0; s < 2; s++) {
         printf("%-10s", s == 0 ? "low" : "high");
         for (size_t e = 0; e < AllEngines().size(); e++) {
-          const Cell& cell = cells[m][s][e];
+          const BenchRun& run = runs[(m * 2 + s) * AllEngines().size() + e];
           printf("%12.0f",
-                 DeriveThroughput(cell.committed, cell.wall_ns,
-                                  cell.counters, latency.config,
-                                  Scale().partitions));
+                 DeriveThroughput(run.committed, run.wall_ns, run.counters,
+                                  latency.config, Scale().partitions));
         }
         printf("\n");
       }

@@ -1,5 +1,9 @@
 /// Fig. 8 — TPC-C throughput under the three NVM latency profiles.
 ///
+/// One grid cell per engine, run concurrently (each on a private
+/// database); the table prints after the barrier so stdout is identical
+/// for any NVMDB_BENCH_JOBS.
+///
 /// Expected shape (paper): NVM-aware engines 1.8–2.1x their traditional
 /// counterparts (NVM-CoW's speedup largest, ~2.3x, because TPC-C is
 /// write-intensive); gaps shrink to ~1.7–1.9x at high latency.
@@ -14,19 +18,18 @@ int main() {
   printf("TPC-C: %zu warehouses (1/partition), %llu txns\n",
          Scale().partitions, (unsigned long long)Scale().tpcc_txns);
 
-  struct Cell {
-    uint64_t committed = 0;
-    uint64_t wall_ns = 0;
-    CounterDelta counters;
-  };
-  std::vector<Cell> cells;
-  for (EngineKind engine : AllEngines()) {
-    const BenchRun run = RunTpcc(engine);
-    cells.push_back({run.committed, run.wall_ns, run.counters});
-    fprintf(stderr, "  done %s (committed %llu, aborted %llu)\n",
-            EngineKindName(engine), (unsigned long long)run.committed,
-            (unsigned long long)run.aborted);
+  std::vector<BenchRun> runs(AllEngines().size());
+  BenchRunner runner("fig08_tpcc");
+  AddScaleContext(&runner);
+  for (size_t e = 0; e < AllEngines().size(); e++) {
+    const EngineKind engine = AllEngines()[e];
+    runner.Submit([&runs, e, engine]() {
+      runs[e] = RunTpcc(engine);
+      return CellFromRun({{"engine", EngineKindName(engine)}}, runs[e],
+                         Scale().partitions);
+    });
   }
+  runner.Wait();
 
   PrintHeader("Fig. 8: TPC-C throughput (txn/sec)");
   printf("%-22s", "latency");
@@ -34,11 +37,10 @@ int main() {
   printf("\n");
   for (const LatencyProfile& latency : PaperLatencies()) {
     printf("%-22s", latency.name);
-    for (size_t e = 0; e < cells.size(); e++) {
+    for (const BenchRun& run : runs) {
       printf("%12.0f",
-             DeriveThroughput(cells[e].committed, cells[e].wall_ns,
-                              cells[e].counters, latency.config,
-                              Scale().partitions));
+             DeriveThroughput(run.committed, run.wall_ns, run.counters,
+                              latency.config, Scale().partitions));
     }
     printf("\n");
   }

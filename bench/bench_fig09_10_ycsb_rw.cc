@@ -1,6 +1,10 @@
 /// Figs. 9 & 10 — NVM loads and stores executed while running YCSB
 /// (the perf-counter measurements of Section 5.3).
 ///
+/// The 48 (mixture, skew, engine) cells run concurrently on the grid
+/// scheduler; printing is deferred past the barrier so stdout is
+/// identical for any NVMDB_BENCH_JOBS.
+///
 /// Expected shape (paper): Log engine performs the most loads (tuple
 /// coalescing); CoW the most stores on write-intensive mixes (page
 /// copying); NVM-aware engines do up to ~53% fewer loads and 17–48% fewer
@@ -21,20 +25,27 @@ int main() {
          (unsigned long long)Scale().ycsb_tuples,
          (unsigned long long)Scale().ycsb_txns, Scale().partitions);
 
-  CounterDelta deltas[4][2][6];
+  std::vector<BenchRun> runs(4 * 2 * AllEngines().size());
+  BenchRunner runner("fig09_10_ycsb_rw");
+  AddScaleContext(&runner);
   for (int m = 0; m < 4; m++) {
     for (int s = 0; s < 2; s++) {
       for (size_t e = 0; e < AllEngines().size(); e++) {
-        const BenchRun run =
-            RunYcsb(AllEngines()[e], mixtures[m],
-                    s == 0 ? YcsbSkew::kLow : YcsbSkew::kHigh);
-        deltas[m][s][e] = run.counters;
-        fprintf(stderr, "  done %s skew%d %s\n",
-                YcsbMixtureName(mixtures[m]), s,
-                EngineKindName(AllEngines()[e]));
+        const size_t idx = (m * 2 + s) * AllEngines().size() + e;
+        const YcsbMixture mixture = mixtures[m];
+        const YcsbSkew skew = s == 0 ? YcsbSkew::kLow : YcsbSkew::kHigh;
+        const EngineKind engine = AllEngines()[e];
+        runner.Submit([&runs, idx, mixture, skew, engine]() {
+          runs[idx] = RunYcsb(engine, mixture, skew);
+          return CellFromRun({{"mixture", YcsbMixtureName(mixture)},
+                              {"skew", YcsbSkewName(skew)},
+                              {"engine", EngineKindName(engine)}},
+                             runs[idx], Scale().partitions);
+        });
       }
     }
   }
+  runner.Wait();
 
   const char* figs[2] = {"Fig. 9: YCSB NVM loads (millions)",
                          "Fig. 10: YCSB NVM stores (millions)"};
@@ -48,7 +59,8 @@ int main() {
       for (int s = 0; s < 2; s++) {
         printf("%-10s", s == 0 ? "low" : "high");
         for (size_t e = 0; e < AllEngines().size(); e++) {
-          const CounterDelta& d = deltas[m][s][e];
+          const CounterDelta& d =
+              runs[(m * 2 + s) * AllEngines().size() + e].counters;
           const double millions =
               (metric == 0 ? d.loads : d.stores) / 1e6;
           printf("%12.3f", millions);

@@ -1,5 +1,8 @@
 /// Fig. 11 — NVM loads/stores executed while running TPC-C.
 ///
+/// One grid cell per engine, run concurrently; printing deferred past the
+/// barrier (stdout identical for any NVMDB_BENCH_JOBS).
+///
 /// Expected shape (paper): NVM-aware engines perform 31–42% fewer writes;
 /// access pattern resembles the YCSB write-heavy mixture; the Log engine
 /// writes more here than under YCSB because TPC-C's secondary indexes add
@@ -15,24 +18,30 @@ int main() {
   printf("TPC-C: %zu warehouses, %llu txns\n", Scale().partitions,
          (unsigned long long)Scale().tpcc_txns);
 
-  std::vector<CounterDelta> deltas;
-  for (EngineKind engine : AllEngines()) {
-    const BenchRun run = RunTpcc(engine);
-    deltas.push_back(run.counters);
-    fprintf(stderr, "  done %s\n", EngineKindName(engine));
+  std::vector<BenchRun> runs(AllEngines().size());
+  BenchRunner runner("fig11_tpcc_rw");
+  AddScaleContext(&runner);
+  for (size_t e = 0; e < AllEngines().size(); e++) {
+    const EngineKind engine = AllEngines()[e];
+    runner.Submit([&runs, e, engine]() {
+      runs[e] = RunTpcc(engine);
+      return CellFromRun({{"engine", EngineKindName(engine)}}, runs[e],
+                         Scale().partitions);
+    });
   }
+  runner.Wait();
 
   PrintHeader("Fig. 11: TPC-C NVM loads & stores (millions)");
   printf("%-10s", "");
   for (EngineKind e : AllEngines()) printf("%12s", EngineKindName(e));
   printf("\n%-10s", "loads");
-  for (const CounterDelta& d : deltas) printf("%12.3f", d.loads / 1e6);
+  for (const BenchRun& r : runs) printf("%12.3f", r.counters.loads / 1e6);
   printf("\n%-10s", "stores");
-  for (const CounterDelta& d : deltas) printf("%12.3f", d.stores / 1e6);
+  for (const BenchRun& r : runs) printf("%12.3f", r.counters.stores / 1e6);
   printf("\n");
 
-  const double inp = static_cast<double>(deltas[0].stores);
-  const double nvm_inp = static_cast<double>(deltas[3].stores);
+  const double inp = static_cast<double>(runs[0].counters.stores);
+  const double nvm_inp = static_cast<double>(runs[3].counters.stores);
   printf("\nNVM-InP stores vs InP: %.0f%% fewer\n",
          100.0 * (inp - nvm_inp) / inp);
   printf(

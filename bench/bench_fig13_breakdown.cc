@@ -1,6 +1,9 @@
 /// Fig. 13 — Execution-time breakdown (storage / recovery / index / other)
 /// while running YCSB with low skew under the low-NVM-latency profile.
 ///
+/// The 24 (mixture, engine) cells run concurrently on the grid scheduler;
+/// the tables print after the barrier in grid order.
+///
 /// Expected shape (paper): on write-heavy mixes the NVM-aware engines
 /// spend ~13–18% on recovery-related work vs up to ~33% for traditional
 /// ones; CoW engines spend relatively more on recovery even when read-
@@ -18,16 +21,45 @@ int main() {
       YcsbMixture::kReadOnly, YcsbMixture::kReadHeavy,
       YcsbMixture::kBalanced, YcsbMixture::kWriteHeavy};
 
+  std::vector<BenchRun> runs(4 * AllEngines().size());
+  BenchRunner runner("fig13_breakdown");
+  AddScaleContext(&runner);
+  for (int m = 0; m < 4; m++) {
+    for (size_t e = 0; e < AllEngines().size(); e++) {
+      const size_t idx = m * AllEngines().size() + e;
+      const YcsbMixture mixture = mixtures[m];
+      const EngineKind engine = AllEngines()[e];
+      runner.Submit([&runs, idx, mixture, engine]() {
+        runs[idx] = RunYcsb(engine, mixture, YcsbSkew::kLow);
+        BenchCell cell =
+            CellFromRun({{"mixture", YcsbMixtureName(mixture)},
+                         {"engine", EngineKindName(engine)}},
+                        runs[idx], Scale().partitions);
+        const uint64_t total = runs[idx].breakdown.total();
+        const char* cats[4] = {"storage_pct", "recovery_pct", "index_pct",
+                               "other_pct"};
+        for (int c = 0; c < 4; c++) {
+          cell.metrics.emplace_back(
+              cats[c], total == 0
+                           ? 0.0
+                           : 100.0 * runs[idx].breakdown.ns[c] / total);
+        }
+        return cell;
+      });
+    }
+  }
+  runner.Wait();
+
   PrintHeader(
       "Fig. 13: execution-time breakdown (%), YCSB low skew, low latency");
-  for (YcsbMixture mixture : mixtures) {
-    printf("\n--- %s workload ---\n", YcsbMixtureName(mixture));
+  for (int m = 0; m < 4; m++) {
+    printf("\n--- %s workload ---\n", YcsbMixtureName(mixtures[m]));
     printf("%-10s %10s %10s %10s %10s\n", "engine", "storage", "recovery",
            "index", "other");
-    for (EngineKind engine : AllEngines()) {
-      const BenchRun run = RunYcsb(engine, mixture, YcsbSkew::kLow);
+    for (size_t e = 0; e < AllEngines().size(); e++) {
+      const BenchRun& run = runs[m * AllEngines().size() + e];
       const uint64_t total = run.breakdown.total();
-      printf("%-10s", EngineKindName(engine));
+      printf("%-10s", EngineKindName(AllEngines()[e]));
       for (int c = 0; c < 4; c++) {
         printf("%9.1f%%", total == 0 ? 0.0
                                      : 100.0 * run.breakdown.ns[c] / total);

@@ -1,6 +1,9 @@
 /// Fig. 14 — Peak NVM storage footprint (table / index / log / checkpoint
 /// / other) after running (a) YCSB balanced low-skew and (b) TPC-C.
 ///
+/// All 12 cells (6 engines x 2 workloads) run concurrently on the grid
+/// scheduler; both tables print after the barrier.
+///
 /// Expected shape (paper): CoW largest on YCSB (dirty-directory churn +
 /// page cache); InP/Log pay for their logs; NVM-aware engines 17–38%
 /// smaller (pointers in WAL instead of images; no duplicated data).
@@ -13,11 +16,24 @@ using namespace nvmdb::bench;
 
 namespace {
 
-void PrintFootprintTable(const std::vector<FootprintStats>& stats) {
+void AddFootprintMetrics(BenchCell* cell, const FootprintStats& f) {
+  cell->metrics.emplace_back("table_bytes",
+                             static_cast<double>(f.table_bytes));
+  cell->metrics.emplace_back("index_bytes",
+                             static_cast<double>(f.index_bytes));
+  cell->metrics.emplace_back("log_bytes",
+                             static_cast<double>(f.log_bytes));
+  cell->metrics.emplace_back("checkpoint_bytes",
+                             static_cast<double>(f.checkpoint_bytes));
+  cell->metrics.emplace_back("total_bytes",
+                             static_cast<double>(f.total()));
+}
+
+void PrintFootprintTable(const std::vector<BenchRun>& runs) {
   printf("%-10s %10s %10s %10s %10s %10s %10s\n", "engine", "table",
          "index", "log", "ckpt", "other", "total");
   for (size_t e = 0; e < AllEngines().size(); e++) {
-    const FootprintStats& f = stats[e];
+    const FootprintStats& f = runs[e].footprint;
     printf("%-10s %10s %10s %10s %10s %10s %10s\n",
            EngineKindName(AllEngines()[e]),
            FormatBytes(f.table_bytes).c_str(),
@@ -32,30 +48,43 @@ void PrintFootprintTable(const std::vector<FootprintStats>& stats) {
 }  // namespace
 
 int main() {
-  {
-    PrintHeader("Fig. 14a: storage footprint, YCSB balanced / low skew");
-    std::vector<FootprintStats> stats;
-    for (EngineKind engine : AllEngines()) {
+  std::vector<BenchRun> ycsb_runs(AllEngines().size());
+  std::vector<BenchRun> tpcc_runs(AllEngines().size());
+  BenchRunner runner("fig14_footprint");
+  AddScaleContext(&runner);
+  for (size_t e = 0; e < AllEngines().size(); e++) {
+    const EngineKind engine = AllEngines()[e];
+    runner.Submit([&ycsb_runs, e, engine]() {
       // Give InP a checkpoint interval so its checkpoint appears in the
       // footprint, as in the paper.
       EngineConfig ec;
-      const BenchRun run =
+      ec.checkpoint_interval_txns = EnvU64("NVMDB_CKPT_INTERVAL", 1000);
+      ycsb_runs[e] =
           RunYcsb(engine, YcsbMixture::kBalanced, YcsbSkew::kLow, ec);
-      stats.push_back(run.footprint);
-      fprintf(stderr, "  done %s\n", EngineKindName(engine));
-    }
-    PrintFootprintTable(stats);
+      BenchCell cell = CellFromRun({{"workload", "ycsb"},
+                                    {"engine", EngineKindName(engine)}},
+                                   ycsb_runs[e], Scale().partitions);
+      AddFootprintMetrics(&cell, ycsb_runs[e].footprint);
+      return cell;
+    });
   }
-  {
-    PrintHeader("Fig. 14b: storage footprint, TPC-C");
-    std::vector<FootprintStats> stats;
-    for (EngineKind engine : AllEngines()) {
-      const BenchRun run = RunTpcc(engine);
-      stats.push_back(run.footprint);
-      fprintf(stderr, "  done %s\n", EngineKindName(engine));
-    }
-    PrintFootprintTable(stats);
+  for (size_t e = 0; e < AllEngines().size(); e++) {
+    const EngineKind engine = AllEngines()[e];
+    runner.Submit([&tpcc_runs, e, engine]() {
+      tpcc_runs[e] = RunTpcc(engine);
+      BenchCell cell = CellFromRun({{"workload", "tpcc"},
+                                    {"engine", EngineKindName(engine)}},
+                                   tpcc_runs[e], Scale().partitions);
+      AddFootprintMetrics(&cell, tpcc_runs[e].footprint);
+      return cell;
+    });
   }
+  runner.Wait();
+
+  PrintHeader("Fig. 14a: storage footprint, YCSB balanced / low skew");
+  PrintFootprintTable(ycsb_runs);
+  PrintHeader("Fig. 14b: storage footprint, TPC-C");
+  PrintFootprintTable(tpcc_runs);
   printf(
       "\nPaper shape: NVM-aware engines 17-38%% smaller footprints;\n"
       "CoW inflated by page copies/cache; logs grow for InP/Log\n"

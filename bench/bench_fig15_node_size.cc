@@ -2,6 +2,10 @@
 /// node size: STX-style nodes for NVM-InP/NVM-Log (64 B – 2 KB, default
 /// 512 B) and CoW B+tree pages for NVM-CoW (512 B – 16 KB, default 4 KB).
 ///
+/// All 72 (engine, node size, mixture) cells are submitted up front and
+/// run concurrently on the grid scheduler; the three sweep tables print
+/// after the barrier.
+///
 /// Expected shape (paper): read-heavy workloads favor larger CoW pages
 /// (shallower tree, less metadata flushing) while write-heavy favor
 /// smaller ones (less copying); STX trees peak around 512 B.
@@ -14,32 +18,59 @@ using namespace nvmdb::bench;
 
 namespace {
 
-void Sweep(EngineKind engine, const std::vector<size_t>& sizes,
-           bool is_cow_page) {
-  const YcsbMixture mixtures[] = {YcsbMixture::kReadOnly,
-                                  YcsbMixture::kReadHeavy,
-                                  YcsbMixture::kBalanced,
-                                  YcsbMixture::kWriteHeavy};
-  printf("\n--- %s (%s) ---\n", EngineKindName(engine),
-         is_cow_page ? "CoW B+tree page size" : "STX B+tree node size");
+const YcsbMixture kMixtures[] = {YcsbMixture::kReadOnly,
+                                 YcsbMixture::kReadHeavy,
+                                 YcsbMixture::kBalanced,
+                                 YcsbMixture::kWriteHeavy};
+
+struct Sweep {
+  EngineKind engine;
+  std::vector<size_t> sizes;
+  bool is_cow_page;
+  std::vector<BenchRun> runs;  // sizes.size() x 4 mixtures
+};
+
+void SubmitSweep(BenchRunner* runner, Sweep* sweep) {
+  sweep->runs.resize(sweep->sizes.size() * 4);
+  for (size_t b = 0; b < sweep->sizes.size(); b++) {
+    for (int m = 0; m < 4; m++) {
+      const size_t idx = b * 4 + m;
+      const size_t bytes = sweep->sizes[b];
+      const YcsbMixture mixture = kMixtures[m];
+      const EngineKind engine = sweep->engine;
+      const bool is_cow_page = sweep->is_cow_page;
+      runner->Submit([sweep, idx, bytes, mixture, engine, is_cow_page]() {
+        EngineConfig ec;
+        if (is_cow_page) {
+          ec.cow_page_bytes = bytes;
+        } else {
+          ec.btree_node_bytes = bytes;
+        }
+        sweep->runs[idx] = RunYcsb(engine, mixture, YcsbSkew::kLow, ec);
+        return CellFromRun({{"engine", EngineKindName(engine)},
+                            {"node_bytes", std::to_string(bytes)},
+                            {"mixture", YcsbMixtureName(mixture)}},
+                           sweep->runs[idx], Scale().partitions);
+      });
+    }
+  }
+}
+
+void PrintSweep(const Sweep& sweep) {
+  printf("\n--- %s (%s) ---\n", EngineKindName(sweep.engine),
+         sweep.is_cow_page ? "CoW B+tree page size"
+                           : "STX B+tree node size");
   printf("%-12s", "bytes");
-  for (YcsbMixture m : mixtures) printf("%14s", YcsbMixtureName(m));
+  for (YcsbMixture m : kMixtures) printf("%14s", YcsbMixtureName(m));
   printf("\n");
-  for (size_t bytes : sizes) {
-    printf("%-12zu", bytes);
-    for (YcsbMixture mixture : mixtures) {
-      EngineConfig ec;
-      if (is_cow_page) {
-        ec.cow_page_bytes = bytes;
-      } else {
-        ec.btree_node_bytes = bytes;
-      }
-      const BenchRun run = RunYcsb(engine, mixture, YcsbSkew::kLow, ec);
+  for (size_t b = 0; b < sweep.sizes.size(); b++) {
+    printf("%-12zu", sweep.sizes[b]);
+    for (int m = 0; m < 4; m++) {
+      const BenchRun& run = sweep.runs[b * 4 + m];
       printf("%14.0f",
              DeriveThroughput(run.committed, run.wall_ns, run.counters,
                               NvmLatencyConfig::LowNvm(),
                               Scale().partitions));
-      fflush(stdout);
     }
     printf("\n");
   }
@@ -48,12 +79,21 @@ void Sweep(EngineKind engine, const std::vector<size_t>& sizes,
 }  // namespace
 
 int main() {
+  Sweep sweeps[] = {
+      {EngineKind::kNvmInP, {64, 128, 256, 512, 1024, 2048}, false, {}},
+      {EngineKind::kNvmCoW, {512, 1024, 2048, 4096, 8192, 16384}, true, {}},
+      {EngineKind::kNvmLog, {64, 128, 256, 512, 1024, 2048}, false, {}},
+  };
+
+  BenchRunner runner("fig15_node_size");
+  AddScaleContext(&runner);
+  for (Sweep& sweep : sweeps) SubmitSweep(&runner, &sweep);
+  runner.Wait();
+
   PrintHeader(
       "Fig. 15: B+tree node-size sensitivity (YCSB, low NVM latency, low "
       "skew; txn/sec)");
-  Sweep(EngineKind::kNvmInP, {64, 128, 256, 512, 1024, 2048}, false);
-  Sweep(EngineKind::kNvmCoW, {512, 1024, 2048, 4096, 8192, 16384}, true);
-  Sweep(EngineKind::kNvmLog, {64, 128, 256, 512, 1024, 2048}, false);
+  for (const Sweep& sweep : sweeps) PrintSweep(sweep);
   printf(
       "\nPaper shape: CoW pages — bigger helps reads, hurts writes\n"
       "(copy cost); STX nodes peak near 512 B (Appendix B, Fig. 15).\n");

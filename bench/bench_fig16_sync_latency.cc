@@ -3,7 +3,9 @@
 /// NVM-aware engines, YCSB under low NVM latency and low skew.
 ///
 /// The sync-call counters from one run yield each latency point
-/// analytically (stall += sync_calls * latency).
+/// analytically (stall += sync_calls * latency), so only the 12
+/// (engine, mixture) cells execute — concurrently, on the grid
+/// scheduler — and the whole sweep prints after the barrier.
 ///
 /// Expected shape (paper): all NVM-aware engines degrade as the primitive
 /// slows; the impact is strongest on write-intensive mixtures; NVM-CoW is
@@ -23,35 +25,44 @@ int main() {
   const uint64_t latencies[] = {100 /*current (CLFLUSH+SFENCE)*/, 10, 100,
                                 1000, 10000};
 
+  // runs[engine][mixture]
+  std::vector<BenchRun> runs(NvmEngines().size() * 4);
+  BenchRunner runner("fig16_sync_latency");
+  AddScaleContext(&runner);
+  for (size_t e = 0; e < NvmEngines().size(); e++) {
+    for (int m = 0; m < 4; m++) {
+      const size_t idx = e * 4 + m;
+      const EngineKind engine = NvmEngines()[e];
+      const YcsbMixture mixture = mixtures[m];
+      runner.Submit([&runs, idx, engine, mixture]() {
+        runs[idx] = RunYcsb(engine, mixture, YcsbSkew::kLow);
+        return CellFromRun({{"engine", EngineKindName(engine)},
+                            {"mixture", YcsbMixtureName(mixture)}},
+                           runs[idx], Scale().partitions);
+      });
+    }
+  }
+  runner.Wait();
+
   PrintHeader(
       "Fig. 16: sync-primitive latency sweep (txn/sec), YCSB low "
       "skew, low NVM latency");
-  for (EngineKind engine : NvmEngines()) {
-    printf("\n--- %s ---\n", EngineKindName(engine));
+  for (size_t e = 0; e < NvmEngines().size(); e++) {
+    printf("\n--- %s ---\n", EngineKindName(NvmEngines()[e]));
     printf("%-16s", "sync ns");
     for (YcsbMixture m : mixtures) printf("%14s", YcsbMixtureName(m));
     printf("\n");
 
-    // One run per mixture; latency points derived from sync counters.
-    struct Cell {
-      uint64_t committed;
-      uint64_t wall_ns;
-      CounterDelta counters;
-    };
-    std::vector<Cell> cells;
-    for (YcsbMixture mixture : mixtures) {
-      const BenchRun run = RunYcsb(engine, mixture, YcsbSkew::kLow);
-      cells.push_back({run.committed, run.wall_ns, run.counters});
-    }
     bool first = true;
     for (uint64_t sync_ns : latencies) {
       printf("%-16s",
              first ? "current" : std::to_string(sync_ns).c_str());
       NvmLatencyConfig profile = NvmLatencyConfig::LowNvm();
       if (!first) profile.sync_latency_ns = sync_ns;
-      for (const Cell& cell : cells) {
+      for (int m = 0; m < 4; m++) {
+        const BenchRun& run = runs[e * 4 + m];
         printf("%14.0f",
-               DeriveThroughput(cell.committed, cell.wall_ns, cell.counters,
+               DeriveThroughput(run.committed, run.wall_ns, run.counters,
                                 profile, Scale().partitions));
       }
       printf("\n");

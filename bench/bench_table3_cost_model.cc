@@ -7,6 +7,9 @@
 /// We measure dirty-line write-backs (stores * 64 B) around batches of
 /// single-op transactions; absolute values include line-granularity
 /// rounding, so the *ordering* and rough ratios are what should match.
+///
+/// One grid cell per engine; the six measurements run concurrently and
+/// the table prints after the barrier.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -19,9 +22,10 @@ namespace {
 constexpr uint64_t kOpsPerPhase = 400;
 
 struct Measured {
-  double insert_bytes;
-  double update_bytes;
-  double delete_bytes;
+  double insert_bytes = 0;
+  double update_bytes = 0;
+  double delete_bytes = 0;
+  uint64_t sim_ns = 0;
 };
 
 Measured MeasureEngine(EngineKind engine) {
@@ -63,7 +67,9 @@ Measured MeasureEngine(EngineKind engine) {
       e->Commit(txn);
     }
     db.device()->FlushAll();
-    m.insert_bytes = sampler.Delta().stores * 64.0 / kOpsPerPhase;
+    const CounterDelta d = sampler.Delta();
+    m.insert_bytes = d.stores * 64.0 / kOpsPerPhase;
+    m.sim_ns += d.stall_ns;
   }
   {
     CounterSampler sampler(db.device());
@@ -76,7 +82,9 @@ Measured MeasureEngine(EngineKind engine) {
       e->Commit(txn);
     }
     db.device()->FlushAll();
-    m.update_bytes = sampler.Delta().stores * 64.0 / kOpsPerPhase;
+    const CounterDelta d = sampler.Delta();
+    m.update_bytes = d.stores * 64.0 / kOpsPerPhase;
+    m.sim_ns += d.stall_ns;
   }
   {
     CounterSampler sampler(db.device());
@@ -86,7 +94,9 @@ Measured MeasureEngine(EngineKind engine) {
       e->Commit(txn);
     }
     db.device()->FlushAll();
-    m.delete_bytes = sampler.Delta().stores * 64.0 / kOpsPerPhase;
+    const CounterDelta d = sampler.Delta();
+    m.delete_bytes = d.stores * 64.0 / kOpsPerPhase;
+    m.sim_ns += d.stall_ns;
   }
   return m;
 }
@@ -94,6 +104,24 @@ Measured MeasureEngine(EngineKind engine) {
 }  // namespace
 
 int main() {
+  std::vector<Measured> measured(AllEngines().size());
+  BenchRunner runner("table3_cost_model");
+  for (size_t e = 0; e < AllEngines().size(); e++) {
+    const EngineKind engine = AllEngines()[e];
+    runner.Submit([&measured, e, engine]() {
+      measured[e] = MeasureEngine(engine);
+      BenchCell cell;
+      cell.key = {{"engine", EngineKindName(engine)}};
+      cell.committed = 2000 + 3 * kOpsPerPhase;  // warm-up + 3 phases
+      cell.sim_ns = measured[e].sim_ns;
+      cell.metrics = {{"insert_bytes", measured[e].insert_bytes},
+                      {"update_bytes", measured[e].update_bytes},
+                      {"delete_bytes", measured[e].delete_bytes}};
+      return cell;
+    });
+  }
+  runner.Wait();
+
   PrintHeader(
       "Table 3: bytes written to NVM per operation — model vs. measured");
   // Model parameters for the YCSB tuple.
@@ -113,11 +141,10 @@ int main() {
   printf("%-10s | %22s | %22s | %22s\n", "engine", "insert (model/meas)",
          "update (model/meas)", "delete (model/meas)");
   for (size_t i = 0; i < AllEngines().size(); i++) {
-    const Measured m = MeasureEngine(AllEngines()[i]);
+    const Measured& m = measured[i];
     printf("%-10s | %10.0f / %8.0f | %10.0f / %8.0f | %10.0f / %8.0f\n",
            model[i].engine, model[i].ins, m.insert_bytes, model[i].upd,
            m.update_bytes, model[i].del, m.delete_bytes);
-    fflush(stdout);
   }
   printf(
       "\nPaper shape: traditional engines duplicate data (multiples of T\n"

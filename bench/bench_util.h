@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "testbed/bench_runner.h"
 #include "testbed/coordinator.h"
 #include "testbed/stats.h"
 #include "workload/tpcc.h"
@@ -109,16 +110,14 @@ inline DatabaseConfig MakeDbConfig(EngineKind engine) {
 /// Load + run one YCSB configuration on a fresh database.
 inline BenchRun RunYcsb(EngineKind engine, YcsbMixture mixture,
                         YcsbSkew skew,
-                        const EngineConfig& engine_overrides = {},
-                        Database** keep_db = nullptr) {
+                        const EngineConfig& engine_overrides = {}) {
   DatabaseConfig cfg = MakeDbConfig(engine);
-  EngineConfig ec = engine_overrides;
-  cfg.engine_config.btree_node_bytes = ec.btree_node_bytes;
-  cfg.engine_config.cow_page_bytes = ec.cow_page_bytes;
-  cfg.engine_config.group_commit_size = ec.group_commit_size;
-  cfg.engine_config.memtable_threshold_bytes = ec.memtable_threshold_bytes;
-  cfg.engine_config.lsm_level0_limit = ec.lsm_level0_limit;
-  cfg.engine_config.cow_cache_pages = ec.cow_cache_pages;
+  // Whole-struct assignment: an earlier version copied a hand-picked list
+  // of fields, so knobs added to EngineConfig later (use_bloom_filters,
+  // checkpoint_interval_txns, ...) were silently dropped here. The
+  // database overrides the allocator/fs/namespace fields per partition
+  // anyway (Database::InstantiateEngines), so copying everything is safe.
+  cfg.engine_config = engine_overrides;
 
   auto db = std::make_unique<Database>(cfg);
   YcsbConfig ycfg;
@@ -155,7 +154,6 @@ inline BenchRun RunYcsb(EngineKind engine, YcsbMixture mixture,
     for (size_t i = 0; i < 4; i++) run.breakdown.ns[i] += b.ns[i];
   }
   run.footprint = db->Footprint();
-  if (keep_db != nullptr) *keep_db = db.release();
   return run;
 }
 
@@ -232,9 +230,47 @@ struct ClockTotals {
 };
 
 inline void ReportClocks(const char* label, const ClockTotals& totals) {
-  printf("[clock] %s: %llu runs, %s\n", label,
-         (unsigned long long)totals.runs,
-         FormatClockComparison(totals.wall_ns, totals.sim_ns).c_str());
+  // Stderr: the wall-clock side depends on host speed and job count, and
+  // stdout must stay byte-identical across runs (the CI grid-determinism
+  // check diffs it).
+  fprintf(stderr, "[clock] %s: %llu runs, %s\n", label,
+          (unsigned long long)totals.runs,
+          FormatClockComparison(totals.wall_ns, totals.sim_ns).c_str());
+}
+
+/// Build a BenchCell (the grid scheduler's result record — see
+/// testbed/bench_runner.h) from a workload execution: grid key, commit
+/// counts, the simulated time the cell advanced the model clock, and the
+/// derived throughput under each paper latency profile.
+inline BenchCell CellFromRun(
+    std::vector<std::pair<std::string, std::string>> key,
+    const BenchRun& run, size_t workers) {
+  BenchCell cell;
+  cell.key = std::move(key);
+  cell.committed = run.committed;
+  cell.aborted = run.aborted;
+  cell.sim_ns = run.load_counters.stall_ns + run.counters.stall_ns;
+  const char* slugs[3] = {"tps_dram", "tps_low_nvm", "tps_high_nvm"};
+  const auto latencies = PaperLatencies();
+  for (size_t i = 0; i < latencies.size() && i < 3; i++) {
+    cell.metrics.emplace_back(
+        slugs[i], DeriveThroughput(run.committed, run.wall_ns, run.counters,
+                                   latencies[i].config, workers));
+  }
+  cell.metrics.emplace_back("loads",
+                            static_cast<double>(run.counters.loads));
+  cell.metrics.emplace_back("stores",
+                            static_cast<double>(run.counters.stores));
+  return cell;
+}
+
+/// Record the scale knobs in the runner's JSON report so a result file is
+/// self-describing.
+inline void AddScaleContext(BenchRunner* runner) {
+  runner->AddContext("ycsb_tuples", std::to_string(Scale().ycsb_tuples));
+  runner->AddContext("ycsb_txns", std::to_string(Scale().ycsb_txns));
+  runner->AddContext("tpcc_txns", std::to_string(Scale().tpcc_txns));
+  runner->AddContext("partitions", std::to_string(Scale().partitions));
 }
 
 inline void PrintHeader(const char* title) {

@@ -4,6 +4,9 @@
 /// we report per-engine total line-writes plus the wear *distribution*
 /// (hottest line vs mean), which the allocator's rotating placement and
 /// the engines' reduced duplication both improve.
+///
+/// The 12 (mixture, engine) cells run concurrently on the grid scheduler;
+/// the tables print after the barrier.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -13,7 +16,13 @@ using namespace nvmdb::bench;
 
 namespace {
 
-WearStats MeasureWear(EngineKind engine, YcsbMixture mixture) {
+struct WearRun {
+  WearStats wear;
+  uint64_t committed = 0;
+  uint64_t sim_ns = 0;
+};
+
+WearRun MeasureWear(EngineKind engine, YcsbMixture mixture) {
   DatabaseConfig cfg = MakeDbConfig(engine);
   auto db = std::make_unique<Database>(cfg);
   YcsbConfig ycfg;
@@ -24,32 +33,66 @@ WearStats MeasureWear(EngineKind engine, YcsbMixture mixture) {
   YcsbWorkload workload(ycfg);
   if (!workload.Load(db.get()).ok()) return {};
   const WearStats before = db->device()->wear();
-  Coordinator(db.get()).Run(workload.GenerateQueues());
+  const uint64_t stall_before = db->device()->TotalStallNanos();
+  const RunResult result = Coordinator(db.get()).Run(workload.GenerateQueues());
   db->Drain();
   db->device()->FlushAll();
-  WearStats after = db->device()->wear();
-  after.total_line_writes -= before.total_line_writes;
-  return after;
+  WearRun out;
+  out.wear = db->device()->wear();
+  out.wear.total_line_writes -= before.total_line_writes;
+  out.committed = result.committed;
+  out.sim_ns = db->device()->TotalStallNanos() - stall_before;
+  return out;
 }
 
 }  // namespace
 
 int main() {
+  const YcsbMixture mixtures[] = {YcsbMixture::kBalanced,
+                                  YcsbMixture::kWriteHeavy};
+
+  // runs[mixture][engine]
+  std::vector<WearRun> runs(2 * AllEngines().size());
+  BenchRunner runner("wear");
+  AddScaleContext(&runner);
+  for (int m = 0; m < 2; m++) {
+    for (size_t e = 0; e < AllEngines().size(); e++) {
+      const size_t idx = m * AllEngines().size() + e;
+      const YcsbMixture mixture = mixtures[m];
+      const EngineKind engine = AllEngines()[e];
+      runner.Submit([&runs, idx, mixture, engine]() {
+        runs[idx] = MeasureWear(engine, mixture);
+        BenchCell cell;
+        cell.key = {{"mixture", YcsbMixtureName(mixture)},
+                    {"engine", EngineKindName(engine)}};
+        cell.committed = runs[idx].committed;
+        cell.sim_ns = runs[idx].sim_ns;
+        cell.metrics = {
+            {"line_writes",
+             static_cast<double>(runs[idx].wear.total_line_writes)},
+            {"max_line_writes",
+             static_cast<double>(runs[idx].wear.max_line_writes)},
+            {"hotspot_factor", runs[idx].wear.hotspot_factor}};
+        return cell;
+      });
+    }
+  }
+  runner.Wait();
+
   PrintHeader("NVM device wear, YCSB (line writes during the run)");
-  for (YcsbMixture mixture :
-       {YcsbMixture::kBalanced, YcsbMixture::kWriteHeavy}) {
-    printf("\n--- %s workload ---\n", YcsbMixtureName(mixture));
+  for (int m = 0; m < 2; m++) {
+    printf("\n--- %s workload ---\n", YcsbMixtureName(mixtures[m]));
     printf("%-10s %16s %14s %12s\n", "engine", "line writes",
            "hottest line", "hotspot");
     uint64_t traditional[3] = {0, 0, 0};
     int idx = 0;
-    for (EngineKind engine : AllEngines()) {
-      const WearStats wear = MeasureWear(engine, mixture);
-      printf("%-10s %16llu %14llu %11.1fx\n", EngineKindName(engine),
+    for (size_t e = 0; e < AllEngines().size(); e++) {
+      const WearStats& wear = runs[m * AllEngines().size() + e].wear;
+      printf("%-10s %16llu %14llu %11.1fx\n",
+             EngineKindName(AllEngines()[e]),
              (unsigned long long)wear.total_line_writes,
              (unsigned long long)wear.max_line_writes,
              wear.hotspot_factor);
-      fflush(stdout);
       if (idx < 3) {
         traditional[idx] = wear.total_line_writes;
       } else if (traditional[idx - 3] > 0) {

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Merge the per-benchmark BENCH_<name>.json reports into one summary row.
+
+Each figure benchmark writes a machine-readable report (see
+testbed/bench_runner.h) with one entry per grid cell: the cell key, commit
+counts, simulated nanoseconds, host wall nanoseconds, and derived metrics
+such as throughput per latency profile. This script folds a directory of
+those reports into a single flat JSON object — one "trajectory row" a
+plotting or regression-tracking pipeline can append per commit:
+
+  {
+    "benches": 11,
+    "cells": 274,
+    "committed": 1234567,
+    "total_wall_ns": ...,          # harness cost of the whole suite
+    "total_sim_ns": ...,           # modeled time the suite produced
+    "sim_wall_ratio": ...,         # simulator speed (higher = faster)
+    "jobs": {"fig08_tpcc": 8, ...},
+    "tps_low_nvm": {"fig05_07_ycsb/read-only low InP": 117153.0, ...},
+    ...
+  }
+
+Usage:
+  scripts/bench_summary.py [--dir DIR] [--out FILE] [--metrics m1,m2]
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_reports(directory):
+    reports = []
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                reports.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_summary: skipping {path}: {err}", file=sys.stderr)
+    return reports
+
+
+def cell_label(cell):
+    return " ".join(cell.get("key", {}).values())
+
+
+def summarize(reports, metric_names):
+    row = {
+        "benches": len(reports),
+        "cells": 0,
+        "committed": 0,
+        "aborted": 0,
+        "total_wall_ns": 0,
+        "total_sim_ns": 0,
+        "jobs": {},
+    }
+    metrics = {name: {} for name in metric_names}
+    for report in reports:
+        bench = report.get("bench", "?")
+        row["jobs"][bench] = report.get("jobs", 0)
+        row["total_wall_ns"] += report.get("total_wall_ns", 0)
+        row["total_sim_ns"] += report.get("total_sim_ns", 0)
+        for cell in report.get("cells", []):
+            row["cells"] += 1
+            row["committed"] += cell.get("committed", 0)
+            row["aborted"] += cell.get("aborted", 0)
+            for name in metric_names:
+                value = cell.get("metrics", {}).get(name)
+                if value is not None:
+                    metrics[name][f"{bench}/{cell_label(cell)}"] = value
+    row["sim_wall_ratio"] = (
+        row["total_sim_ns"] / row["total_wall_ns"]
+        if row["total_wall_ns"]
+        else 0.0
+    )
+    for name in metric_names:
+        if metrics[name]:
+            row[name] = metrics[name]
+    return row
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Merge BENCH_*.json reports into one summary row."
+    )
+    parser.add_argument(
+        "--dir", default=".", help="directory holding BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--out", default="-", help="output file ('-' for stdout)"
+    )
+    parser.add_argument(
+        "--metrics",
+        default="tps_low_nvm",
+        help="comma-separated per-cell metrics to flatten into the row",
+    )
+    args = parser.parse_args()
+
+    reports = load_reports(args.dir)
+    if not reports:
+        print(f"bench_summary: no BENCH_*.json in {args.dir}", file=sys.stderr)
+        return 1
+
+    metric_names = [m for m in args.metrics.split(",") if m]
+    row = summarize(reports, metric_names)
+    text = json.dumps(row, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,13 +32,18 @@ Status InPEngine::CreateTable(const TableDef& def) {
   auto hook = [device](const void* p, size_t n, bool w) {
     device->TouchVirtual(p, n, w);
   };
+  // Nodes model their traffic at reserved (ASLR-independent) addresses so
+  // the cache counters are reproducible across runs.
+  auto valloc = [device](size_t n) { return device->ReserveVirtual(n); };
   table.primary = std::make_unique<BTree<uint64_t, uint64_t>>(
       config_.btree_node_bytes);
   table.primary->SetAccessHook(hook);
+  table.primary->SetVirtualAllocator(valloc);
   for (const auto& sec : def.secondary_indexes) {
     auto tree = std::make_unique<BTree<uint64_t, uint64_t>>(
         config_.btree_node_bytes);
     tree->SetAccessHook(hook);
+    tree->SetVirtualAllocator(valloc);
     table.secondaries[sec.index_id] = std::move(tree);
   }
   return Status::OK();

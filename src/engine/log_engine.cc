@@ -29,6 +29,9 @@ Status LogEngine::CreateTable(const TableDef& def) {
     auto tree = std::make_unique<BTree<uint64_t, uint64_t>>(
         config_.btree_node_bytes);
     tree->SetAccessHook(hook);
+    // Reserved node addresses keep the modeled counters ASLR-independent.
+    tree->SetVirtualAllocator(
+        [device](size_t n) { return device->ReserveVirtual(n); });
     table.secondaries[sec.index_id] = std::move(tree);
   }
   return Status::OK();

@@ -153,11 +153,13 @@ class StorageEngine {
 
  protected:
   /// RAII timer attributing time to a Fig.-13 category. It accumulates
-  /// the *simulated* time charged to the device while the section ran
-  /// (plus real wall time as a CPU-work proxy). Under concurrent
-  /// partitions the device clock is shared, so per-category shares are
-  /// approximate — ratios remain meaningful because partitions run the
-  /// same workload.
+  /// the *simulated* time charged to the device while the section ran.
+  /// The simulated clock is the only clock used — an earlier version also
+  /// added host wall time as a CPU-work proxy, but that made the
+  /// breakdown nondeterministic and host-dependent while every other
+  /// reported number is driven purely by the model; under the
+  /// coordinator's deterministic serial schedule the stall delta is
+  /// exactly the section's own charges.
   class ScopedTimer {
    public:
     ScopedTimer(StorageEngine* engine, TimeCategory cat)
@@ -165,11 +167,9 @@ class StorageEngine {
       if (device_ != nullptr) stall_before_ = device_->TotalStallNanos();
     }
     ~ScopedTimer() {
-      uint64_t ns = watch_.ElapsedNanos();
-      if (device_ != nullptr) {
-        ns += device_->TotalStallNanos() - stall_before_;
-      }
-      engine_->breakdown_.ns[static_cast<size_t>(cat_)] += ns;
+      if (device_ == nullptr) return;
+      engine_->breakdown_.ns[static_cast<size_t>(cat_)] +=
+          device_->TotalStallNanos() - stall_before_;
     }
 
    private:
@@ -177,7 +177,6 @@ class StorageEngine {
     TimeCategory cat_;
     NvmDevice* device_;
     uint64_t stall_before_ = 0;
-    Stopwatch watch_;
   };
 
   uint64_t next_txn_id_ = 1;

@@ -74,6 +74,13 @@ Wal::Wal(Pmfs* fs, const std::string& file_name, size_t group_commit_size)
       file_name_(file_name),
       group_commit_size_(group_commit_size == 0 ? 1 : group_commit_size) {
   fd_ = fs_->Open(file_name_, /*create=*/true, StorageTag::kLog);
+  // Stable modeled address for the log buffer: base + byte offset. The
+  // std::string's heap address moves with reallocation and ASLR, which
+  // would make the cache model's counters drift between runs; the
+  // reserved range depends only on construction order. 64 MB of address
+  // space (free — it is never backed) comfortably covers the buffered
+  // bytes between flushes.
+  virtual_base_ = fs_->device()->ReserveVirtual(size_t{1} << 26);
 }
 
 Wal::~Wal() { fs_->Close(fd_); }
@@ -81,9 +88,12 @@ Wal::~Wal() { fs_->Close(fd_); }
 void Wal::Append(const LogRecord& record) {
   const size_t before = buffer_.size();
   EncodeLogRecord(record, &buffer_);
-  // The log buffer lives in NVM-as-volatile-memory; model its traffic.
-  fs_->device()->TouchVirtual(buffer_.data() + before,
-                              buffer_.size() - before, true);
+  // The log buffer lives in NVM-as-volatile-memory; model its traffic at
+  // the buffer's stable modeled address so consecutive records share
+  // cache lines exactly as they do in the real buffer.
+  fs_->device()->TouchVirtual(
+      reinterpret_cast<const void*>(virtual_base_ + before),
+      buffer_.size() - before, true);
 }
 
 bool Wal::LogCommit(uint64_t txn_id) {

@@ -67,6 +67,7 @@ class Wal {
   Pmfs::Fd fd_;
   size_t group_commit_size_;
   std::string buffer_;
+  uint64_t virtual_base_ = 0;  // modeled address of buffer_[0]
   size_t commits_in_group_ = 0;
   uint64_t last_buffered_commit_ = 0;
   uint64_t last_durable_txn_ = 0;

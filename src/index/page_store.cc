@@ -74,6 +74,9 @@ PmfsPageStore::CacheEntry* PmfsPageStore::GetCached(uint64_t pid,
   }
   CacheEntry entry;
   entry.data = std::make_unique<uint8_t[]>(page_size_);
+  // Model the frame at a reserved address so the cache simulator sees the
+  // same set indices regardless of where the heap buffer landed (ASLR).
+  entry.vaddr = fs_->device()->ReserveVirtual(page_size_);
   if (fill_from_file) {
     size_t got = 0;
     fs_->Read(fd_, (pid + 1) * page_size_, entry.data.get(), page_size_,
@@ -98,13 +101,15 @@ void PmfsPageStore::ReadPage(uint64_t pid, void* buf) {
   // pass through the CPU-cache model — this is the "I/O overhead of
   // maintaining this directory reduces the number of hot tuples that can
   // reside in the CPU caches" effect of Section 5.3.
-  fs_->device()->TouchVirtual(entry->data.get(), page_size_, false);
+  fs_->device()->TouchVirtual(reinterpret_cast<const void*>(entry->vaddr),
+                              page_size_, false);
   memcpy(buf, entry->data.get(), page_size_);
 }
 
 void PmfsPageStore::WritePage(uint64_t pid, const void* buf) {
   CacheEntry* entry = GetCached(pid, /*fill_from_file=*/false);
-  fs_->device()->TouchVirtual(entry->data.get(), page_size_, true);
+  fs_->device()->TouchVirtual(reinterpret_cast<const void*>(entry->vaddr),
+                              page_size_, true);
   memcpy(entry->data.get(), buf, page_size_);
   entry->dirty = true;
 }

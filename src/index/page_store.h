@@ -73,6 +73,7 @@ class PmfsPageStore : public PageStore {
  private:
   struct CacheEntry {
     std::unique_ptr<uint8_t[]> data;
+    uint64_t vaddr = 0;  // stable modeled address of the cached frame
     bool dirty = false;
     std::list<uint64_t>::iterator lru_it;
   };

@@ -21,7 +21,7 @@ template <typename Key, typename Value, typename Compare = std::less<Key>>
 class BTree {
  public:
   explicit BTree(size_t node_bytes = 512, Compare cmp = Compare())
-      : cmp_(cmp) {
+      : cmp_(cmp), node_bytes_(node_bytes) {
     // Fan-out derived from the node byte budget the way STX does: an inner
     // node holds keys + child pointers, a leaf holds keys + values.
     inner_cap_ = node_bytes / (sizeof(Key) + sizeof(void*));
@@ -42,10 +42,20 @@ class BTree {
   using AccessHook = std::function<void(const void*, size_t, bool)>;
   void SetAccessHook(AccessHook hook) { access_hook_ = std::move(hook); }
 
+  /// Stable modeled-address provider (NvmDevice::ReserveVirtual). When
+  /// set, every node created from then on is assigned a reserved range and
+  /// the access hook sees that address instead of the node's heap address.
+  /// Heap addresses vary with ASLR run to run, which makes the cache
+  /// model's set indices — and hence the load/store counters — drift
+  /// between otherwise identical executions; reserved addresses depend
+  /// only on node-creation order, so the model becomes bit-reproducible.
+  using VirtualAllocFn = std::function<uint64_t(size_t)>;
+  void SetVirtualAllocator(VirtualAllocFn fn) { valloc_ = std::move(fn); }
+
   /// Insert or overwrite. Returns false if the key already existed.
   bool Insert(const Key& key, const Value& value) {
     if (root_ == nullptr) {
-      Leaf* leaf = new Leaf(leaf_cap_);
+      Leaf* leaf = Reserve(new Leaf(leaf_cap_));
       leaf->keys.push_back(key);
       leaf->values.push_back(value);
       root_ = leaf;
@@ -57,7 +67,7 @@ class BTree {
     Node* split_node = nullptr;
     bool inserted = InsertRec(root_, key, value, &split_key, &split_node);
     if (split_node != nullptr) {
-      Inner* new_root = new Inner(inner_cap_);
+      Inner* new_root = Reserve(new Inner(inner_cap_));
       new_root->keys.push_back(split_key);
       new_root->children.push_back(root_);
       new_root->children.push_back(split_node);
@@ -169,6 +179,7 @@ class BTree {
     explicit Node(bool is_leaf) : leaf(is_leaf) {}
     virtual ~Node() = default;
     bool leaf;
+    uint64_t vaddr = 0;  // modeled address; 0 = use the heap address
     std::vector<Key> keys;
   };
 
@@ -194,6 +205,15 @@ class BTree {
     return !cmp_(a, b) && !cmp_(b, a);
   }
 
+  /// Hand a freshly created node its modeled address. The reserved span
+  /// (node budget + slack for the one-entry overshoot that precedes a
+  /// split) guarantees Touch never reads past a node's own range.
+  template <typename N>
+  N* Reserve(N* node) {
+    if (valloc_) node->vaddr = valloc_(node_bytes_ + 128);
+    return node;
+  }
+
   void Touch(const Node* node, bool is_write) const {
     if (!access_hook_) return;
     size_t bytes = node->keys.size() * sizeof(Key);
@@ -203,8 +223,11 @@ class BTree {
       bytes += static_cast<const Inner*>(node)->children.size() *
                sizeof(Node*);
     }
-    // The node object's own (stable) address stands in for its storage.
-    access_hook_(node, bytes < 16 ? 16 : bytes, is_write);
+    // The node's modeled address (or its own stable heap address when no
+    // virtual allocator is installed) stands in for its storage.
+    const void* addr =
+        node->vaddr != 0 ? reinterpret_cast<const void*>(node->vaddr) : node;
+    access_hook_(addr, bytes < 16 ? 16 : bytes, is_write);
   }
 
   size_t LowerBound(const std::vector<Key>& keys, const Key& key) const {
@@ -272,7 +295,7 @@ class BTree {
   }
 
   void SplitLeaf(Leaf* leaf, Key* split_key, Node** split_node) {
-    Leaf* right = new Leaf(leaf_cap_);
+    Leaf* right = Reserve(new Leaf(leaf_cap_));
     const size_t mid = leaf->keys.size() / 2;
     right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
     right->values.assign(leaf->values.begin() + mid, leaf->values.end());
@@ -287,7 +310,7 @@ class BTree {
   }
 
   void SplitInner(Inner* inner, Key* split_key, Node** split_node) {
-    Inner* right = new Inner(inner_cap_);
+    Inner* right = Reserve(new Inner(inner_cap_));
     const size_t mid = inner->keys.size() / 2;
     *split_key = inner->keys[mid];
     right->keys.assign(inner->keys.begin() + mid + 1, inner->keys.end());
@@ -363,6 +386,8 @@ class BTree {
 
   Compare cmp_;
   AccessHook access_hook_;
+  VirtualAllocFn valloc_;
+  size_t node_bytes_;
   size_t inner_cap_;
   size_t leaf_cap_;
   Node* root_ = nullptr;

@@ -16,6 +16,9 @@ MemTable::MemTable(PmemAllocator* allocator, size_t index_node_bytes)
   index_.SetAccessHook([device](const void* p, size_t n, bool w) {
     device->TouchVirtual(p, n, w);
   });
+  // Reserved node addresses keep the modeled counters ASLR-independent.
+  index_.SetVirtualAllocator(
+      [device](size_t n) { return device->ReserveVirtual(n); });
 }
 
 MemTable::~MemTable() { ReleaseAll(); }

@@ -135,9 +135,10 @@ void NvmDevice::TouchWrite(const void* p, size_t n) {
 }
 
 void NvmDevice::TouchVirtual(const void* p, size_t n, bool is_write) {
-  // Raw heap addresses live far above the region's offset space, so they
-  // never alias a managed line; the write-back handler's bounds check
-  // skips the durable copy but the store cost is still charged.
+  // ReserveVirtual addresses (and raw heap addresses) live far above the
+  // region's offset space, so they never alias a managed line; the
+  // write-back handler's bounds check skips the durable copy but the
+  // store cost is still charged.
   if (n == 0) return;
   ChargeAccess(reinterpret_cast<uint64_t>(p), n, is_write);
 }
@@ -243,7 +244,7 @@ WearStats NvmDevice::wear() const {
 }
 
 namespace {
-NvmDevice* g_current_device = nullptr;
+thread_local NvmDevice* g_current_device = nullptr;
 }  // namespace
 
 NvmDevice* NvmEnv::Get() { return g_current_device; }

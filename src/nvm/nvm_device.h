@@ -124,9 +124,25 @@ class NvmDevice {
   /// the paper's NVM-only hierarchy this memory is NVM obtained through
   /// the allocator interface and used as if it were DRAM, so it must pass
   /// through the same CPU-cache model: misses are NVM loads, dirty
-  /// evictions NVM stores. The raw pointer value doubles as the cache
-  /// address (heap addresses never collide with region offsets).
+  /// evictions NVM stores. The pointer value doubles as the cache address;
+  /// callers should pass stable addresses from ReserveVirtual (below) so
+  /// the modeled cache behavior is reproducible across processes — raw
+  /// heap pointers also work but make counters ASLR-dependent.
   void TouchVirtual(const void* p, size_t n, bool is_write);
+
+  /// Reserve a range of the device's *modeled* virtual address space and
+  /// return its base. The space is a simple bump allocator starting far
+  /// above any region offset, so reserved ranges never alias managed
+  /// lines. Components that route volatile-structure traffic through
+  /// TouchVirtual reserve a range per object (B+tree node, WAL buffer,
+  /// page-cache frame) and use base+offset as the cache address: given a
+  /// deterministic execution schedule, reservation order — and therefore
+  /// every modeled cache index — is identical across runs, which is what
+  /// makes benchmark counters bit-reproducible regardless of ASLR.
+  uint64_t ReserveVirtual(size_t bytes) {
+    const uint64_t span = (bytes + 63) & ~uint64_t{63};
+    return virtual_brk_.fetch_add(span, std::memory_order_relaxed);
+  }
 
   /// The sync primitive (Section 2.3): flush the covered cache lines and
   /// fence. After this returns, [offset, offset+n) is durable.
@@ -231,12 +247,20 @@ class NvmDevice {
   std::atomic<uint64_t> stall_ns_{0};
   std::atomic<uint64_t> external_ns_{0};
   std::atomic<uint64_t> sync_calls_{0};
+  /// Modeled virtual address space for ReserveVirtual. 2^44 is far above
+  /// any region offset (devices are at most a few GB), and reservations
+  /// total well under 2^50, so ranges never collide with region lines.
+  std::atomic<uint64_t> virtual_brk_{uint64_t{1} << 44};
   CrashSim* crash_sim_ = nullptr;
 };
 
-/// Process-wide "current device" used by non-volatile pointers so that
+/// Thread-local "current device" used by non-volatile pointers so that
 /// persistent data structures don't need to thread a device argument
-/// through every node access. Tests and benches set this per scenario.
+/// through every node access. Thread-local rather than process-wide so
+/// independent databases can run concurrently (the benchmark grid
+/// scheduler runs one cell per job thread, each with a private device).
+/// Database construction and the coordinator set it; tests and benches
+/// set it per scenario when driving a device directly.
 class NvmEnv {
  public:
   static NvmDevice* Get();

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nvmdb {
+
+/// One benchmark grid cell's results, as recorded by BenchRunner and
+/// emitted into the machine-readable BENCH_<name>.json report.
+///
+/// `key` holds the cell's grid coordinates in declaration order (e.g.
+/// {{"mixture","read-only"},{"skew","low"},{"engine","InP"}}); `metrics`
+/// holds whatever derived numbers the bench wants tracked (throughput per
+/// latency profile, loads, footprint bytes, ...).
+struct BenchCell {
+  std::vector<std::pair<std::string, std::string>> key;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  /// Simulated nanoseconds the cell advanced the model clock (load phase
+  /// included — this is the modeled work the cell represents).
+  uint64_t sim_ns = 0;
+  /// Host wall nanoseconds the cell took end to end. Left 0 by the cell
+  /// body; the runner fills it from its own stopwatch around the body.
+  uint64_t wall_ns = 0;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Simulated ns produced per wall ns spent computing them (simulator
+  /// speed; higher is faster).
+  double SimWallRatio() const {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(sim_ns) /
+                              static_cast<double>(wall_ns);
+  }
+
+  /// Space-separated key values ("InP read-only low") for progress lines.
+  std::string Label() const;
+};
+
+/// Grid scheduler for benchmark cells.
+///
+/// Every figure benchmark walks a fully independent (engine × mixture ×
+/// skew × config) grid: each cell builds its own Database/NvmDevice/
+/// workload, so cells never share mutable state and can run concurrently.
+/// The runner executes submitted cells on a bounded job pool
+/// (`NVMDB_BENCH_JOBS`, default hardware_concurrency; 1 = the classic
+/// serial path), stores each result in a pre-sized slot array, and leaves
+/// ALL table printing to the caller after the Wait() barrier — stdout is
+/// produced in deterministic grid order and is byte-identical regardless
+/// of the job count. Per-cell progress lines go to stderr in completion
+/// order, serialized so concurrent cells never interleave mid-line.
+///
+/// Cells whose internals need a single worker (RunSerial latency
+/// attribution, e.g. the ablation and fig16 benches) still parallelize
+/// across cells: the simulated clock is shared per *device*, and every
+/// cell owns a private device.
+class BenchRunner {
+ public:
+  /// `bench_name` names the JSON report (BENCH_<bench_name>.json).
+  /// `jobs` == 0 reads NVMDB_BENCH_JOBS from the environment.
+  explicit BenchRunner(std::string bench_name, size_t jobs = 0);
+
+  /// Waits for outstanding cells and writes the report if the caller
+  /// didn't already.
+  ~BenchRunner();
+
+  BenchRunner(const BenchRunner&) = delete;
+  BenchRunner& operator=(const BenchRunner&) = delete;
+
+  size_t jobs() const { return jobs_; }
+
+  /// Enqueue one cell; `body` computes it and returns the filled
+  /// BenchCell. Returns the cell's slot index (== submission order).
+  /// Bodies run on pool threads once Wait() is called; they must not
+  /// print to stdout (use the returned cell + post-barrier printing) and
+  /// must not touch other cells' state.
+  size_t Submit(std::function<BenchCell()> body);
+
+  /// Barrier: run every submitted cell (jobs() at a time) and return when
+  /// all slots are filled. Submission order == slot order; completion
+  /// order is whatever the pool produces.
+  void Wait();
+
+  /// All cells, indexed by slot. Valid after Wait().
+  const std::vector<BenchCell>& cells() const { return cells_; }
+
+  /// Extra top-level key/value pairs for the report (scale knobs etc.).
+  void AddContext(const std::string& key, const std::string& value);
+
+  /// Write BENCH_<name>.json into $NVMDB_BENCH_JSON_DIR (default ".";
+  /// set to empty to disable). Returns the path written, or "" when
+  /// disabled. Called automatically by the destructor if needed.
+  std::string WriteReport();
+
+  /// Aggregate wall/sim totals over all cells (harness-speed summary).
+  uint64_t TotalWallNs() const;
+  uint64_t TotalSimNs() const;
+
+ private:
+  void RunPending();
+  void PrintProgress(const BenchCell& cell);
+
+  std::string bench_name_;
+  size_t jobs_;
+  bool waited_ = false;
+  bool reported_ = false;
+  std::vector<std::function<BenchCell()>> tasks_;
+  std::vector<BenchCell> cells_;
+  std::vector<std::pair<std::string, std::string>> context_;
+};
+
+}  // namespace nvmdb

@@ -1,9 +1,7 @@
 #include "testbed/coordinator.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
-#include <thread>
 
 #include "common/timer.h"
 
@@ -11,43 +9,53 @@ namespace nvmdb {
 
 RunResult Coordinator::Run(const std::vector<std::vector<TxnTask>>& queues) {
   assert(queues.size() == db_->num_partitions());
+  // Bind the thread-local device so NvmPtr resolution and the engines'
+  // timers work no matter which thread drives this database (the bench
+  // grid scheduler runs whole databases on pool threads).
+  NvmEnv::Set(db_->device());
   RunResult result;
-  std::atomic<uint64_t> committed{0}, aborted{0};
 
   const uint64_t stall_before = db_->device()->TotalStallNanos();
   Stopwatch watch;
 
-  std::vector<std::thread> workers;
-  workers.reserve(queues.size());
-  for (size_t p = 0; p < queues.size(); p++) {
-    workers.emplace_back([this, p, &queues, &committed, &aborted]() {
+  // Deterministic round-robin schedule: one transaction per partition per
+  // round, on the calling thread. This is the fixed interleaving that a
+  // one-worker-per-partition execution approximates nondeterministically —
+  // partitions still contend for the shared simulated cache, but the
+  // access order (and therefore every counter and the simulated clock) is
+  // identical on every run and on every host. Host-level parallelism comes
+  // from running independent benchmark cells concurrently instead
+  // (testbed/bench_runner.h), which keeps the model deterministic; the
+  // throughput model already charges each worker 1/Nth of the simulated
+  // stall (RunResult::Throughput), so wall-clock threading never affected
+  // the modeled numbers, only the harness speed.
+  std::vector<size_t> pos(queues.size(), 0);
+  for (bool progress = true; progress;) {
+    progress = false;
+    for (size_t p = 0; p < queues.size(); p++) {
+      if (pos[p] >= queues[p].size()) continue;
+      progress = true;
+      const TxnTask& task = queues[p][pos[p]++];
       StorageEngine* engine = db_->partition(p);
-      uint64_t local_committed = 0, local_aborted = 0;
-      for (const TxnTask& task : queues[p]) {
-        const uint64_t txn_id = engine->Begin();
-        if (task.body(engine, txn_id)) {
-          engine->Commit(txn_id);
-          local_committed++;
-        } else {
-          engine->Abort(txn_id);
-          local_aborted++;
-        }
+      const uint64_t txn_id = engine->Begin();
+      if (task.body(engine, txn_id)) {
+        engine->Commit(txn_id);
+        result.committed++;
+      } else {
+        engine->Abort(txn_id);
+        result.aborted++;
       }
-      committed.fetch_add(local_committed, std::memory_order_relaxed);
-      aborted.fetch_add(local_aborted, std::memory_order_relaxed);
-    });
+    }
   }
-  for (auto& worker : workers) worker.join();
 
   result.wall_ns = watch.ElapsedNanos();
   result.stall_ns = db_->device()->TotalStallNanos() - stall_before;
-  result.committed = committed.load();
-  result.aborted = aborted.load();
   return result;
 }
 
 RunResult Coordinator::RunSerial(size_t partition,
                                  const std::vector<TxnTask>& queue) {
+  NvmEnv::Set(db_->device());
   RunResult result;
   NvmDevice* device = db_->device();
   const uint64_t stall_before = device->TotalStallNanos();

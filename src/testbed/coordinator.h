@@ -65,16 +65,20 @@ struct RunResult {
   }
 };
 
-/// Executes per-partition transaction queues on worker threads, one worker
-/// per partition (the paper maps each worker thread to a core and executes
-/// serially within a partition using timestamp ordering; with one worker
-/// per partition, issuing Begin() in queue order realizes exactly that
-/// order).
+/// Executes per-partition transaction queues (the paper maps each worker
+/// thread to a core and executes serially within a partition using
+/// timestamp ordering; issuing Begin() in queue order realizes exactly
+/// that order). The schedule is a deterministic round-robin over the
+/// partitions on the calling thread, so the simulated cache/clock model
+/// produces bit-identical counters on every run — benchmark parallelism
+/// comes from running independent cells concurrently (bench_runner.h),
+/// not from threads inside one database.
 class Coordinator {
  public:
   explicit Coordinator(Database* db) : db_(db) {}
 
-  /// Run the queues (queues.size() must equal the partition count).
+  /// Run the queues (queues.size() must equal the partition count),
+  /// interleaving one transaction per partition per round.
   RunResult Run(const std::vector<std::vector<TxnTask>>& queues);
 
   /// Convenience: run a single partition's queue inline (no threads).
