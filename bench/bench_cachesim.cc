@@ -6,6 +6,13 @@
 /// working set), miss-dominated (streaming, constant dirty evictions),
 /// flush-heavy (persist-style write+flush pairs), and an 8-thread
 /// contended run over one shared cache (bank-lock striping).
+///
+/// Each single-threaded pattern runs in both concurrency modes so the
+/// perf dashboard tracks them side by side: `owner` (thread-confined,
+/// zero-synchronization — what every benchmark cell uses) and `shared`
+/// (bank locks + atomic counters — what multi-threaded users get). The
+/// contended pattern is shared-mode only: owner mode forbids concurrent
+/// access by contract.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -17,20 +24,22 @@ namespace {
 
 using nvmdb::CacheConfig;
 using nvmdb::CacheSim;
+using nvmdb::ConcurrencyMode;
 using nvmdb::NvmDevice;
 using nvmdb::NvmLatencyConfig;
 
-CacheConfig BenchCacheConfig() {
+CacheConfig BenchCacheConfig(ConcurrencyMode mode) {
   CacheConfig cfg;
   cfg.capacity_bytes = 1024 * 1024;  // the benchmark suite's scaled cache
   cfg.line_size = 64;
   cfg.associativity = 16;
   cfg.num_banks = 16;
+  cfg.mode = mode;
   return cfg;
 }
 
-void BM_HitDominated(benchmark::State& state) {
-  CacheSim cache(BenchCacheConfig(), {});
+void BM_HitDominated(benchmark::State& state, ConcurrencyMode mode) {
+  CacheSim cache(BenchCacheConfig(mode), {});
   constexpr uint64_t kWorkingSet = 512 * 1024;  // fits: every access hits
   for (uint64_t a = 0; a < kWorkingSet; a += 64) cache.Access(a, 8, false);
   uint64_t addr = 0;
@@ -44,8 +53,8 @@ void BM_HitDominated(benchmark::State& state) {
       static_cast<double>(cache.hits() + cache.misses());
 }
 
-void BM_MissDominated(benchmark::State& state) {
-  CacheSim cache(BenchCacheConfig(), {});
+void BM_MissDominated(benchmark::State& state, ConcurrencyMode mode) {
+  CacheSim cache(BenchCacheConfig(mode), {});
   constexpr uint64_t kStream = 64ull * 1024 * 1024;  // 64x the cache
   uint64_t addr = 0;
   for (auto _ : state) {
@@ -55,8 +64,8 @@ void BM_MissDominated(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
-void BM_FlushHeavy(benchmark::State& state) {
-  CacheSim cache(BenchCacheConfig(), {});
+void BM_FlushHeavy(benchmark::State& state, ConcurrencyMode mode) {
+  CacheSim cache(BenchCacheConfig(mode), {});
   constexpr uint64_t kRegion = 1024 * 1024;
   uint64_t addr = 0;
   for (auto _ : state) {
@@ -71,7 +80,7 @@ void BM_FlushHeavy(benchmark::State& state) {
 void BM_Contended(benchmark::State& state) {
   static CacheSim* shared = nullptr;
   if (state.thread_index() == 0) {
-    shared = new CacheSim(BenchCacheConfig(), {});
+    shared = new CacheSim(BenchCacheConfig(ConcurrencyMode::kShared), {});
   }
   // benchmark synchronizes threads at loop entry, so `shared` is visible.
   constexpr uint64_t kPerThread = 4 * 1024 * 1024;
@@ -91,10 +100,10 @@ void BM_Contended(benchmark::State& state) {
 
 /// End-to-end device path: the instrumented Write + Persist pair the
 /// engines issue per durable update, including the simulated-clock
-/// accounting (one atomic add per call on the fast path).
-void BM_DeviceWritePersist(benchmark::State& state) {
+/// accounting (one accumulation per call on the fast path).
+void BM_DeviceWritePersist(benchmark::State& state, ConcurrencyMode mode) {
   NvmDevice device(16 * 1024 * 1024, NvmLatencyConfig::Dram(),
-                   BenchCacheConfig());
+                   BenchCacheConfig(mode));
   uint64_t offset = 0;
   uint64_t value = 0;
   for (auto _ : state) {
@@ -109,11 +118,34 @@ void BM_DeviceWritePersist(benchmark::State& state) {
       static_cast<double>(state.iterations());
 }
 
-BENCHMARK(BM_HitDominated);
-BENCHMARK(BM_MissDominated);
-BENCHMARK(BM_FlushHeavy);
+/// Owner mode's headline case: the header-inlined resident-hit Touch path
+/// (what every engine read of a cached tuple/node costs).
+void BM_DeviceTouchHit(benchmark::State& state, ConcurrencyMode mode) {
+  NvmDevice device(16 * 1024 * 1024, NvmLatencyConfig::Dram(),
+                   BenchCacheConfig(mode));
+  constexpr uint64_t kWorkingSet = 512 * 1024;  // resident
+  for (uint64_t a = 0; a < kWorkingSet; a += 64) {
+    device.TouchRead(device.PtrAt(a), 8);
+  }
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    device.TouchRead(device.PtrAt(addr), 8);
+    addr = (addr + 64) & (kWorkingSet - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK_CAPTURE(BM_HitDominated, owner, ConcurrencyMode::kOwner);
+BENCHMARK_CAPTURE(BM_HitDominated, shared, ConcurrencyMode::kShared);
+BENCHMARK_CAPTURE(BM_MissDominated, owner, ConcurrencyMode::kOwner);
+BENCHMARK_CAPTURE(BM_MissDominated, shared, ConcurrencyMode::kShared);
+BENCHMARK_CAPTURE(BM_FlushHeavy, owner, ConcurrencyMode::kOwner);
+BENCHMARK_CAPTURE(BM_FlushHeavy, shared, ConcurrencyMode::kShared);
 BENCHMARK(BM_Contended)->Threads(8)->UseRealTime();
-BENCHMARK(BM_DeviceWritePersist);
+BENCHMARK_CAPTURE(BM_DeviceWritePersist, owner, ConcurrencyMode::kOwner);
+BENCHMARK_CAPTURE(BM_DeviceWritePersist, shared, ConcurrencyMode::kShared);
+BENCHMARK_CAPTURE(BM_DeviceTouchHit, owner, ConcurrencyMode::kOwner);
+BENCHMARK_CAPTURE(BM_DeviceTouchHit, shared, ConcurrencyMode::kShared);
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/timer.h"
 #include "testbed/bench_runner.h"
 #include "testbed/coordinator.h"
 #include "testbed/stats.h"
@@ -80,7 +81,8 @@ inline double DeriveThroughput(uint64_t committed, uint64_t wall_ns,
 struct BenchRun {
   uint64_t committed = 0;
   uint64_t aborted = 0;
-  uint64_t wall_ns = 0;
+  uint64_t wall_ns = 0;       // measured (run) phase, host clock
+  uint64_t load_wall_ns = 0;  // initial load phase, host clock
   CounterDelta counters;        // during the measured phase
   CounterDelta load_counters;   // during initial load
   EngineTimeBreakdown breakdown;
@@ -130,6 +132,7 @@ inline BenchRun RunYcsb(EngineKind engine, YcsbMixture mixture,
 
   BenchRun run;
   {
+    Stopwatch load_watch;
     CounterSampler sampler(db->device());
     Status s = workload.Load(db.get());
     if (!s.ok()) {
@@ -137,6 +140,7 @@ inline BenchRun RunYcsb(EngineKind engine, YcsbMixture mixture,
       return run;
     }
     run.load_counters = sampler.Delta();
+    run.load_wall_ns = load_watch.ElapsedNanos();
   }
   for (size_t p = 0; p < db->num_partitions(); p++) {
     db->partition(p)->ResetTimeBreakdown();
@@ -174,6 +178,7 @@ inline BenchRun RunTpcc(EngineKind engine) {
 
   BenchRun run;
   {
+    Stopwatch load_watch;
     CounterSampler sampler(db->device());
     Status s = workload.Load(db.get());
     if (!s.ok()) {
@@ -181,6 +186,7 @@ inline BenchRun RunTpcc(EngineKind engine) {
       return run;
     }
     run.load_counters = sampler.Delta();
+    run.load_wall_ns = load_watch.ElapsedNanos();
   }
   for (size_t p = 0; p < db->num_partitions(); p++) {
     db->partition(p)->ResetTimeBreakdown();
@@ -250,6 +256,8 @@ inline BenchCell CellFromRun(
   cell.committed = run.committed;
   cell.aborted = run.aborted;
   cell.sim_ns = run.load_counters.stall_ns + run.counters.stall_ns;
+  cell.load_ns = run.load_wall_ns;
+  cell.run_ns = run.wall_ns;
   const char* slugs[3] = {"tps_dram", "tps_low_nvm", "tps_high_nvm"};
   const auto latencies = PaperLatencies();
   for (size_t i = 0; i < latencies.size() && i < 3; i++) {

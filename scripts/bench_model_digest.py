@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Model-only digest of BENCH_*.json reports, for divergence diffing.
+
+The simulator guarantees that its *model* output — commit counts,
+simulated nanoseconds, derived throughput metrics — is bit-identical
+across concurrency modes (owner vs shared), job counts, and host speeds;
+only wall-clock fields may differ. This script projects a directory of
+BENCH_<name>.json reports onto exactly the model fields and prints a
+canonical JSON digest, so CI can run the same benchmarks twice (e.g.
+default owner mode vs NVMDB_SHARED_CACHE=1) and `diff` the two digests:
+any non-empty diff is a model divergence and fails the job.
+
+Excluded as host-dependent: jobs, wall_ns, load_ns, run_ns,
+sim_wall_ratio, total_wall_ns, total_sim_wall_ratio.
+
+Usage:
+  scripts/bench_model_digest.py [--dir DIR] [--out FILE]
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+WALL_FIELDS = {
+    "jobs",
+    "wall_ns",
+    "load_ns",
+    "run_ns",
+    "sim_wall_ratio",
+    "total_wall_ns",
+    "total_sim_wall_ratio",
+}
+
+
+def strip_wall(node):
+    if isinstance(node, dict):
+        return {
+            k: strip_wall(v)
+            for k, v in node.items()
+            if k not in WALL_FIELDS
+        }
+    if isinstance(node, list):
+        return [strip_wall(v) for v in node]
+    return node
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Project BENCH_*.json onto model-only fields."
+    )
+    parser.add_argument(
+        "--dir", default=".", help="directory holding BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--out", default="-", help="output file ('-' for stdout)"
+    )
+    args = parser.parse_args()
+
+    digest = {}
+    for path in sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_model_digest: bad {path}: {err}", file=sys.stderr)
+            return 1
+        digest[os.path.basename(path)] = strip_wall(report)
+    if not digest:
+        print(
+            f"bench_model_digest: no BENCH_*.json in {args.dir}",
+            file=sys.stderr,
+        )
+        return 1
+
+    text = json.dumps(digest, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,14 +14,23 @@ plotting or regression-tracking pipeline can append per commit:
     "committed": 1234567,
     "total_wall_ns": ...,          # harness cost of the whole suite
     "total_sim_ns": ...,           # modeled time the suite produced
+    "total_load_ns": ...,          # wall time in cell load phases
+    "total_run_ns": ...,           # wall time in cell measured phases
     "sim_wall_ratio": ...,         # simulator speed (higher = faster)
     "jobs": {"fig08_tpcc": 8, ...},
+    "wall_ns": {"fig08_tpcc": ..., ...},   # per-bench harness cost
     "tps_low_nvm": {"fig05_07_ycsb/read-only low InP": 117153.0, ...},
     ...
   }
 
+With --baseline DIR (a directory of BENCH_*.json from another build, e.g.
+main before a simulator change) the row also carries wall_speedup:
+baseline wall time over this run's wall time, overall and per bench —
+the one number a perf-optimization PR is judged by.
+
 Usage:
   scripts/bench_summary.py [--dir DIR] [--out FILE] [--metrics m1,m2]
+                           [--baseline DIR]
 
 Stdlib only; no third-party dependencies.
 """
@@ -56,18 +65,24 @@ def summarize(reports, metric_names):
         "aborted": 0,
         "total_wall_ns": 0,
         "total_sim_ns": 0,
+        "total_load_ns": 0,
+        "total_run_ns": 0,
         "jobs": {},
+        "wall_ns": {},
     }
     metrics = {name: {} for name in metric_names}
     for report in reports:
         bench = report.get("bench", "?")
         row["jobs"][bench] = report.get("jobs", 0)
+        row["wall_ns"][bench] = report.get("total_wall_ns", 0)
         row["total_wall_ns"] += report.get("total_wall_ns", 0)
         row["total_sim_ns"] += report.get("total_sim_ns", 0)
         for cell in report.get("cells", []):
             row["cells"] += 1
             row["committed"] += cell.get("committed", 0)
             row["aborted"] += cell.get("aborted", 0)
+            row["total_load_ns"] += cell.get("load_ns", 0)
+            row["total_run_ns"] += cell.get("run_ns", 0)
             for name in metric_names:
                 value = cell.get("metrics", {}).get(name)
                 if value is not None:
@@ -81,6 +96,22 @@ def summarize(reports, metric_names):
         if metrics[name]:
             row[name] = metrics[name]
     return row
+
+
+def add_speedups(row, baseline_row):
+    """Attach wall_speedup (baseline wall / current wall) to `row`."""
+    speedup = {}
+    base_walls = baseline_row.get("wall_ns", {})
+    for bench, wall in row.get("wall_ns", {}).items():
+        base = base_walls.get(bench, 0)
+        if base and wall:
+            speedup[bench] = round(base / wall, 3)
+    overall = (
+        round(baseline_row["total_wall_ns"] / row["total_wall_ns"], 3)
+        if baseline_row.get("total_wall_ns") and row.get("total_wall_ns")
+        else 0.0
+    )
+    row["wall_speedup"] = {"overall": overall, **speedup}
 
 
 def main():
@@ -98,6 +129,12 @@ def main():
         default="tps_low_nvm",
         help="comma-separated per-cell metrics to flatten into the row",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="directory of baseline BENCH_*.json; adds wall_speedup "
+        "(baseline wall / current wall) per bench and overall",
+    )
     args = parser.parse_args()
 
     reports = load_reports(args.dir)
@@ -107,6 +144,15 @@ def main():
 
     metric_names = [m for m in args.metrics.split(",") if m]
     row = summarize(reports, metric_names)
+    if args.baseline:
+        baseline_reports = load_reports(args.baseline)
+        if not baseline_reports:
+            print(
+                f"bench_summary: no baseline BENCH_*.json in {args.baseline}",
+                file=sys.stderr,
+            )
+            return 1
+        add_speedups(row, summarize(baseline_reports, []))
     text = json.dumps(row, indent=2, sort_keys=True) + "\n"
     if args.out == "-":
         sys.stdout.write(text)

@@ -1,6 +1,8 @@
 #include "nvm/cache_sim.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace nvmdb {
 
@@ -24,20 +26,34 @@ unsigned Log2(size_t pow2) {
   return s;
 }
 
-// Mix the line index so adjacent lines spread across banks and sets; a
-// plain modulo would pathologically collide for strided engine layouts.
-// The mapping is identical to the seed model's (h % banks, (h / banks) %
-// sets) whenever banks and sets are powers of two.
-inline uint64_t MixLineIndex(uint64_t line_index) {
-  uint64_t h = line_index * 0x9e3779b97f4a7c15ULL;
-  h ^= h >> 29;
-  return h;
-}
+/// RAII bank lock that compiles to nothing in kOwner mode: the inner
+/// loops are instantiated per mode, so the owner path contains no lock,
+/// no atomic, and no mode branch.
+template <ConcurrencyMode M>
+struct BankGuard {
+  explicit BankGuard(std::mutex&) {}
+};
+
+template <>
+struct BankGuard<ConcurrencyMode::kShared> {
+  explicit BankGuard(std::mutex& mu) : lock(mu) {}
+  std::lock_guard<std::mutex> lock;
+};
 
 }  // namespace
 
+ConcurrencyMode ResolveConcurrencyMode(ConcurrencyMode requested) {
+  // Read fresh (not cached in a static): instances are constructed off
+  // the hot path, and tests toggle the variable around constructions.
+  const char* v = std::getenv("NVMDB_SHARED_CACHE");
+  if (v != nullptr && *v != '\0' && *v != '0') {
+    return ConcurrencyMode::kShared;
+  }
+  return requested;
+}
+
 CacheSim::CacheSim(const CacheConfig& config, CacheCallbacks callbacks)
-    : callbacks_(callbacks) {
+    : mode_(ResolveConcurrencyMode(config.mode)), callbacks_(callbacks) {
   line_size_ = CeilPow2(std::max<size_t>(1, config.line_size));
   line_shift_ = Log2(line_size_);
   associativity_ = std::max<size_t>(1, config.associativity);
@@ -57,52 +73,20 @@ CacheSim::CacheSim(const CacheConfig& config, CacheCallbacks callbacks)
   stamps_.assign(num_sets * associativity_, 0);
 }
 
-uint32_t CacheSim::AccessLine(Bank& bank, size_t global_set,
-                              uint64_t line_index, bool is_write,
-                              CacheAccessResult* result) {
-  uint64_t* const ways = &entries_[global_set * associativity_];
-  uint64_t* const stamps = &stamps_[global_set * associativity_];
-  const uint64_t match = line_index << 1;
-
-  size_t victim = 0;
-  for (size_t w = 0; w < associativity_; w++) {
-    const uint64_t e = ways[w];
-    if ((e & ~uint64_t{1}) == match) {
-      stamps[w] = ++bank.lru_clock;
-      if (is_write) ways[w] = e | 1;
-      bank.hits++;
-      return 0;
-    }
-    if (e == kInvalidEntry) {
-      victim = w;  // prefer an empty way as victim
-    } else if (ways[victim] != kInvalidEntry && stamps[w] < stamps[victim]) {
-      victim = w;
-    }
-  }
-
-  // Miss: evict the victim (write back if dirty), then fill.
-  bank.misses++;
-  const uint64_t evicted = ways[victim];
-  if (evicted != kInvalidEntry && (evicted & 1)) {
-    bank.write_backs++;
-    result->write_backs++;
-    if (callbacks_.write_back) {
-      callbacks_.write_back(callbacks_.ctx, (evicted >> 1) << line_shift_,
-                            line_size_);
-    }
-  }
-  if (callbacks_.fill) {
-    callbacks_.fill(callbacks_.ctx, line_index << line_shift_, line_size_);
-  }
-  ways[victim] = match | (is_write ? 1 : 0);
-  stamps[victim] = ++bank.lru_clock;
-  return 1;
+#if NVMDB_OWNER_CHECKS
+void CacheSim::OwnerViolation() {
+  std::fprintf(stderr,
+               "CacheSim owner-mode violation: instance accessed from a "
+               "second thread; construct with ConcurrencyMode::kShared "
+               "(or set NVMDB_SHARED_CACHE=1) for multi-threaded use\n");
+  std::abort();
 }
+#endif
 
-CacheAccessResult CacheSim::AccessEx(uint64_t addr, size_t size,
-                                     bool is_write) {
+template <ConcurrencyMode M>
+CacheAccessResult CacheSim::AccessExImpl(uint64_t addr, size_t size,
+                                         bool is_write) {
   CacheAccessResult result;
-  if (size == 0) return result;
   const uint64_t first = addr >> line_shift_;
   const uint64_t last = (addr + size - 1) >> line_shift_;
 
@@ -111,15 +95,28 @@ CacheAccessResult CacheSim::AccessEx(uint64_t addr, size_t size,
     const size_t bank_idx = h & bank_mask_;
     const size_t set_idx = (h >> bank_shift_) & set_mask_;
     Bank& bank = banks_[bank_idx];
-    std::lock_guard<std::mutex> guard(bank.mu);
+    BankGuard<M> guard(bank.mu);
     result.missed += AccessLine(bank, bank_idx * sets_per_bank_ + set_idx,
                                 idx, is_write, &result);
   }
   return result;
 }
 
-size_t CacheSim::FlushRange(uint64_t addr, size_t size, bool invalidate) {
-  if (size == 0) return 0;
+CacheAccessResult CacheSim::AccessEx(uint64_t addr, size_t size,
+                                     bool is_write) {
+  if (size == 0) return CacheAccessResult{};
+  if (mode_ == ConcurrencyMode::kOwner) {
+#if NVMDB_OWNER_CHECKS
+    CheckOwner();
+#endif
+    return AccessExImpl<ConcurrencyMode::kOwner>(addr, size, is_write);
+  }
+  return AccessExImpl<ConcurrencyMode::kShared>(addr, size, is_write);
+}
+
+template <ConcurrencyMode M>
+size_t CacheSim::FlushRangeImpl(uint64_t addr, size_t size,
+                                bool invalidate) {
   const uint64_t first = addr >> line_shift_;
   const uint64_t last = (addr + size - 1) >> line_shift_;
   size_t flushed = 0;
@@ -129,7 +126,7 @@ size_t CacheSim::FlushRange(uint64_t addr, size_t size, bool invalidate) {
     const size_t bank_idx = h & bank_mask_;
     const size_t set_idx = (h >> bank_shift_) & set_mask_;
     Bank& bank = banks_[bank_idx];
-    std::lock_guard<std::mutex> guard(bank.mu);
+    BankGuard<M> guard(bank.mu);
     uint64_t* const ways =
         &entries_[(bank_idx * sets_per_bank_ + set_idx) * associativity_];
     const uint64_t match = idx << 1;
@@ -152,12 +149,24 @@ size_t CacheSim::FlushRange(uint64_t addr, size_t size, bool invalidate) {
   return flushed;
 }
 
-size_t CacheSim::WriteBackAll() {
+size_t CacheSim::FlushRange(uint64_t addr, size_t size, bool invalidate) {
+  if (size == 0) return 0;
+  if (mode_ == ConcurrencyMode::kOwner) {
+#if NVMDB_OWNER_CHECKS
+    CheckOwner();
+#endif
+    return FlushRangeImpl<ConcurrencyMode::kOwner>(addr, size, invalidate);
+  }
+  return FlushRangeImpl<ConcurrencyMode::kShared>(addr, size, invalidate);
+}
+
+template <ConcurrencyMode M>
+size_t CacheSim::WriteBackAllImpl() {
   size_t flushed = 0;
   const size_t per_bank = sets_per_bank_ * associativity_;
   for (size_t b = 0; b < num_banks_; b++) {
     Bank& bank = banks_[b];
-    std::lock_guard<std::mutex> guard(bank.mu);
+    BankGuard<M> guard(bank.mu);
     uint64_t* const ways = &entries_[b * per_bank];
     for (size_t i = 0; i < per_bank; i++) {
       const uint64_t e = ways[i];
@@ -175,11 +184,24 @@ size_t CacheSim::WriteBackAll() {
   return flushed;
 }
 
+size_t CacheSim::WriteBackAll() {
+  if (mode_ == ConcurrencyMode::kOwner) {
+#if NVMDB_OWNER_CHECKS
+    CheckOwner();
+#endif
+    return WriteBackAllImpl<ConcurrencyMode::kOwner>();
+  }
+  return WriteBackAllImpl<ConcurrencyMode::kShared>();
+}
+
 void CacheSim::DropDirty() {
+#if NVMDB_OWNER_CHECKS
+  if (mode_ == ConcurrencyMode::kOwner) CheckOwner();
+#endif
   const size_t per_bank = sets_per_bank_ * associativity_;
   for (size_t b = 0; b < num_banks_; b++) {
     Bank& bank = banks_[b];
-    std::lock_guard<std::mutex> guard(bank.mu);
+    BankGuard<ConcurrencyMode::kShared> guard(bank.mu);
     std::fill_n(entries_.begin() + b * per_bank, per_bank, kInvalidEntry);
     std::fill_n(stamps_.begin() + b * per_bank, per_bank, uint64_t{0});
     bank.lru_clock = 0;
@@ -188,27 +210,42 @@ void CacheSim::DropDirty() {
 
 uint64_t CacheSim::hits() const {
   uint64_t total = 0;
+  const bool lock = mode_ == ConcurrencyMode::kShared;
   for (const Bank& bank : banks_) {
-    std::lock_guard<std::mutex> guard(const_cast<Bank&>(bank).mu);
-    total += bank.hits;
+    if (lock) {
+      std::lock_guard<std::mutex> guard(const_cast<Bank&>(bank).mu);
+      total += bank.hits;
+    } else {
+      total += bank.hits;
+    }
   }
   return total;
 }
 
 uint64_t CacheSim::misses() const {
   uint64_t total = 0;
+  const bool lock = mode_ == ConcurrencyMode::kShared;
   for (const Bank& bank : banks_) {
-    std::lock_guard<std::mutex> guard(const_cast<Bank&>(bank).mu);
-    total += bank.misses;
+    if (lock) {
+      std::lock_guard<std::mutex> guard(const_cast<Bank&>(bank).mu);
+      total += bank.misses;
+    } else {
+      total += bank.misses;
+    }
   }
   return total;
 }
 
 uint64_t CacheSim::write_backs() const {
   uint64_t total = 0;
+  const bool lock = mode_ == ConcurrencyMode::kShared;
   for (const Bank& bank : banks_) {
-    std::lock_guard<std::mutex> guard(const_cast<Bank&>(bank).mu);
-    total += bank.write_backs;
+    if (lock) {
+      std::lock_guard<std::mutex> guard(const_cast<Bank&>(bank).mu);
+      total += bank.write_backs;
+    } else {
+      total += bank.write_backs;
+    }
   }
   return total;
 }

@@ -1,10 +1,50 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 #include <vector>
 
+/// Debug-build owner checks: in kOwner mode the cache records the first
+/// accessing thread and aborts on any access from another thread, making
+/// silent cross-thread use of a zero-synchronization cache impossible.
+/// Compiled out under NDEBUG (the hot path must stay branch-free in
+/// release builds); define NVMDB_FORCE_OWNER_CHECKS to keep them in an
+/// optimized build (the sanitizer CI job does).
+#if !defined(NDEBUG) || defined(NVMDB_FORCE_OWNER_CHECKS)
+#define NVMDB_OWNER_CHECKS 1
+#else
+#define NVMDB_OWNER_CHECKS 0
+#endif
+
 namespace nvmdb {
+
+/// Synchronization discipline of a CacheSim / NvmDevice instance.
+///
+/// Since the benchmark-grid scheduler made every cell strictly
+/// thread-confined (one cell = one pool thread, Coordinator::Run
+/// single-threaded), the per-access bank mutex and atomic counter adds
+/// pay for contention that cannot occur on those paths. kOwner removes
+/// them: the hot loop takes no locks and counts with plain increments.
+/// The model itself is identical in both modes — same hit/miss/write-back
+/// sequences, same counters (the golden-model and determinism tests
+/// assert this); only the synchronization around it differs.
+enum class ConcurrencyMode : uint8_t {
+  /// Exactly one thread ever accesses the instance (thread-confined
+  /// benchmark cells, single-threaded tests). Zero synchronization on the
+  /// access path; debug builds assert the confinement.
+  kOwner,
+  /// Multiple threads may access concurrently: per-bank lock striping,
+  /// exact counters under the bank locks (the pre-existing behavior).
+  kShared,
+};
+
+/// Effective mode for an instance requesting `requested`:
+/// NVMDB_SHARED_CACHE=1 in the environment forces kShared everywhere (a
+/// debugging escape hatch, e.g. to rule the owner fast path out of a
+/// miscounting suspicion). Consulted at construction time only.
+ConcurrencyMode ResolveConcurrencyMode(ConcurrencyMode requested);
 
 /// Configuration for the simulated CPU cache in front of NVM.
 /// Defaults model the L3 of the paper's Intel Xeon E5-4620 testbed
@@ -21,7 +61,11 @@ struct CacheConfig {
   size_t capacity_bytes = 20ull * 1024 * 1024;
   size_t line_size = 64;
   size_t associativity = 16;
-  size_t num_banks = 16;  // lock striping for multi-threaded access
+  size_t num_banks = 16;  // lock striping (used by kShared only)
+  /// kOwner is the repo-wide default: every database/device is built and
+  /// driven on one thread (see ConcurrencyMode). Multi-threaded users of
+  /// a *single* instance must select kShared explicitly.
+  ConcurrencyMode mode = ConcurrencyMode::kOwner;
 };
 
 /// Events the cache raises toward the owning device. Raw function
@@ -62,9 +106,21 @@ struct CacheAccessResult {
 /// entries (line index + dirty bit) with a parallel LRU-stamp array,
 /// indexed [bank][set][way]; no per-set or per-way heap nodes exist, so a
 /// set probe is a short linear scan over adjacent memory.
+///
+/// Synchronization is selected at construction (ConcurrencyMode): the
+/// public entry points dispatch once per call into an inner loop
+/// instantiated for the chosen mode, so kOwner pays neither locks nor a
+/// per-line mode branch.
 class CacheSim {
  public:
+  /// True when cross-thread owner-mode accesses abort (debug builds).
+  static constexpr bool kOwnerChecksEnabled = NVMDB_OWNER_CHECKS != 0;
+
   CacheSim(const CacheConfig& config, CacheCallbacks callbacks);
+
+  /// Mode the instance actually runs in (after the NVMDB_SHARED_CACHE
+  /// override).
+  ConcurrencyMode mode() const { return mode_; }
 
   /// Touch [addr, addr+size). Write hits mark lines dirty; write misses
   /// allocate. Returns per-call miss and write-back counts.
@@ -75,11 +131,81 @@ class CacheSim {
     return AccessEx(addr, size, is_write).missed;
   }
 
+  /// Owner-mode fast path, safe to inline at call sites: if [addr,
+  /// addr+size) lies within one cache line AND that line is resident,
+  /// perform the hit (LRU stamp, dirty marking, hit counter) and return
+  /// true. Returns false — having changed nothing — when the access spans
+  /// lines or misses; the caller then takes the out-of-line AccessEx
+  /// path. Must only be called on kOwner instances (single-line hits are
+  /// the overwhelmingly common case on the engines' instrumented paths,
+  /// and this skips the call + dispatch + result plumbing for them).
+  bool OwnerHitFast(uint64_t addr, size_t size, bool is_write) {
+    const uint64_t idx = addr >> line_shift_;
+    if (((addr + size - 1) >> line_shift_) != idx) return false;
+#if NVMDB_OWNER_CHECKS
+    CheckOwner();
+#endif
+    const uint64_t h = MixLineIndex(idx);
+    const size_t bank_idx = h & bank_mask_;
+    const size_t set_idx = (h >> bank_shift_) & set_mask_;
+    const size_t global_set = bank_idx * sets_per_bank_ + set_idx;
+    uint64_t* const ways = &entries_[global_set * associativity_];
+    const uint64_t match = idx << 1;
+    for (size_t w = 0; w < associativity_; w++) {
+      const uint64_t e = ways[w];
+      if ((e & ~uint64_t{1}) == match) {
+        Bank& bank = banks_[bank_idx];
+        stamps_[global_set * associativity_ + w] = ++bank.lru_clock;
+        if (is_write) ways[w] = e | 1;
+        bank.hits++;
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// CLFLUSH/CLWB semantics over [addr, addr+size): dirty lines are written
   /// back; when `invalidate` is true (CLFLUSH) the lines are also evicted,
   /// otherwise (CLWB) they stay resident in clean state.
   /// Returns the number of lines actually written back.
   size_t FlushRange(uint64_t addr, size_t size, bool invalidate);
+
+  /// Owner-mode fast path for FlushRange, safe to inline at call sites:
+  /// handles a range confined to one cache line (every per-tuple persist
+  /// the engines issue) without the out-of-line call and mode dispatch.
+  /// Returns the number of lines written back (0 or 1), or -1 when the
+  /// range spans lines — the caller then takes FlushRange. Must only be
+  /// called on kOwner instances.
+  int OwnerFlushFast(uint64_t addr, size_t size, bool invalidate) {
+    const uint64_t idx = addr >> line_shift_;
+    if (((addr + size - 1) >> line_shift_) != idx) return -1;
+#if NVMDB_OWNER_CHECKS
+    CheckOwner();
+#endif
+    const uint64_t h = MixLineIndex(idx);
+    const size_t bank_idx = h & bank_mask_;
+    const size_t set_idx = (h >> bank_shift_) & set_mask_;
+    uint64_t* const ways =
+        &entries_[(bank_idx * sets_per_bank_ + set_idx) * associativity_];
+    const uint64_t match = idx << 1;
+    int flushed = 0;
+    for (size_t w = 0; w < associativity_; w++) {
+      const uint64_t e = ways[w];
+      if ((e & ~uint64_t{1}) != match) continue;
+      if (e & 1) {
+        flushed = 1;
+        banks_[bank_idx].write_backs++;
+        if (callbacks_.write_back) {
+          callbacks_.write_back(callbacks_.ctx, idx << line_shift_,
+                                line_size_);
+        }
+        ways[w] = match;  // clean
+      }
+      if (invalidate) ways[w] = kInvalidEntry;
+      break;
+    }
+    return flushed;
+  }
 
   /// Write back every dirty line (used by e.g. full-device sync in tests).
   size_t WriteBackAll();
@@ -88,11 +214,13 @@ class CacheSim {
   /// back — their contents are lost.
   void DropDirty();
 
-  // Statistics are exact: each bank counts under its own lock (no shared
-  // atomic contention on the hot path) and the getters aggregate across
-  // banks, taking each bank's lock so concurrent updates are never torn
-  // or lost. After all accessing threads quiesce,
-  // hits() + misses() == total lines accessed, exactly.
+  // Statistics are exact in both modes: each bank counts under its own
+  // lock in kShared (no shared atomic contention on the hot path) and
+  // with plain increments in kOwner (only one thread ever touches them);
+  // the getters aggregate across banks, taking each bank's lock in
+  // kShared so concurrent updates are never torn or lost. After all
+  // accessing threads quiesce, hits() + misses() == total lines
+  // accessed, exactly.
   uint64_t hits() const;
   uint64_t misses() const;
   uint64_t write_backs() const;
@@ -108,17 +236,110 @@ class CacheSim {
 
   // Per-bank mutable state, cache-line aligned so banks never false-share.
   struct alignas(64) Bank {
-    std::mutex mu;
+    std::mutex mu;  // taken in kShared mode only
     uint64_t lru_clock = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t write_backs = 0;
   };
 
-  // Touch one line; requires the owning bank's lock. Returns 1 if the
-  // line missed and adds any dirty-victim write-back to `result`.
-  uint32_t AccessLine(Bank& bank, size_t global_set, uint64_t line_index,
-                      bool is_write, CacheAccessResult* result);
+  // Mix the line index so adjacent lines spread across banks and sets; a
+  // plain modulo would pathologically collide for strided engine layouts.
+  // The mapping is identical to the seed model's (h % banks, (h / banks)
+  // % sets) whenever banks and sets are powers of two.
+  static uint64_t MixLineIndex(uint64_t line_index) {
+    uint64_t h = line_index * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return h;
+  }
+
+  // Mode-instantiated inner loops behind the public dispatchers; kShared
+  // takes the bank lock per line, kOwner compiles it away entirely.
+  template <ConcurrencyMode M>
+  CacheAccessResult AccessExImpl(uint64_t addr, size_t size, bool is_write);
+  template <ConcurrencyMode M>
+  size_t FlushRangeImpl(uint64_t addr, size_t size, bool invalidate);
+  template <ConcurrencyMode M>
+  size_t WriteBackAllImpl();
+
+  // Touch one line; requires the owning bank's lock in kShared mode.
+  // Returns 1 if the line missed and adds any dirty-victim write-back to
+  // `result`. Force-inlined into the per-line loops in AccessExImpl: at
+  // ~8.5 lines per engine access the call overhead alone profiled as the
+  // single hottest entry in the whole bench suite, and GCC's size
+  // heuristics refuse the inline on their own.
+#if defined(__GNUC__)
+  __attribute__((always_inline))
+#endif
+  inline uint32_t AccessLine(Bank& bank, size_t global_set,
+                             uint64_t line_index, bool is_write,
+                             CacheAccessResult* result) {
+    uint64_t* const ways = &entries_[global_set * associativity_];
+    uint64_t* const stamps = &stamps_[global_set * associativity_];
+    const uint64_t match = line_index << 1;
+
+    // Hit probe first, over the packed entries alone: the common case
+    // touches half the metadata (no stamps, no victim bookkeeping) and
+    // compiles to a tight compare loop.
+    for (size_t w = 0; w < associativity_; w++) {
+      const uint64_t e = ways[w];
+      if ((e & ~uint64_t{1}) == match) {
+        stamps[w] = ++bank.lru_clock;
+        if (is_write) ways[w] = e | 1;
+        bank.hits++;
+        return 0;
+      }
+    }
+
+    // Miss: pick the victim — the last empty way if any exists, else the
+    // LRU-minimal way (identical choice to the seed's one-pass scan) —
+    // write it back if dirty, then fill.
+    size_t victim = 0;
+    for (size_t w = 0; w < associativity_; w++) {
+      if (ways[w] == kInvalidEntry) {
+        victim = w;
+      } else if (ways[victim] != kInvalidEntry &&
+                 stamps[w] < stamps[victim]) {
+        victim = w;
+      }
+    }
+    bank.misses++;
+    const uint64_t evicted = ways[victim];
+    if (evicted != kInvalidEntry && (evicted & 1)) {
+      bank.write_backs++;
+      result->write_backs++;
+      if (callbacks_.write_back) {
+        callbacks_.write_back(callbacks_.ctx, (evicted >> 1) << line_shift_,
+                              line_size_);
+      }
+    }
+    if (callbacks_.fill) {
+      callbacks_.fill(callbacks_.ctx, line_index << line_shift_,
+                      line_size_);
+    }
+    ways[victim] = match | (is_write ? 1 : 0);
+    stamps[victim] = ++bank.lru_clock;
+    return 1;
+  }
+
+#if NVMDB_OWNER_CHECKS
+  /// Record the first accessing thread of a kOwner instance and abort on
+  /// any access from a different thread. Mutating entry points call this;
+  /// read-only counter getters don't, so post-join aggregation from a
+  /// parent thread (sequentially safe) stays legal.
+  void CheckOwner() {
+    if (mode_ != ConcurrencyMode::kOwner) return;
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (owner_thread_.load(std::memory_order_relaxed) == self) return;
+    if (owner_thread_.compare_exchange_strong(expected, self,
+                                              std::memory_order_relaxed)) {
+      return;  // first toucher becomes the owner
+    }
+    OwnerViolation();
+  }
+  [[noreturn]] static void OwnerViolation();
+#endif
 
   size_t line_size_;        // power of two
   unsigned line_shift_;     // log2(line_size_)
@@ -128,12 +349,20 @@ class CacheSim {
   uint64_t bank_mask_;      // num_banks_ - 1
   unsigned bank_shift_;     // log2(num_banks_)
   uint64_t set_mask_;       // sets_per_bank_ - 1
+  ConcurrencyMode mode_;
 
   CacheCallbacks callbacks_;
   std::vector<Bank> banks_;
   // Flat [bank][set][way] metadata; entries_ and stamps_ are parallel.
   std::vector<uint64_t> entries_;
   std::vector<uint64_t> stamps_;
+
+#if NVMDB_OWNER_CHECKS
+  /// First thread that touched a kOwner instance; default-constructed id
+  /// until then. Atomic so the check itself is race-free even while it
+  /// detects a race.
+  std::atomic<std::thread::id> owner_thread_{};
+#endif
 };
 
 }  // namespace nvmdb

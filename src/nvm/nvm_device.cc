@@ -67,12 +67,23 @@ NvmDevice::NvmDevice(size_t capacity, const NvmLatencyConfig& latency,
   line_writes_ = static_cast<std::atomic<uint32_t>*>(
       AllocZeroed((capacity_ / 64 + 1) * sizeof(std::atomic<uint32_t>)));
 
+  // Resolve the concurrency mode (NVMDB_SHARED_CACHE override included)
+  // before building the cache so the write-back trampoline and the cache
+  // agree on it; the cache's own resolution of the same request is
+  // idempotent.
+  const ConcurrencyMode mode = ResolveConcurrencyMode(cache_cfg.mode);
+  owner_ = mode == ConcurrencyMode::kOwner;
+  CacheConfig resolved_cfg = cache_cfg;
+  resolved_cfg.mode = mode;
+
   CacheCallbacks callbacks;
-  callbacks.write_back = &NvmDevice::WriteBackTrampoline;
+  callbacks.write_back =
+      owner_ ? &NvmDevice::WriteBackTrampoline<ConcurrencyMode::kOwner>
+             : &NvmDevice::WriteBackTrampoline<ConcurrencyMode::kShared>;
   callbacks.ctx = this;
   // Miss latency is charged at the access site (together with hit and
   // write-back costs), not in a fill callback, so no fill hook is needed.
-  cache_ = std::make_unique<CacheSim>(cache_cfg, callbacks);
+  cache_ = std::make_unique<CacheSim>(resolved_cfg, callbacks);
 }
 
 NvmDevice::~NvmDevice() {
@@ -91,15 +102,27 @@ uint64_t NvmDevice::StoreCostNs() const {
                                gbps);
 }
 
+template <ConcurrencyMode M>
 void NvmDevice::OnWriteBack(uint64_t line_addr, size_t line_size) {
   // A dirty line reaching NVM: copy working -> durable and count wear.
   // Lines outside the managed region (virtual heap addresses routed
   // through TouchVirtual) have no durable bytes but still cost a store.
   if (line_addr + line_size <= capacity_) {
     memcpy(durable_ + line_addr, working_ + line_addr, line_size);
-    line_writes_[line_addr / 64].fetch_add(1, std::memory_order_relaxed);
+    std::atomic<uint32_t>& wear = line_writes_[line_addr / 64];
+    if constexpr (M == ConcurrencyMode::kOwner) {
+      wear.store(wear.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    } else {
+      wear.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
+
+template void NvmDevice::OnWriteBack<ConcurrencyMode::kOwner>(uint64_t,
+                                                              size_t);
+template void NvmDevice::OnWriteBack<ConcurrencyMode::kShared>(uint64_t,
+                                                               size_t);
 
 void NvmDevice::ChargeAccess(uint64_t addr, size_t n, bool is_write) {
   const CacheAccessResult r = cache_->AccessEx(addr, n, is_write);
@@ -124,25 +147,6 @@ void NvmDevice::Write(uint64_t offset, const void* src, size_t n) {
   memcpy(working_ + offset, src, n);
 }
 
-void NvmDevice::TouchRead(const void* p, size_t n) {
-  if (!Contains(p) || n == 0) return;
-  ChargeAccess(OffsetOf(p), n, /*is_write=*/false);
-}
-
-void NvmDevice::TouchWrite(const void* p, size_t n) {
-  if (!Contains(p) || n == 0) return;
-  ChargeAccess(OffsetOf(p), n, /*is_write=*/true);
-}
-
-void NvmDevice::TouchVirtual(const void* p, size_t n, bool is_write) {
-  // ReserveVirtual addresses (and raw heap addresses) live far above the
-  // region's offset space, so they never alias a managed line; the
-  // write-back handler's bounds check skips the durable copy but the
-  // store cost is still charged.
-  if (n == 0) return;
-  ChargeAccess(reinterpret_cast<uint64_t>(p), n, is_write);
-}
-
 void NvmDevice::Persist(uint64_t offset, size_t n) {
   if (n == 0) return;
   assert(offset + n <= capacity_);
@@ -153,8 +157,7 @@ void NvmDevice::Persist(uint64_t offset, size_t n) {
   // then unconditionally mirror the range into the durable image so the
   // post-condition "range is durable" holds even for bytes written through
   // an uninstrumented pointer.
-  const size_t flushed =
-      cache_->FlushRange(offset, n, /*invalidate=*/!latency_.use_clwb);
+  const size_t flushed = FlushLines(offset, n);
   const size_t ls = cache_->line_size();
   const uint64_t first = offset / ls * ls;
   uint64_t last_end = (offset + n + ls - 1) / ls * ls;
@@ -162,7 +165,7 @@ void NvmDevice::Persist(uint64_t offset, size_t n) {
   memcpy(durable_ + first, working_ + first, last_end - first);
   // Write-back bandwidth plus SFENCE + flush latency, in one accumulation.
   ChargeStall(flushed * StoreCostNs() + latency_.sync_latency_ns);
-  sync_calls_.fetch_add(1, std::memory_order_relaxed);
+  CounterAdd(sync_calls_, 1);
 }
 
 void NvmDevice::AtomicPersistWrite64(uint64_t offset, uint64_t value) {
@@ -171,13 +174,12 @@ void NvmDevice::AtomicPersistWrite64(uint64_t offset, uint64_t value) {
   if (crash_sim_ != nullptr) crash_sim_->OnAtomicPersist(this, offset, value);
   ChargeAccess(offset, 8, /*is_write=*/true);
   memcpy(working_ + offset, &value, 8);
-  const size_t flushed =
-      cache_->FlushRange(offset, 8, /*invalidate=*/!latency_.use_clwb);
+  const size_t flushed = FlushLines(offset, 8);
   // The durable copy of an aligned 8-byte store is itself atomic: either
   // the old or the new value survives a crash, never a torn mix.
   memcpy(durable_ + offset, &value, 8);
   ChargeStall(flushed * StoreCostNs() + latency_.sync_latency_ns);
-  sync_calls_.fetch_add(1, std::memory_order_relaxed);
+  CounterAdd(sync_calls_, 1);
 }
 
 void NvmDevice::Crash() {

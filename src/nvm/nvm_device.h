@@ -106,6 +106,15 @@ class NvmDevice {
     return p >= working_ && p < working_ + capacity_;
   }
 
+  /// Synchronization mode the device (and its cache) runs in; selected by
+  /// CacheConfig::mode at construction, after the NVMDB_SHARED_CACHE
+  /// override. In kOwner mode every counter uses plain adds and the
+  /// Touch* entry points below take a header-inlined resident-hit fast
+  /// path that never leaves this translation unit.
+  ConcurrencyMode mode() const {
+    return owner_ ? ConcurrencyMode::kOwner : ConcurrencyMode::kShared;
+  }
+
   // --- Instrumented access path -------------------------------------------
   // All storage-engine traffic to NVM must use these so the cache model can
   // count loads/stores and charge stalls.
@@ -114,10 +123,17 @@ class NvmDevice {
   void Read(uint64_t offset, void* dst, size_t n);
   /// Write n bytes from `src` at `offset` (volatile until persisted).
   void Write(uint64_t offset, const void* src, size_t n);
+
   /// Model a read access to memory already mapped at `p` (no copy).
-  void TouchRead(const void* p, size_t n);
+  void TouchRead(const void* p, size_t n) {
+    if (!Contains(p) || n == 0) return;
+    Touch(OffsetOf(p), n, /*is_write=*/false);
+  }
   /// Model a write access to memory already mapped at `p` (no copy).
-  void TouchWrite(const void* p, size_t n);
+  void TouchWrite(const void* p, size_t n) {
+    if (!Contains(p) || n == 0) return;
+    Touch(OffsetOf(p), n, /*is_write=*/true);
+  }
 
   /// Model an access to engine memory that is *not* inside the managed
   /// region (volatile B+tree nodes, page caches, MemTable indexes…). In
@@ -128,7 +144,15 @@ class NvmDevice {
   /// callers should pass stable addresses from ReserveVirtual (below) so
   /// the modeled cache behavior is reproducible across processes — raw
   /// heap pointers also work but make counters ASLR-dependent.
-  void TouchVirtual(const void* p, size_t n, bool is_write);
+  ///
+  /// ReserveVirtual addresses (and raw heap addresses) live far above the
+  /// region's offset space, so they never alias a managed line; the
+  /// write-back handler's bounds check skips the durable copy but the
+  /// store cost is still charged.
+  void TouchVirtual(const void* p, size_t n, bool is_write) {
+    if (n == 0) return;
+    Touch(reinterpret_cast<uint64_t>(p), n, is_write);
+  }
 
   /// Reserve a range of the device's *modeled* virtual address space and
   /// return its base. The space is a simple bump allocator starting far
@@ -206,7 +230,7 @@ class NvmDevice {
   /// Charge additional simulated time that does not depend on the NVM
   /// latency profile (VFS/syscall crossings, fsync bookkeeping).
   void ChargeExternalStall(uint64_t ns) {
-    external_ns_.fetch_add(ns, std::memory_order_relaxed);
+    CounterAdd(external_ns_, ns);
     ChargeStall(ns);
   }
 
@@ -215,22 +239,61 @@ class NvmDevice {
   std::atomic<uint64_t> allocated_bytes{0};
 
  private:
-  void ChargeStall(uint64_t ns) {
-    stall_ns_.fetch_add(ns, std::memory_order_relaxed);
+  /// Counter accumulation honoring the concurrency mode: an atomic RMW in
+  /// kShared, a plain load+store (mov/add/mov, no lock prefix) in kOwner
+  /// where only one thread ever writes. The relaxed load+store pair keeps
+  /// the member type uniform across modes.
+  void CounterAdd(std::atomic<uint64_t>& counter, uint64_t v) {
+    if (owner_) {
+      counter.store(counter.load(std::memory_order_relaxed) + v,
+                    std::memory_order_relaxed);
+    } else {
+      counter.fetch_add(v, std::memory_order_relaxed);
+    }
   }
+  void ChargeStall(uint64_t ns) { CounterAdd(stall_ns_, ns); }
+
+  /// Shared body of the Touch* entry points. In owner mode, a single-line
+  /// access to an already-resident line — the overwhelmingly common case
+  /// on the engines' instrumented paths — is completed entirely inline:
+  /// one cache probe plus one plain stall add, no out-of-line call.
+  void Touch(uint64_t addr, size_t n, bool is_write) {
+    if (owner_ && cache_->OwnerHitFast(addr, n, is_write)) {
+      ChargeStall(latency_.cache_hit_ns);
+      return;
+    }
+    ChargeAccess(addr, n, is_write);
+  }
+
   /// Run the cache model over [addr, addr+n) and charge hit/miss/write-back
-  /// costs with a single atomic accumulation for the whole call.
+  /// costs with a single accumulation for the whole call.
   void ChargeAccess(uint64_t addr, size_t n, bool is_write);
   uint64_t StoreCostNs() const;
+
+  /// Flush the lines covering [offset, offset+n) per the sync primitive's
+  /// invalidation policy (CLWB vs CLFLUSH), returning the count written
+  /// back. In owner mode a range within one line — every per-tuple
+  /// persist the engines issue — completes inline.
+  size_t FlushLines(uint64_t offset, size_t n) {
+    const bool invalidate = !latency_.use_clwb;
+    if (owner_) {
+      const int fast = cache_->OwnerFlushFast(offset, n, invalidate);
+      if (fast >= 0) return static_cast<size_t>(fast);
+    }
+    return cache_->FlushRange(offset, n, invalidate);
+  }
 
   /// Target of the cache's write-back callback (dispatched through a raw
   /// function pointer, not std::function): mirror the line into the
   /// durable image and count wear. Stall accounting happens at the access
-  /// site, not here.
+  /// site, not here. Instantiated per concurrency mode so owner-mode wear
+  /// increments are plain adds.
+  template <ConcurrencyMode M>
   void OnWriteBack(uint64_t line_addr, size_t line_size);
+  template <ConcurrencyMode M>
   static void WriteBackTrampoline(void* ctx, uint64_t line_addr,
                                   size_t line_size) {
-    static_cast<NvmDevice*>(ctx)->OnWriteBack(line_addr, line_size);
+    static_cast<NvmDevice*>(ctx)->OnWriteBack<M>(line_addr, line_size);
   }
 
   size_t capacity_;
@@ -243,6 +306,9 @@ class NvmDevice {
   std::atomic<uint32_t>* line_writes_ = nullptr;  // wear per line
   NvmLatencyConfig latency_;
   std::unique_ptr<CacheSim> cache_;
+  /// True in ConcurrencyMode::kOwner (thread-confined, plain counter
+  /// adds); resolved once at construction.
+  bool owner_ = false;
 
   std::atomic<uint64_t> stall_ns_{0};
   std::atomic<uint64_t> external_ns_{0};

@@ -177,7 +177,9 @@ std::string BenchRunner::WriteReport() {
     out += "     \"committed\": " + std::to_string(c.committed) +
            ", \"aborted\": " + std::to_string(c.aborted) +
            ", \"sim_ns\": " + std::to_string(c.sim_ns) +
-           ", \"wall_ns\": " + std::to_string(c.wall_ns) + ",\n";
+           ", \"wall_ns\": " + std::to_string(c.wall_ns) +
+           ", \"load_ns\": " + std::to_string(c.load_ns) +
+           ", \"run_ns\": " + std::to_string(c.run_ns) + ",\n";
     char ratio[64];
     std::snprintf(ratio, sizeof(ratio), "%.3f", c.SimWallRatio());
     out += "     \"sim_wall_ratio\": ";

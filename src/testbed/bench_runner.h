@@ -25,6 +25,12 @@ struct BenchCell {
   /// Host wall nanoseconds the cell took end to end. Left 0 by the cell
   /// body; the runner fills it from its own stopwatch around the body.
   uint64_t wall_ns = 0;
+  /// Optional wall-time split filled by the cell body: host nanoseconds
+  /// spent in the initial load phase vs the measured run phase. Their sum
+  /// is below wall_ns (setup/teardown is neither). Zero when the cell has
+  /// no such phases (e.g. recovery benches).
+  uint64_t load_ns = 0;
+  uint64_t run_ns = 0;
   std::vector<std::pair<std::string, double>> metrics;
 
   /// Simulated ns produced per wall ns spent computing them (simulator

@@ -182,14 +182,9 @@ class ReferenceCache {
   size_t sets_per_bank_;
 };
 
-void RunTrace(const CacheConfig& cfg, uint64_t seed, uint64_t num_ops,
-              uint64_t address_space) {
-  std::vector<Event> ref_events;
-  std::vector<Event> fast_events;
-  ReferenceCache reference(cfg, &ref_events);
-
+CacheCallbacks EventRecorder(std::vector<Event>* events) {
   CacheCallbacks callbacks;
-  callbacks.ctx = &fast_events;
+  callbacks.ctx = events;
   callbacks.write_back = [](void* ctx, uint64_t line_addr, size_t) {
     static_cast<std::vector<Event>*>(ctx)->push_back(
         {Event::kWriteBack, line_addr});
@@ -198,7 +193,28 @@ void RunTrace(const CacheConfig& cfg, uint64_t seed, uint64_t num_ops,
     static_cast<std::vector<Event>*>(ctx)->push_back(
         {Event::kFill, line_addr});
   };
-  CacheSim fast(cfg, callbacks);
+  return callbacks;
+}
+
+/// Drives the randomized trace through the reference model and through a
+/// fast CacheSim in *each* concurrency mode: kOwner (zero-synchronization
+/// loop, inlinable hit path) and kShared (bank locks) must both reproduce
+/// the reference's hit/miss/write-back sequences exactly — the modes
+/// differ only in synchronization, never in the model.
+void RunTrace(const CacheConfig& base_cfg, uint64_t seed, uint64_t num_ops,
+              uint64_t address_space) {
+  std::vector<Event> ref_events;
+  std::vector<Event> owner_events;
+  std::vector<Event> shared_events;
+  ReferenceCache reference(base_cfg, &ref_events);
+
+  CacheConfig cfg = base_cfg;
+  cfg.mode = ConcurrencyMode::kOwner;
+  CacheSim owner(cfg, EventRecorder(&owner_events));
+  ASSERT_EQ(owner.mode(), ConcurrencyMode::kOwner);
+  cfg.mode = ConcurrencyMode::kShared;
+  CacheSim shared(cfg, EventRecorder(&shared_events));
+  ASSERT_EQ(shared.mode(), ConcurrencyMode::kShared);
 
   std::mt19937_64 rng(seed);
   for (uint64_t op = 0; op < num_ops; op++) {
@@ -207,32 +223,58 @@ void RunTrace(const CacheConfig& cfg, uint64_t seed, uint64_t num_ops,
     const size_t size = 1 + rng() % 256;
     const bool flag = (rng() & 1) != 0;
     if (kind < 80) {
-      ASSERT_EQ(reference.Access(addr, size, flag),
-                fast.Access(addr, size, flag))
-          << "op " << op;
+      const size_t expected = reference.Access(addr, size, flag);
+      // Drive the owner cache the way NvmDevice::Touch does: try the
+      // inlined resident-hit fast path first (a fast-path hit is a
+      // zero-miss access), fall back to the full path otherwise.
+      const size_t owner_missed = owner.OwnerHitFast(addr, size, flag)
+                                      ? 0
+                                      : owner.Access(addr, size, flag);
+      ASSERT_EQ(expected, owner_missed) << "op " << op;
+      ASSERT_EQ(expected, shared.Access(addr, size, flag)) << "op " << op;
     } else if (kind < 94) {
-      ASSERT_EQ(reference.FlushRange(addr, size, flag),
-                fast.FlushRange(addr, size, flag))
+      const size_t expected = reference.FlushRange(addr, size, flag);
+      // Drive the owner cache the way NvmDevice::FlushLines does: the
+      // inlined single-line flush when it applies, FlushRange otherwise.
+      const int fast = owner.OwnerFlushFast(addr, size, flag);
+      const size_t owner_flushed = fast >= 0
+                                       ? static_cast<size_t>(fast)
+                                       : owner.FlushRange(addr, size, flag);
+      ASSERT_EQ(expected, owner_flushed) << "op " << op;
+      ASSERT_EQ(expected, shared.FlushRange(addr, size, flag))
           << "op " << op;
     } else if (kind < 97) {
-      ASSERT_EQ(reference.WriteBackAll(), fast.WriteBackAll()) << "op " << op;
+      const size_t expected = reference.WriteBackAll();
+      ASSERT_EQ(expected, owner.WriteBackAll()) << "op " << op;
+      ASSERT_EQ(expected, shared.WriteBackAll()) << "op " << op;
     } else {
       // Crash: all cached state vanishes, nothing is written back.
       reference.DropDirty();
-      fast.DropDirty();
+      owner.DropDirty();
+      shared.DropDirty();
     }
-    ASSERT_EQ(ref_events.size(), fast_events.size()) << "op " << op;
+    ASSERT_EQ(ref_events.size(), owner_events.size()) << "op " << op;
+    ASSERT_EQ(ref_events.size(), shared_events.size()) << "op " << op;
   }
 
-  EXPECT_EQ(reference.hits, fast.hits());
-  EXPECT_EQ(reference.misses, fast.misses());
-  EXPECT_EQ(reference.write_backs, fast.write_backs());
-  ASSERT_EQ(ref_events.size(), fast_events.size());
+  for (const CacheSim* fast : {&owner, &shared}) {
+    EXPECT_EQ(reference.hits, fast->hits());
+    EXPECT_EQ(reference.misses, fast->misses());
+    EXPECT_EQ(reference.write_backs, fast->write_backs());
+  }
+  ASSERT_EQ(ref_events.size(), owner_events.size());
+  ASSERT_EQ(ref_events.size(), shared_events.size());
   for (size_t i = 0; i < ref_events.size(); i++) {
-    ASSERT_TRUE(ref_events[i] == fast_events[i])
+    ASSERT_TRUE(ref_events[i] == owner_events[i])
         << "event " << i << ": ref kind " << int(ref_events[i].kind)
-        << " line " << ref_events[i].line_addr << " vs fast kind "
-        << int(fast_events[i].kind) << " line " << fast_events[i].line_addr;
+        << " line " << ref_events[i].line_addr << " vs owner kind "
+        << int(owner_events[i].kind) << " line "
+        << owner_events[i].line_addr;
+    ASSERT_TRUE(ref_events[i] == shared_events[i])
+        << "event " << i << ": ref kind " << int(ref_events[i].kind)
+        << " line " << ref_events[i].line_addr << " vs shared kind "
+        << int(shared_events[i].kind) << " line "
+        << shared_events[i].line_addr;
   }
 }
 

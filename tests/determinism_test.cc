@@ -27,12 +27,14 @@ struct ModelOutput {
   uint64_t committed = 0;
 };
 
-ModelOutput RunOnce(EngineKind engine) {
+ModelOutput RunOnce(EngineKind engine,
+                    ConcurrencyMode mode = ConcurrencyMode::kOwner) {
   DatabaseConfig cfg;
   cfg.num_partitions = 1;  // single worker: fully deterministic schedule
   cfg.nvm_capacity = 128ull * 1024 * 1024;
   cfg.latency = NvmLatencyConfig::Dram();
   cfg.cache.capacity_bytes = 1024 * 1024;
+  cfg.cache.mode = mode;
   cfg.engine = engine;
   Database db(cfg);
 
@@ -87,6 +89,26 @@ TEST(DeterminismTest, NvmCoWTwiceIdentical) {
 TEST(DeterminismTest, NvmLogTwiceIdentical) {
   ExpectIdentical(RunOnce(EngineKind::kNvmLog),
                   RunOnce(EngineKind::kNvmLog));
+}
+
+// Owner mode (zero-synchronization fast path, the bench default) and
+// shared mode (bank locks) must be *the same model*: the whole-stack
+// workload must produce bit-identical NvmCounters, simulated clock, and
+// WearStats in both modes. This is the device-level guarantee behind the
+// CI job that diffs benchmark output between modes.
+TEST(DeterminismTest, OwnerVsSharedIdenticalInP) {
+  ExpectIdentical(RunOnce(EngineKind::kNvmInP, ConcurrencyMode::kOwner),
+                  RunOnce(EngineKind::kNvmInP, ConcurrencyMode::kShared));
+}
+
+TEST(DeterminismTest, OwnerVsSharedIdenticalCoW) {
+  ExpectIdentical(RunOnce(EngineKind::kNvmCoW, ConcurrencyMode::kOwner),
+                  RunOnce(EngineKind::kNvmCoW, ConcurrencyMode::kShared));
+}
+
+TEST(DeterminismTest, OwnerVsSharedIdenticalLog) {
+  ExpectIdentical(RunOnce(EngineKind::kNvmLog, ConcurrencyMode::kOwner),
+                  RunOnce(EngineKind::kNvmLog, ConcurrencyMode::kShared));
 }
 
 // The run must also do real work, or the identity above is vacuous.

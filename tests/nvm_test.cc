@@ -137,12 +137,15 @@ TEST(CacheSimTest, AccessExReportsWriteBacks) {
 // concurrency"; the per-bank rework makes them exact. Every access
 // touches exactly one line here, so after the threads quiesce the
 // identity hits + misses == total accesses must hold with no slack.
+// Pinned to kShared: this is the multi-threaded discipline (and the test
+// the TSan job watches); owner mode forbids concurrent access entirely.
 TEST(CacheSimTest, CountersExactUnderConcurrency) {
   CacheConfig cfg;
   cfg.capacity_bytes = 64 * 1024;
   cfg.line_size = 64;
   cfg.associativity = 4;
   cfg.num_banks = 8;
+  cfg.mode = ConcurrencyMode::kShared;
   EventCounts events;
   CacheSim cache(cfg, events.AsCallbacks());
 
@@ -166,6 +169,89 @@ TEST(CacheSimTest, CountersExactUnderConcurrency) {
   EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kAccessesPerThread);
   EXPECT_EQ(cache.write_backs(), events.write_backs.load());
   EXPECT_EQ(cache.misses(), events.fills.load());
+}
+
+// --- Concurrency modes -------------------------------------------------------
+
+TEST(CacheSimTest, ModeIsConstructorSelected) {
+  CacheConfig cfg;
+  cfg.num_banks = 1;
+  CacheSim owner(cfg, {});  // kOwner is the config default
+  EXPECT_EQ(owner.mode(), ConcurrencyMode::kOwner);
+  cfg.mode = ConcurrencyMode::kShared;
+  CacheSim shared(cfg, {});
+  EXPECT_EQ(shared.mode(), ConcurrencyMode::kShared);
+}
+
+TEST(CacheSimTest, EnvForcesSharedMode) {
+  setenv("NVMDB_SHARED_CACHE", "1", 1);
+  CacheConfig cfg;
+  cfg.mode = ConcurrencyMode::kOwner;
+  CacheSim forced(cfg, {});
+  EXPECT_EQ(forced.mode(), ConcurrencyMode::kShared);
+  setenv("NVMDB_SHARED_CACHE", "0", 1);
+  CacheSim not_forced(cfg, {});
+  EXPECT_EQ(not_forced.mode(), ConcurrencyMode::kOwner);
+  unsetenv("NVMDB_SHARED_CACHE");
+  CacheSim unset(cfg, {});
+  EXPECT_EQ(unset.mode(), ConcurrencyMode::kOwner);
+}
+
+// Both modes run the identical cache model; only the synchronization
+// differs. A single-threaded trace must therefore produce the same
+// miss/flush return values, counters, and events in either mode.
+TEST(CacheSimTest, OwnerAndSharedModelIdentical) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 8 * 1024;
+  cfg.line_size = 64;
+  cfg.associativity = 2;
+  cfg.num_banks = 4;
+  EventCounts owner_events, shared_events;
+  cfg.mode = ConcurrencyMode::kOwner;
+  CacheSim owner(cfg, owner_events.AsCallbacks());
+  cfg.mode = ConcurrencyMode::kShared;
+  CacheSim shared(cfg, shared_events.AsCallbacks());
+
+  uint64_t x = 0x2545F4914F6CDD1Dull;
+  for (int i = 0; i < 20000; i++) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const uint64_t addr = x % (256 * 1024);
+    const size_t size = 1 + (x >> 32) % 200;
+    const bool flag = (x & 2) != 0;
+    if ((x % 10) < 8) {
+      EXPECT_EQ(owner.Access(addr, size, flag),
+                shared.Access(addr, size, flag));
+    } else {
+      EXPECT_EQ(owner.FlushRange(addr, size, flag),
+                shared.FlushRange(addr, size, flag));
+    }
+  }
+  EXPECT_EQ(owner.hits(), shared.hits());
+  EXPECT_EQ(owner.misses(), shared.misses());
+  EXPECT_EQ(owner.write_backs(), shared.write_backs());
+  EXPECT_EQ(owner_events.write_backs.load(), shared_events.write_backs.load());
+  EXPECT_EQ(owner_events.fills.load(), shared_events.fills.load());
+}
+
+// Satellite: cross-thread access to an owner-mode cache must be caught in
+// debug builds (the zero-synchronization fast path is only sound under
+// strict thread confinement). Release builds compile the check out; the
+// test skips there rather than exercising undefined behavior.
+TEST(CacheSimOwnerDeathTest, CrossThreadAccessAbortsInDebug) {
+  if (!CacheSim::kOwnerChecksEnabled) {
+    GTEST_SKIP() << "owner checks compiled out (NDEBUG)";
+  }
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  CacheConfig cfg;
+  cfg.num_banks = 1;
+  cfg.mode = ConcurrencyMode::kOwner;
+  CacheSim cache(cfg, {});
+  cache.Access(0, 8, false);  // this thread becomes the owner
+  EXPECT_DEATH(
+      std::thread([&cache] { cache.Access(64, 8, false); }).join(),
+      "owner-mode violation");
 }
 
 // --- NvmDevice ---------------------------------------------------------------
@@ -296,6 +382,57 @@ TEST_F(NvmDeviceTest, SyncLatencySweepAffectsStall) {
     costs[idx++] = device.TotalStallNanos() - before;
   }
   EXPECT_GT(costs[1], costs[0] * 50);
+}
+
+// The owner-mode device inlines a resident-hit fast path into Touch*;
+// the same traffic driven through an owner and a shared device must
+// produce bit-identical counters, stalls, and wear.
+TEST_F(NvmDeviceTest, OwnerTouchFastPathMatchesSharedMode) {
+  CacheConfig cache_cfg;
+  cache_cfg.capacity_bytes = 64 * 1024;
+  cache_cfg.mode = ConcurrencyMode::kOwner;
+  NvmDevice owner(1 << 20, NvmLatencyConfig::LowNvm(), cache_cfg);
+  cache_cfg.mode = ConcurrencyMode::kShared;
+  NvmDevice shared(1 << 20, NvmLatencyConfig::LowNvm(), cache_cfg);
+  ASSERT_EQ(owner.mode(), ConcurrencyMode::kOwner);
+  ASSERT_EQ(shared.mode(), ConcurrencyMode::kShared);
+
+  auto drive = [](NvmDevice& d) {
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 30000; i++) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      const uint64_t off = x % ((1 << 20) - 512);
+      const size_t n = 1 + (x >> 32) % 100;  // mostly single-line
+      switch (x % 5) {
+        case 0: d.TouchRead(d.PtrAt(off), n); break;
+        case 1: d.TouchWrite(d.PtrAt(off), n); break;
+        case 2:
+          d.TouchVirtual(reinterpret_cast<void*>((uint64_t{1} << 45) + off),
+                         n, (x & 2) != 0);
+          break;
+        case 3: d.Write(off, &x, 8); break;
+        default: d.Persist(off, n); break;
+      }
+    }
+  };
+  drive(owner);
+  drive(shared);
+
+  const NvmCounters a = owner.counters();
+  const NvmCounters b = shared.counters();
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.stores, b.stores);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.stall_ns, b.stall_ns);
+  EXPECT_EQ(a.sync_calls, b.sync_calls);
+  EXPECT_GT(a.hits, 0u);  // the fast path actually fired
+  const WearStats wa = owner.wear();
+  const WearStats wb = shared.wear();
+  EXPECT_EQ(wa.total_line_writes, wb.total_line_writes);
+  EXPECT_EQ(wa.max_line_writes, wb.max_line_writes);
+  EXPECT_EQ(wa.lines_touched, wb.lines_touched);
 }
 
 TEST_F(NvmDeviceTest, OffsetPointerRoundTrip) {
