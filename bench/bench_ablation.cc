@@ -25,6 +25,7 @@ namespace {
 struct SerialRun {
   double throughput = 0;
   LatencySummary latency;
+  StallBreakdown stalls;
   uint64_t committed = 0;
   uint64_t aborted = 0;
   uint64_t sim_ns = 0;
@@ -43,7 +44,13 @@ SerialRun RunYcsbSerial(EngineKind engine, const EngineConfig& overrides,
   ycfg.num_partitions = 1;
   ycfg.mixture = mixture;
   YcsbWorkload workload(ycfg);
-  if (!workload.Load(db.get()).ok()) return {};
+  Status s = workload.Load(db.get());
+  if (!s.ok()) {
+    // Propagate: a zeroed SerialRun would silently print a table of zeros
+    // while the bench still exited 0.
+    ReportFailure("YCSB load (ablation)", s);
+    return {};
+  }
 
   CounterSampler sampler(db->device());
   Coordinator coordinator(db.get());
@@ -54,6 +61,7 @@ SerialRun RunYcsbSerial(EngineKind engine, const EngineConfig& overrides,
   out.throughput = DeriveThroughput(result.committed, result.wall_ns,
                                     delta, NvmLatencyConfig::LowNvm(), 1);
   out.latency = result.latency;
+  out.stalls = delta.tags;
   out.committed = result.committed;
   out.aborted = result.aborted;
   out.sim_ns = delta.stall_ns;
@@ -67,6 +75,8 @@ BenchCell SerialCell(std::vector<std::pair<std::string, std::string>> key,
   cell.committed = run.committed;
   cell.aborted = run.aborted;
   cell.sim_ns = run.sim_ns;
+  cell.latency = run.latency;
+  cell.stalls = run.stalls;
   cell.metrics = {{"tps_low_nvm", run.throughput},
                   {"mean_resp_us", run.latency.mean_ns / 1000.0},
                   {"p99_resp_us", run.latency.p99_ns / 1000.0}};
@@ -187,5 +197,5 @@ int main() {
       "\nShape: small MemTables flush constantly (SSTable churn +\n"
       "compaction); large ones batch writes — the log-structured\n"
       "trade-off of Section 3.3.\n");
-  return 0;
+  return ExitStatus();
 }

@@ -90,5 +90,5 @@ int main() {
   }
   printf("\nPaper shape: allocator ~10-12x higher durable write bandwidth;\n"
          "gap widest for small sequential chunks (Section 2.3, Fig. 1).\n");
-  return 0;
+  return ExitStatus();
 }

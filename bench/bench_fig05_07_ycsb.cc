@@ -86,5 +86,5 @@ int main() {
       "\nPaper shape: NVM-aware > traditional (up to ~5.5x, write-heavy);\n"
       "skew helps via caching; higher latency narrows relative gaps\n"
       "(Sections 5.2, Figs. 5-7).\n");
-  return 0;
+  return ExitStatus();
 }

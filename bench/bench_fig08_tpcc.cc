@@ -48,5 +48,5 @@ int main() {
       "\nPaper shape: NVM-aware 1.8-2.1x traditional; NVM-CoW's speedup\n"
       "over CoW largest (write-intensive mix); NVM-InP best overall\n"
       "(Section 5.2, Fig. 8).\n");
-  return 0;
+  return ExitStatus();
 }

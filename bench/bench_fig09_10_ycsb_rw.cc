@@ -73,5 +73,5 @@ int main() {
       "\nPaper shape: Log most loads (coalescing); CoW most stores\n"
       "(page copies); NVM-aware engines fewer of both; high skew lowers\n"
       "loads via CPU-cache hits (Section 5.3, Figs. 9-10).\n");
-  return 0;
+  return ExitStatus();
 }

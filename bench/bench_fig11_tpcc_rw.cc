@@ -47,5 +47,5 @@ int main() {
   printf(
       "Paper shape: NVM-aware engines 31-42%% fewer stores; patterns match\n"
       "the YCSB write-heavy mixture (Section 5.3, Fig. 11).\n");
-  return 0;
+  return ExitStatus();
 }

@@ -44,7 +44,11 @@ uint64_t MeasureRecovery(EngineKind engine, uint64_t txns,
     ycfg.num_partitions = 1;
     ycfg.mixture = YcsbMixture::kBalanced;
     YcsbWorkload w(ycfg);
-    if (!w.Load(&db).ok()) return 0;
+    Status ls = w.Load(&db);
+    if (!ls.ok()) {
+      ReportFailure("YCSB load (recovery)", ls);
+      return 0;
+    }
     Coordinator(&db).Run(w.GenerateQueues());
   } else {
     TpccConfig tcfg;
@@ -54,7 +58,11 @@ uint64_t MeasureRecovery(EngineKind engine, uint64_t txns,
     tcfg.items = 500;
     tcfg.initial_orders_per_district = 100;
     TpccWorkload w(tcfg);
-    if (!w.Load(&db).ok()) return 0;
+    Status ls = w.Load(&db);
+    if (!ls.ok()) {
+      ReportFailure("TPC-C load (recovery)", ls);
+      return 0;
+    }
     Coordinator(&db).Run(w.GenerateQueues());
   }
 
@@ -83,7 +91,11 @@ uint64_t MeasureRecoveryAtEvent(EngineKind engine, uint64_t txns,
   ycfg.num_partitions = 1;
   ycfg.mixture = YcsbMixture::kBalanced;
   YcsbWorkload w(ycfg);
-  if (!w.Load(&db).ok()) return ~0ull;
+  Status ls = w.Load(&db);
+  if (!ls.ok()) {
+    ReportFailure("YCSB load (crash-point)", ls);
+    return ~0ull;
+  }
 
   CrashSim sim;
   db.device()->set_crash_sim(&sim);
@@ -171,5 +183,5 @@ int main(int argc, char** argv) {
       "\nPaper shape: InP/Log latency grows ~linearly with txn count;\n"
       "NVM-InP/NVM-Log flat (undo-only, < 1s); CoW/NVM-CoW near-zero (no\n"
       "recovery process) (Section 5.4, Fig. 12).\n");
-  return 0;
+  return ExitStatus();
 }

@@ -1,14 +1,16 @@
-/// Fig. 13 — Execution-time breakdown (storage / recovery / index / other)
-/// while running YCSB with low skew under the low-NVM-latency profile.
+/// Fig. 13 — Execution-time breakdown while running YCSB with low skew
+/// under the low-NVM-latency profile, now attributed per component on the
+/// simulated clock: wal / index / tuple / allocator / checkpoint /
+/// recovery / other (ScopedStallTag attribution inside the engines).
 ///
 /// The 24 (mixture, engine) cells run concurrently on the grid scheduler;
 /// the tables print after the barrier in grid order.
 ///
 /// Expected shape (paper): on write-heavy mixes the NVM-aware engines
-/// spend ~13–18% on recovery-related work vs up to ~33% for traditional
-/// ones; CoW engines spend relatively more on recovery even when read-
-/// heavy (dirty-directory maintenance); Log engines spend the most on
-/// index access (LSM lookups).
+/// spend ~13–18% on recovery-related (WAL) work vs up to ~33% for
+/// traditional ones; CoW engines spend relatively more on durability even
+/// when read-heavy (dirty-directory maintenance); Log engines spend the
+/// most on index access (LSM lookups).
 #include <cstdio>
 
 #include "bench_util.h"
@@ -35,14 +37,16 @@ int main() {
             CellFromRun({{"mixture", YcsbMixtureName(mixture)},
                          {"engine", EngineKindName(engine)}},
                         runs[idx], Scale().partitions);
-        const uint64_t total = runs[idx].breakdown.total();
-        const char* cats[4] = {"storage_pct", "recovery_pct", "index_pct",
-                               "other_pct"};
-        for (int c = 0; c < 4; c++) {
+        const StallBreakdown& tags = runs[idx].counters.tags;
+        const uint64_t total = tags.total();
+        for (size_t t = 0; t < kStallTagCount; t++) {
+          std::string slug = StallTagName(static_cast<StallTag>(t));
+          slug += "_pct";
           cell.metrics.emplace_back(
-              cats[c], total == 0
-                           ? 0.0
-                           : 100.0 * runs[idx].breakdown.ns[c] / total);
+              slug, total == 0
+                        ? 0.0
+                        : 100.0 * static_cast<double>(tags.ns[t]) /
+                              static_cast<double>(total));
         }
         return cell;
       });
@@ -54,22 +58,28 @@ int main() {
       "Fig. 13: execution-time breakdown (%), YCSB low skew, low latency");
   for (int m = 0; m < 4; m++) {
     printf("\n--- %s workload ---\n", YcsbMixtureName(mixtures[m]));
-    printf("%-10s %10s %10s %10s %10s\n", "engine", "storage", "recovery",
-           "index", "other");
+    printf("%-10s", "engine");
+    for (size_t t = 0; t < kStallTagCount; t++) {
+      printf(" %10s", StallTagName(static_cast<StallTag>(t)));
+    }
+    printf("\n");
     for (size_t e = 0; e < AllEngines().size(); e++) {
       const BenchRun& run = runs[m * AllEngines().size() + e];
-      const uint64_t total = run.breakdown.total();
+      const StallBreakdown& tags = run.counters.tags;
+      const uint64_t total = tags.total();
       printf("%-10s", EngineKindName(AllEngines()[e]));
-      for (int c = 0; c < 4; c++) {
-        printf("%9.1f%%", total == 0 ? 0.0
-                                     : 100.0 * run.breakdown.ns[c] / total);
+      for (size_t t = 0; t < kStallTagCount; t++) {
+        printf(" %9.1f%%",
+               total == 0 ? 0.0
+                          : 100.0 * static_cast<double>(tags.ns[t]) /
+                                static_cast<double>(total));
       }
       printf("\n");
     }
   }
   printf(
-      "\nPaper shape: recovery share grows with write intensity and is\n"
-      "much smaller for NVM-aware engines; Log engines index-heavy\n"
+      "\nPaper shape: WAL share grows with write intensity and is much\n"
+      "smaller for NVM-aware engines; Log engines index-heavy\n"
       "(Section 5.5, Fig. 13).\n");
-  return 0;
+  return ExitStatus();
 }

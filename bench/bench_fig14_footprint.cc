@@ -89,5 +89,5 @@ int main() {
       "\nPaper shape: NVM-aware engines 17-38%% smaller footprints;\n"
       "CoW inflated by page copies/cache; logs grow for InP/Log\n"
       "(Section 5.6, Fig. 14).\n");
-  return 0;
+  return ExitStatus();
 }

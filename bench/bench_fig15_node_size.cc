@@ -97,5 +97,5 @@ int main() {
   printf(
       "\nPaper shape: CoW pages — bigger helps reads, hurts writes\n"
       "(copy cost); STX nodes peak near 512 B (Appendix B, Fig. 15).\n");
-  return 0;
+  return ExitStatus();
 }

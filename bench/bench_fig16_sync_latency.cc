@@ -72,5 +72,5 @@ int main() {
   printf(
       "\nPaper shape: throughput falls with sync latency, most on\n"
       "write-heavy mixes; NVM-CoW least sensitive (Appendix C, Fig. 16).\n");
-  return 0;
+  return ExitStatus();
 }

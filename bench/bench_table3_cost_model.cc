@@ -150,5 +150,5 @@ int main() {
       "\nPaper shape: traditional engines duplicate data (multiples of T\n"
       "or B per op); NVM-aware engines write roughly one copy plus\n"
       "pointers — the basis of their 2x wear reduction (Appendix A).\n");
-  return 0;
+  return ExitStatus();
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -79,16 +80,35 @@ inline double DeriveThroughput(uint64_t committed, uint64_t wall_ns,
 
 /// Everything one workload execution produces.
 struct BenchRun {
+  bool ok = false;  // false => load or run failed; results are zeroed
   uint64_t committed = 0;
   uint64_t aborted = 0;
   uint64_t wall_ns = 0;       // measured (run) phase, host clock
   uint64_t load_wall_ns = 0;  // initial load phase, host clock
   CounterDelta counters;        // during the measured phase
   CounterDelta load_counters;   // during initial load
-  EngineTimeBreakdown breakdown;
+  LatencySummary latency;       // response latency on the simulated clock
   FootprintStats footprint;
   uint64_t recovery_ns = 0;     // only set by recovery benches
 };
+
+/// Process-wide benchmark failure flag. Workload helpers record failures
+/// here (as well as on stderr) so mains can exit non-zero instead of
+/// printing tables of silently zeroed cells.
+inline std::atomic<bool>& FailureFlag() {
+  static std::atomic<bool> failed{false};
+  return failed;
+}
+
+inline void ReportFailure(const char* what, const Status& s) {
+  fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+  FailureFlag().store(true, std::memory_order_relaxed);
+}
+
+/// Return value for bench mains: non-zero if any cell's workload failed.
+inline int ExitStatus() {
+  return FailureFlag().load(std::memory_order_relaxed) ? 1 : 0;
+}
 
 inline DatabaseConfig MakeDbConfig(EngineKind engine) {
   DatabaseConfig cfg;
@@ -136,14 +156,11 @@ inline BenchRun RunYcsb(EngineKind engine, YcsbMixture mixture,
     CounterSampler sampler(db->device());
     Status s = workload.Load(db.get());
     if (!s.ok()) {
-      fprintf(stderr, "YCSB load failed: %s\n", s.ToString().c_str());
+      ReportFailure("YCSB load", s);
       return run;
     }
     run.load_counters = sampler.Delta();
     run.load_wall_ns = load_watch.ElapsedNanos();
-  }
-  for (size_t p = 0; p < db->num_partitions(); p++) {
-    db->partition(p)->ResetTimeBreakdown();
   }
 
   Coordinator coordinator(db.get());
@@ -153,11 +170,9 @@ inline BenchRun RunYcsb(EngineKind engine, YcsbMixture mixture,
   run.committed = result.committed;
   run.aborted = result.aborted;
   run.wall_ns = result.wall_ns;
-  for (size_t p = 0; p < db->num_partitions(); p++) {
-    const EngineTimeBreakdown& b = db->partition(p)->time_breakdown();
-    for (size_t i = 0; i < 4; i++) run.breakdown.ns[i] += b.ns[i];
-  }
+  run.latency = result.latency;
   run.footprint = db->Footprint();
+  run.ok = true;
   return run;
 }
 
@@ -182,14 +197,11 @@ inline BenchRun RunTpcc(EngineKind engine) {
     CounterSampler sampler(db->device());
     Status s = workload.Load(db.get());
     if (!s.ok()) {
-      fprintf(stderr, "TPC-C load failed: %s\n", s.ToString().c_str());
+      ReportFailure("TPC-C load", s);
       return run;
     }
     run.load_counters = sampler.Delta();
     run.load_wall_ns = load_watch.ElapsedNanos();
-  }
-  for (size_t p = 0; p < db->num_partitions(); p++) {
-    db->partition(p)->ResetTimeBreakdown();
   }
   Coordinator coordinator(db.get());
   CounterSampler sampler(db->device());
@@ -198,11 +210,9 @@ inline BenchRun RunTpcc(EngineKind engine) {
   run.committed = result.committed;
   run.aborted = result.aborted;
   run.wall_ns = result.wall_ns;
-  for (size_t p = 0; p < db->num_partitions(); p++) {
-    const EngineTimeBreakdown& b = db->partition(p)->time_breakdown();
-    for (size_t i = 0; i < 4; i++) run.breakdown.ns[i] += b.ns[i];
-  }
+  run.latency = result.latency;
   run.footprint = db->Footprint();
+  run.ok = true;
   return run;
 }
 
@@ -258,6 +268,8 @@ inline BenchCell CellFromRun(
   cell.sim_ns = run.load_counters.stall_ns + run.counters.stall_ns;
   cell.load_ns = run.load_wall_ns;
   cell.run_ns = run.wall_ns;
+  cell.latency = run.latency;
+  cell.stalls = run.counters.tags;
   const char* slugs[3] = {"tps_dram", "tps_low_nvm", "tps_high_nvm"};
   const auto latencies = PaperLatencies();
   for (size_t i = 0; i < latencies.size() && i < 3; i++) {

@@ -31,7 +31,11 @@ WearRun MeasureWear(EngineKind engine, YcsbMixture mixture) {
   ycfg.num_partitions = cfg.num_partitions;
   ycfg.mixture = mixture;
   YcsbWorkload workload(ycfg);
-  if (!workload.Load(db.get()).ok()) return {};
+  Status ls = workload.Load(db.get());
+  if (!ls.ok()) {
+    ReportFailure("YCSB load (wear)", ls);
+    return {};
+  }
   const WearStats before = db->device()->wear();
   const uint64_t stall_before = db->device()->TotalStallNanos();
   const RunResult result = Coordinator(db.get()).Run(workload.GenerateQueues());
@@ -112,5 +116,5 @@ int main() {
       "metadata line that device-level wear leveling (or anchor rotation)\n"
       "must absorb; bulk data wear is spread by the allocator's rotating\n"
       "placement.\n");
-  return 0;
+  return ExitStatus();
 }

@@ -13,6 +13,14 @@ any non-empty diff is a model divergence and fails the job.
 Excluded as host-dependent: jobs, wall_ns, load_ns, run_ns,
 sim_wall_ratio, total_wall_ns, total_sim_wall_ratio.
 
+Everything else is model output and *stays in the digest* — notably the
+per-cell "latency" object (histogram-derived response-time percentiles
+on the simulated clock; integer bucket lower bounds) and the "stalls"
+object (per-component stall attribution in integer nanoseconds). Both
+are bit-identical across owner/shared modes and job counts by
+construction, so a divergence in either fails the CI diff just like a
+counter drift would.
+
 Usage:
   scripts/bench_model_digest.py [--dir DIR] [--out FILE]
 

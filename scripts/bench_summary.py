@@ -20,8 +20,17 @@ plotting or regression-tracking pipeline can append per commit:
     "jobs": {"fig08_tpcc": 8, ...},
     "wall_ns": {"fig08_tpcc": ..., ...},   # per-bench harness cost
     "tps_low_nvm": {"fig05_07_ycsb/read-only low InP": 117153.0, ...},
+    "latency_p50_ns": {"fig05_07_ycsb/read-only low InP": 1536, ...},
+    "latency_p99_ns": {...}, "latency_p999_ns": {...},
+    "stalls_ns": {"wal": ..., "index": ..., ...},  # suite-wide per tag
     ...
   }
+
+Latency percentiles come from each cell's "latency" object (simulated
+clock, histogram bucket lower bounds — see common/histogram.h); cells
+without a transaction run (count == 0, e.g. microbenchmarks) are
+omitted. "stalls_ns" sums each cell's per-component stall attribution
+("stalls" object) across the whole suite.
 
 With --baseline DIR (a directory of BENCH_*.json from another build, e.g.
 main before a simulator change) the row also carries wall_speedup:
@@ -71,6 +80,9 @@ def summarize(reports, metric_names):
         "wall_ns": {},
     }
     metrics = {name: {} for name in metric_names}
+    latency_cols = {"latency_p50_ns": {}, "latency_p99_ns": {},
+                    "latency_p999_ns": {}}
+    stalls_total = {}
     for report in reports:
         bench = report.get("bench", "?")
         row["jobs"][bench] = report.get("jobs", 0)
@@ -83,10 +95,25 @@ def summarize(reports, metric_names):
             row["aborted"] += cell.get("aborted", 0)
             row["total_load_ns"] += cell.get("load_ns", 0)
             row["total_run_ns"] += cell.get("run_ns", 0)
+            latency = cell.get("latency", {})
+            if latency.get("count", 0) > 0:
+                label = f"{bench}/{cell_label(cell)}"
+                for pct in ("p50", "p99", "p999"):
+                    latency_cols[f"latency_{pct}_ns"][label] = latency.get(
+                        f"{pct}_ns", 0
+                    )
+            for key, value in cell.get("stalls", {}).items():
+                tag = key[:-3] if key.endswith("_ns") else key
+                stalls_total[tag] = stalls_total.get(tag, 0) + value
             for name in metric_names:
                 value = cell.get("metrics", {}).get(name)
                 if value is not None:
                     metrics[name][f"{bench}/{cell_label(cell)}"] = value
+    for name, values in latency_cols.items():
+        if values:
+            row[name] = values
+    if stalls_total:
+        row["stalls_ns"] = stalls_total
     row["sim_wall_ratio"] = (
         row["total_sim_ns"] / row["total_wall_ns"]
         if row["total_wall_ns"]

@@ -1,0 +1,39 @@
+#include "common/histogram.h"
+
+namespace nvmdb {
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+uint64_t LatencyHistogram::Percentile(double pct) const {
+  if (count_ == 0) return 0;
+  const uint64_t hundredths =
+      static_cast<uint64_t>(pct * 100.0 + 0.5);  // p99.9 -> 9990
+  uint64_t rank = (hundredths * count_ + 9999) / 10000;  // ceil
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    seen += buckets_[i];
+    if (seen >= rank) return BucketLowerBound(i);
+  }
+  return BucketLowerBound(kNumBuckets - 1);
+}
+
+LatencySummary LatencyHistogram::Summarize() const {
+  LatencySummary s;
+  s.count = count_;
+  s.mean_ns = Mean();
+  s.p50_ns = Percentile(50.0);
+  s.p95_ns = Percentile(95.0);
+  s.p99_ns = Percentile(99.0);
+  s.p999_ns = Percentile(99.9);
+  s.max_ns = max_;
+  return s;
+}
+
+}  // namespace nvmdb

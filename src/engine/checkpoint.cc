@@ -4,11 +4,15 @@
 
 #include "common/compress.h"
 #include "common/crc32.h"
+#include "common/trace.h"
+#include "nvm/stall_tag.h"
 
 namespace nvmdb {
 
 Status WriteCheckpoint(Pmfs* fs, const std::string& file_name,
                        const std::string& payload) {
+  ScopedStallTag tag(StallTag::kCheckpoint);
+  const uint64_t trace_start = fs->device()->TotalStallNanos();
   const std::string compressed = LzCompress(payload);
   std::string out;
   const uint32_t crc = Crc32c(compressed.data(), compressed.size());
@@ -35,6 +39,11 @@ Status WriteCheckpoint(Pmfs* fs, const std::string& file_name,
   if (s.ok()) s = fs->Fsync(fd);
   fs->Close(fd);
   fs->Delete(tmp);
+  if (TraceWriter* trace = NvmEnv::Trace()) {
+    const uint64_t now = fs->device()->TotalStallNanos();
+    trace->Span("checkpoint_write", "checkpoint", trace_start,
+                now - trace_start, 0);
+  }
   return s;
 }
 

@@ -93,7 +93,7 @@ Status CowEngine::Insert(uint64_t txn_id, uint32_t table_id,
   const uint64_t pk = tuple.Key();
   const uint64_t gkey = GlobalKey(table_id, 0, pk);
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (tree_->Get(gkey, nullptr)) {
       return Status::InvalidArgument("duplicate key");
     }
@@ -105,7 +105,7 @@ Status CowEngine::Insert(uint64_t txn_id, uint32_t table_id,
     return Status::InvalidArgument("tuple larger than CoW page");
   }
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     JournalPut(gkey);
     if (!tree_->Put(gkey, Slice(value))) {
       return Status::OutOfSpace("cow put");
@@ -124,7 +124,7 @@ Status CowEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   const uint64_t gkey = GlobalKey(table_id, 0, key);
   std::string old_value;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (!tree_->Get(gkey, &old_value)) return Status::NotFound();
   }
 
@@ -141,7 +141,7 @@ Status CowEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   if (!status.ok()) return status;
 
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     JournalPut(gkey);
     if (!tree_->Put(gkey, Slice(new_value))) {
       return Status::OutOfSpace("cow put");
@@ -172,12 +172,12 @@ Status CowEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
   const uint64_t gkey = GlobalKey(table_id, 0, key);
   std::string old_value;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (!tree_->Get(gkey, &old_value)) return Status::NotFound();
   }
   Tuple old_tuple = DecodeTupleValue(table_id, Slice(old_value));
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     JournalPut(gkey);
     tree_->Delete(gkey);
     OnValueReplaced(table_id, old_value);
@@ -193,7 +193,7 @@ Status CowEngine::Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
   if (table == nullptr) return Status::InvalidArgument("no such table");
   std::string value;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     // Every lookup fetches the master record and walks the current
     // directory (Section 5.2's explanation of CoW's read overhead).
     if (!tree_->Get(GlobalKey(table_id, 0, key), &value)) {
@@ -210,7 +210,7 @@ Status CowEngine::ScanRange(
   (void)txn_id;
   TableInfo* table = GetTable(table_id);
   if (table == nullptr) return Status::InvalidArgument("no such table");
-  ScopedTimer t(this, TimeCategory::kIndex);
+  ScopedStallTag t(StallTag::kIndex);
   tree_->Scan(GlobalKey(table_id, 0, lo), GlobalKey(table_id, 0, hi),
               [&](uint64_t gkey, const Slice& value) {
                 return fn(LocalKey(gkey),
@@ -231,7 +231,7 @@ Status CowEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
 
   std::vector<uint64_t> pks;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     tree_->Scan(GlobalKey(table_id, index_id + 1, SecComposite56Lo(h)),
                 GlobalKey(table_id, index_id + 1, SecComposite56Hi(h)),
                 [&pks](uint64_t, const Slice& value) {
@@ -250,7 +250,7 @@ Status CowEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
 }
 
 void CowEngine::FlushBatch() {
-  ScopedTimer t(this, TimeCategory::kRecovery);
+  ScopedStallTag t(StallTag::kWal);
   OnBatchFlush();
   tree_->Commit();
   OnBatchFlushed();
@@ -272,7 +272,7 @@ Status CowEngine::Commit(uint64_t txn_id) {
 
 Status CowEngine::Abort(uint64_t txn_id) {
   (void)txn_id;
-  ScopedTimer t(this, TimeCategory::kIndex);
+  ScopedStallTag t(StallTag::kIndex);
   // Undo only this transaction inside the shared dirty directory.
   for (auto it = txn_journal_.rbegin(); it != txn_journal_.rend(); ++it) {
     if (it->had_value) {
@@ -293,7 +293,7 @@ Status CowEngine::Checkpoint() {
 }
 
 Status CowEngine::Recover() {
-  ScopedTimer t(this, TimeCategory::kRecovery);
+  ScopedStallTag t(StallTag::kRecovery);
   // No recovery process (Section 3.2): the master record points at the
   // consistent current directory. The previous dirty directory's pages are
   // garbage collected.

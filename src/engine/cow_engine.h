@@ -43,6 +43,11 @@ class CowEngine : public StorageEngine {
   Status Recover() override;
   /// Forces the pending group commit to storage.
   Status Checkpoint() override;
+  /// Flush only a non-empty pending batch (the CoW group commit).
+  Status ForceDurable() override {
+    if (txns_in_batch_ > 0) FlushBatch();
+    return Status::OK();
+  }
   FootprintStats Footprint() const override;
   FootprintStats VolatileFootprint() const override {
     FootprintStats stats;

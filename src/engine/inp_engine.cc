@@ -77,7 +77,7 @@ Status InPEngine::Insert(uint64_t txn_id, uint32_t table_id,
   if (table == nullptr) return Status::InvalidArgument("no such table");
   const uint64_t key = tuple.Key();
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (table->primary->Contains(key)) {
       return Status::InvalidArgument("duplicate key");
     }
@@ -85,7 +85,7 @@ Status InPEngine::Insert(uint64_t txn_id, uint32_t table_id,
 
   {
     // WAL first: the after image is everything redo needs.
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     LogRecord record;
     record.op = LogOp::kInsert;
     record.txn_id = txn_id;
@@ -97,12 +97,12 @@ Status InPEngine::Insert(uint64_t txn_id, uint32_t table_id,
 
   uint64_t slot;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     slot = table->heap->Insert(tuple);
     if (slot == 0) return Status::OutOfSpace("table heap");
   }
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->primary->Insert(key, slot);
     AddSecondaryEntries(table, tuple, key);
   }
@@ -116,7 +116,7 @@ Status InPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   if (table == nullptr) return Status::InvalidArgument("no such table");
   uint64_t slot = 0;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
 
@@ -125,7 +125,7 @@ Status InPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   bool touches_secondary = false;
   Tuple old_tuple;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     for (const ColumnUpdate& u : updates) {
       ColumnUpdate b;
       b.column = u.column;
@@ -146,7 +146,7 @@ Status InPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   }
 
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     LogRecord record;
     record.op = LogOp::kUpdate;
     record.txn_id = txn_id;
@@ -163,13 +163,13 @@ Status InPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   action.key = key;
   action.slot = slot;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     Status s = table->heap->Update(slot, updates, &action.undo,
                                    &commit_free_varlen_);
     if (!s.ok()) return s;
   }
   if (touches_secondary) {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     Tuple new_tuple = old_tuple;
     ApplyUpdates(&new_tuple, updates);
     RemoveSecondaryEntries(table, old_tuple, key);
@@ -184,16 +184,16 @@ Status InPEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
   if (table == nullptr) return Status::InvalidArgument("no such table");
   uint64_t slot = 0;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
   Tuple old_tuple;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     old_tuple = table->heap->Read(slot);
   }
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     LogRecord record;
     record.op = LogOp::kDelete;
     record.txn_id = txn_id;
@@ -203,7 +203,7 @@ Status InPEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
     wal_->Append(record);
   }
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->primary->Erase(key);
     RemoveSecondaryEntries(table, old_tuple, key);
   }
@@ -220,10 +220,10 @@ Status InPEngine::Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
   if (table == nullptr) return Status::InvalidArgument("no such table");
   uint64_t slot = 0;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
-  ScopedTimer t(this, TimeCategory::kStorage);
+  ScopedStallTag t(StallTag::kTuple);
   *out = table->heap->Read(slot);
   return Status::OK();
 }
@@ -234,7 +234,7 @@ Status InPEngine::ScanRange(
   (void)txn_id;
   Table* table = GetTable(table_id);
   if (table == nullptr) return Status::InvalidArgument("no such table");
-  ScopedTimer t(this, TimeCategory::kIndex);
+  ScopedStallTag t(StallTag::kIndex);
   table->primary->Scan(lo, hi, [&](uint64_t key, const uint64_t& slot) {
     return fn(key, table->heap->Read(slot));
   });
@@ -260,7 +260,7 @@ Status InPEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
 
   std::vector<uint64_t> pks;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     sec_it->second->Scan(SecondaryRangeLo(h), SecondaryRangeHi(h),
                          [&pks](uint64_t, const uint64_t& pk) {
                            pks.push_back(pk);
@@ -278,11 +278,11 @@ Status InPEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
 
 Status InPEngine::Commit(uint64_t txn_id) {
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     wal_->LogCommit(txn_id);
   }
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     for (const TxnAction& action : txn_actions_) {
       if (action.op == LogOp::kDelete) {
         GetTable(action.table_id)->heap->Free(action.slot);
@@ -308,7 +308,7 @@ Status InPEngine::Commit(uint64_t txn_id) {
 
 Status InPEngine::Abort(uint64_t txn_id) {
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     LogRecord record;
     record.op = LogOp::kAbort;
     record.txn_id = txn_id;
@@ -437,7 +437,7 @@ void InPEngine::LoadDatabase(const std::string& payload) {
 }
 
 Status InPEngine::Checkpoint() {
-  ScopedTimer timer(this, TimeCategory::kRecovery);
+  ScopedStallTag timer(StallTag::kCheckpoint);
   // Sharp checkpoint: the engine is quiescent between transactions.
   Status s = wal_->Flush();
   if (!s.ok()) return s;
@@ -449,7 +449,7 @@ Status InPEngine::Checkpoint() {
 }
 
 Status InPEngine::Recover() {
-  ScopedTimer timer(this, TimeCategory::kRecovery);
+  ScopedStallTag timer(StallTag::kRecovery);
   // Load the last checkpoint, then replay committed transactions from the
   // WAL. Indexes are rebuilt from scratch along the way (Section 3.1).
   std::string payload;

@@ -42,6 +42,8 @@ class InPEngine : public StorageEngine {
                          std::vector<Tuple>* out) override;
   Status Recover() override;
   Status Checkpoint() override;
+  /// Flush only the pending commit group; no checkpoint, no truncation.
+  Status ForceDurable() override { return wal_->Flush(); }
   FootprintStats Footprint() const override;
   FootprintStats VolatileFootprint() const override;
 

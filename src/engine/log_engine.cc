@@ -47,13 +47,13 @@ bool LogEngine::GetTuple(Table* table, uint64_t key, Tuple* out) {
   // from the LSM runs, stopping at the first conclusive record.
   std::vector<DeltaRecord> records;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->mem->Collect(key, &records);
   }
   const bool concluded =
       !records.empty() && records.back().kind != DeltaKind::kDelta;
   if (!concluded) {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     table->lsm->Collect(key, &records);
   }
   return MaterializeNewestFirst(table->def.schema, records, out);
@@ -73,7 +73,7 @@ Status LogEngine::Insert(uint64_t txn_id, uint32_t table_id,
 
   const std::string serialized = tuple.SerializeInlined();
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     LogRecord record;
     record.op = LogOp::kInsert;
     record.txn_id = txn_id;
@@ -86,12 +86,12 @@ Status LogEngine::Insert(uint64_t txn_id, uint32_t table_id,
   action.table_id = table_id;
   action.key = key;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     action.record_off =
         table->mem->Push(key, DeltaKind::kFull, Slice(serialized));
   }
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     for (const auto& sec : table->def.secondary_indexes) {
       const uint64_t comp =
           SecondaryComposite(SecondaryKeyHash(tuple, sec), key);
@@ -122,7 +122,7 @@ Status LogEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
 
   const std::string delta = EncodeUpdates(table->def.schema, updates);
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     LogRecord record;
     record.op = LogOp::kUpdate;
     record.txn_id = txn_id;
@@ -136,12 +136,12 @@ Status LogEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   action.table_id = table_id;
   action.key = key;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     action.record_off = table->mem->Push(key, DeltaKind::kDelta,
                                          Slice(delta));
   }
   if (touches_secondary) {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     Tuple new_tuple = old_tuple;
     ApplyUpdates(&new_tuple, updates);
     for (const auto& sec : table->def.secondary_indexes) {
@@ -167,7 +167,7 @@ Status LogEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
   if (!GetTuple(table, key, &old_tuple)) return Status::NotFound();
 
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     LogRecord record;
     record.op = LogOp::kDelete;
     record.txn_id = txn_id;
@@ -180,13 +180,13 @@ Status LogEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
   action.table_id = table_id;
   action.key = key;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     // Tombstone marker in the MemTable (Table 2).
     action.record_off =
         table->mem->Push(key, DeltaKind::kTombstone, Slice());
   }
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     for (const auto& sec : table->def.secondary_indexes) {
       const uint64_t comp =
           SecondaryComposite(SecondaryKeyHash(old_tuple, sec), key);
@@ -215,7 +215,7 @@ Status LogEngine::ScanRange(
   if (table == nullptr) return Status::InvalidArgument("no such table");
   std::vector<uint64_t> keys;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->mem->CollectKeysInRange(lo, hi, &keys);
     table->lsm->CollectKeysInRange(lo, hi, &keys);
     std::sort(keys.begin(), keys.end());
@@ -247,7 +247,7 @@ Status LogEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
   const uint64_t h = SecondaryKeyHash(table->def.schema, *def, key_values);
   std::vector<uint64_t> pks;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     sec_it->second->Scan(SecondaryRangeLo(h), SecondaryRangeHi(h),
                          [&pks](uint64_t, const uint64_t& pk) {
                            pks.push_back(pk);
@@ -263,7 +263,7 @@ Status LogEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
 }
 
 void LogEngine::FlushAllMemTables() {
-  ScopedTimer t(this, TimeCategory::kStorage);
+  ScopedStallTag t(StallTag::kCheckpoint);
   for (auto& [table_id, table] : tables_) {
     (void)table_id;
     if (table.mem->KeyCount() == 0) continue;
@@ -287,7 +287,7 @@ void LogEngine::FlushAllMemTables() {
 
 Status LogEngine::Commit(uint64_t txn_id) {
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     wal_->LogCommit(txn_id);
   }
   txn_actions_.clear();
@@ -301,7 +301,7 @@ Status LogEngine::Commit(uint64_t txn_id) {
 
 Status LogEngine::Abort(uint64_t txn_id) {
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     LogRecord record;
     record.op = LogOp::kAbort;
     record.txn_id = txn_id;
@@ -357,7 +357,7 @@ void LogEngine::RebuildSecondaryIndexes() {
 }
 
 Status LogEngine::Recover() {
-  ScopedTimer timer(this, TimeCategory::kRecovery);
+  ScopedStallTag timer(StallTag::kRecovery);
   // Re-open the SSTables, then rebuild the MemTable from the WAL: replay
   // committed transactions only (Section 3.3's recovery).
   for (auto& [id, table] : tables_) {

@@ -44,6 +44,8 @@ class LogEngine : public StorageEngine {
   Status Recover() override;
   /// Force-flush all MemTables to SSTables and truncate the WAL.
   Status Checkpoint() override;
+  /// Flush only the pending commit group; memtables stay in place.
+  Status ForceDurable() override { return wal_->Flush(); }
   FootprintStats Footprint() const override;
   FootprintStats VolatileFootprint() const override;
 

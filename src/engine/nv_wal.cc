@@ -25,6 +25,7 @@ uint64_t NvWal::head() const {
 }
 
 uint64_t NvWal::Push(const void* payload, size_t n) {
+  ScopedStallTag tag(StallTag::kWal);
   // sync_header=false: PersistPayloadAndMark below covers the header.
   const uint64_t entry_off = allocator_->Alloc(
       sizeof(EntryHeader) + n, StorageTag::kLog, /*sync_header=*/false);
@@ -66,6 +67,7 @@ void NvWal::ForEach(
 }
 
 void NvWal::Clear() {
+  ScopedStallTag tag(StallTag::kWal);
   // Truncation uses the volatile mirror of the entry list when available
   // (steady state), avoiding NVM re-reads of entries that were just
   // flushed out of the cache by their own persists. After a restart the

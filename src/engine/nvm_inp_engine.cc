@@ -94,7 +94,7 @@ Status NvmInPEngine::Insert(uint64_t txn_id, uint32_t table_id,
   if (table == nullptr) return Status::InvalidArgument("no such table");
   const uint64_t key = tuple.Key();
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (table->primary->Contains(key)) {
       return Status::InvalidArgument("duplicate key");
     }
@@ -104,12 +104,12 @@ Status NvmInPEngine::Insert(uint64_t txn_id, uint32_t table_id,
   // log entry -> mark tuple state persisted -> add index entries.
   uint64_t slot;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     slot = table->heap->Insert(tuple, /*defer_mark=*/true);
     if (slot == 0) return Status::OutOfSpace("table heap");
   }
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     const std::string entry = EncodeUndo(
         static_cast<uint8_t>(LogOp::kInsert), table_id, key, slot, {});
     wal_->Push(entry.data(), entry.size());
@@ -117,11 +117,11 @@ Status NvmInPEngine::Insert(uint64_t txn_id, uint32_t table_id,
   {
     // Tuple payloads + slot states become durable only now, after the WAL
     // entry referencing them (Table 2's ordering), one sync per slot.
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     table->heap->PersistTuple(slot);
   }
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->primary->Insert(key, slot);
     AddSecondaryEntries(table, tuple, key);
   }
@@ -135,7 +135,7 @@ Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   if (table == nullptr) return Status::InvalidArgument("no such table");
   uint64_t slot = 0;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
 
@@ -154,7 +154,7 @@ Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   std::vector<UndoField> fields;
   std::vector<uint64_t> new_words(updates.size());
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     for (size_t i = 0; i < updates.size(); i++) {
       const ColumnUpdate& u = updates[i];
       const Column& col = table->def.schema.column(u.column);
@@ -182,7 +182,7 @@ Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   // Phase 2: durable undo entry (field before-values + pointers only —
   // Table 3's F + p bytes, not 2*(F+V) like the traditional engine).
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     const std::string entry = EncodeUndo(
         static_cast<uint8_t>(LogOp::kUpdate), table_id, key, slot, fields);
     wal_->Push(entry.data(), entry.size());
@@ -190,7 +190,7 @@ Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
 
   // Phase 3: apply in place; one sync covers the whole modified span.
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     size_t min_col = updates[0].column, max_col = updates[0].column;
     for (size_t i = 0; i < updates.size(); i++) {
       table->heap->WriteFieldRaw(slot, updates[i].column, new_words[i],
@@ -205,7 +205,7 @@ Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   }
 
   if (touches_secondary) {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     Tuple new_tuple = old_tuple;
     ApplyUpdates(&new_tuple, updates);
     RemoveSecondaryEntries(table, old_tuple, key);
@@ -221,18 +221,18 @@ Status NvmInPEngine::Delete(uint64_t txn_id, uint32_t table_id,
   if (table == nullptr) return Status::InvalidArgument("no such table");
   uint64_t slot = 0;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     const std::string entry = EncodeUndo(
         static_cast<uint8_t>(LogOp::kDelete), table_id, key, slot, {});
     wal_->Push(entry.data(), entry.size());
   }
   Tuple old_tuple = table->heap->Read(slot);
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->primary->Erase(key);
     RemoveSecondaryEntries(table, old_tuple, key);
   }
@@ -248,10 +248,10 @@ Status NvmInPEngine::Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
   if (table == nullptr) return Status::InvalidArgument("no such table");
   uint64_t slot = 0;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
-  ScopedTimer t(this, TimeCategory::kStorage);
+  ScopedStallTag t(StallTag::kTuple);
   *out = table->heap->Read(slot);
   return Status::OK();
 }
@@ -262,7 +262,7 @@ Status NvmInPEngine::ScanRange(
   (void)txn_id;
   Table* table = GetTable(table_id);
   if (table == nullptr) return Status::InvalidArgument("no such table");
-  ScopedTimer t(this, TimeCategory::kIndex);
+  ScopedStallTag t(StallTag::kIndex);
   table->primary->Scan(lo, hi, [&](uint64_t key, uint64_t slot) {
     return fn(key, table->heap->Read(slot));
   });
@@ -287,7 +287,7 @@ Status NvmInPEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
   const uint64_t h = SecondaryKeyHash(table->def.schema, *def, key_values);
   std::vector<uint64_t> pks;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     sec_it->second->Scan(SecondaryRangeLo(h), SecondaryRangeHi(h),
                          [&pks](uint64_t, uint64_t pk) {
                            pks.push_back(pk);
@@ -304,7 +304,7 @@ Status NvmInPEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
 }
 
 Status NvmInPEngine::Commit(uint64_t txn_id) {
-  ScopedTimer t(this, TimeCategory::kRecovery);
+  ScopedStallTag t(StallTag::kWal);
   // Everything the transaction wrote is already persisted in place;
   // committing truncates the undo log, then reclaims deferred space.
   // (Truncate-first: undoing against freed slots would corrupt; the
@@ -325,7 +325,7 @@ Status NvmInPEngine::Commit(uint64_t txn_id) {
 
 Status NvmInPEngine::Abort(uint64_t txn_id) {
   (void)txn_id;
-  ScopedTimer t(this, TimeCategory::kRecovery);
+  ScopedStallTag t(StallTag::kWal);
   wal_->ForEach([this](const uint8_t* payload, size_t size) {
     UndoOne(payload, size);
   });
@@ -421,7 +421,7 @@ void NvmInPEngine::UndoOne(const uint8_t* payload, size_t size) {
 }
 
 Status NvmInPEngine::Recover() {
-  ScopedTimer t(this, TimeCategory::kRecovery);
+  ScopedStallTag t(StallTag::kRecovery);
   // Undo-only: roll back whatever the in-flight transaction left behind.
   // No redo pass and no index rebuild (Section 4.1).
   wal_->ForEach([this](const uint8_t* payload, size_t size) {

@@ -306,7 +306,7 @@ Status NvmLogEngine::Insert(uint64_t txn_id, uint32_t table_id,
   const std::string serialized = tuple.SerializeInlined();
   uint64_t record_off;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     record_off = table->mutable_mem->PrepareRecord(key, DeltaKind::kFull,
                                                    Slice(serialized));
   }
@@ -317,14 +317,14 @@ Status NvmLogEngine::Insert(uint64_t txn_id, uint32_t table_id,
          SecondaryComposite(SecondaryKeyHash(tuple, sec), key)});
   }
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     const std::string entry =
         EncodeUndo(static_cast<uint8_t>(LogOp::kInsert), table_id, key,
                    record_off, added, {});
     wal_->Push(entry.data(), entry.size());
   }
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->mutable_mem->CommitRecord(key, record_off);
     for (const SecRef& r : added) {
       table->secondaries[r.index_id]->Insert(r.composite, key);
@@ -371,19 +371,19 @@ Status NvmLogEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   const std::string delta = EncodeUpdates(table->def.schema, updates);
   uint64_t record_off;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     record_off = table->mutable_mem->PrepareRecord(key, DeltaKind::kDelta,
                                                    Slice(delta));
   }
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     const std::string entry =
         EncodeUndo(static_cast<uint8_t>(LogOp::kUpdate), table_id, key,
                    record_off, added, removed);
     wal_->Push(entry.data(), entry.size());
   }
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->mutable_mem->CommitRecord(key, record_off);
     for (const SecRef& r : removed) {
       table->secondaries[r.index_id]->Erase(r.composite);
@@ -411,19 +411,19 @@ Status NvmLogEngine::Delete(uint64_t txn_id, uint32_t table_id,
   }
   uint64_t record_off;
   {
-    ScopedTimer t(this, TimeCategory::kStorage);
+    ScopedStallTag t(StallTag::kTuple);
     record_off = table->mutable_mem->PrepareRecord(
         key, DeltaKind::kTombstone, Slice());
   }
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     const std::string entry =
         EncodeUndo(static_cast<uint8_t>(LogOp::kDelete), table_id, key,
                    record_off, {}, removed);
     wal_->Push(entry.data(), entry.size());
   }
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->mutable_mem->CommitRecord(key, record_off);
     for (const SecRef& r : removed) {
       table->secondaries[r.index_id]->Erase(r.composite);
@@ -437,7 +437,7 @@ Status NvmLogEngine::Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
   (void)txn_id;
   Table* table = GetTable(table_id);
   if (table == nullptr) return Status::InvalidArgument("no such table");
-  ScopedTimer t(this, TimeCategory::kIndex);
+  ScopedStallTag t(StallTag::kIndex);
   if (!GetTuple(table, key, out)) return Status::NotFound();
   return Status::OK();
 }
@@ -450,7 +450,7 @@ Status NvmLogEngine::ScanRange(
   if (table == nullptr) return Status::InvalidArgument("no such table");
   std::vector<uint64_t> keys;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     table->mutable_mem->CollectKeysInRange(lo, hi, &keys);
     for (const auto& mem : table->immutables) {
       mem->CollectKeysInRange(lo, hi, &keys);
@@ -484,7 +484,7 @@ Status NvmLogEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
   const uint64_t h = SecondaryKeyHash(table->def.schema, *def, key_values);
   std::vector<uint64_t> pks;
   {
-    ScopedTimer t(this, TimeCategory::kIndex);
+    ScopedStallTag t(StallTag::kIndex);
     sec_it->second->Scan(SecondaryRangeLo(h), SecondaryRangeHi(h),
                          [&pks](uint64_t, uint64_t pk) {
                            pks.push_back(pk);
@@ -500,7 +500,7 @@ Status NvmLogEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
 }
 
 void NvmLogEngine::MarkImmutable(Table* table) {
-  ScopedTimer t(this, TimeCategory::kStorage);
+  ScopedStallTag t(StallTag::kTuple);
   const uint64_t count = RunDirCount(*table);
   if (count >= kMaxRuns) return;
   uint64_t* entries = RunDirEntries(*table);
@@ -521,7 +521,7 @@ void NvmLogEngine::MarkImmutable(Table* table) {
 }
 
 void NvmLogEngine::CompactTable(Table* table) {
-  ScopedTimer t(this, TimeCategory::kOther);
+  ScopedStallTag t(StallTag::kOther);
   if (table->immutables.size() < 2) return;
 
   // Merge all immutable MemTables into one new larger MemTable
@@ -580,7 +580,7 @@ void NvmLogEngine::CompactTable(Table* table) {
 
 Status NvmLogEngine::Commit(uint64_t txn_id) {
   {
-    ScopedTimer t(this, TimeCategory::kRecovery);
+    ScopedStallTag t(StallTag::kWal);
     // Changes recorded in the MemTable are durable: truncate the log
     // (Section 4.3).
     wal_->Clear();
@@ -603,7 +603,7 @@ Status NvmLogEngine::Commit(uint64_t txn_id) {
 
 Status NvmLogEngine::Abort(uint64_t txn_id) {
   (void)txn_id;
-  ScopedTimer t(this, TimeCategory::kRecovery);
+  ScopedStallTag t(StallTag::kWal);
   wal_->ForEach([this](const uint8_t* payload, size_t size) {
     UndoOne(payload, size);
   });
@@ -659,7 +659,7 @@ Status NvmLogEngine::Checkpoint() {
 }
 
 Status NvmLogEngine::Recover() {
-  ScopedTimer t(this, TimeCategory::kRecovery);
+  ScopedStallTag t(StallTag::kRecovery);
   // Undo the in-flight transaction from the (already attached) mutable
   // MemTable; no MemTable rebuild (Section 4.3's NVM-aware recovery).
   wal_->ForEach([this](const uint8_t* payload, size_t size) {

@@ -11,6 +11,7 @@
 #include "engine/tuple.h"
 #include "nvm/pmem_allocator.h"
 #include "nvm/pmfs.h"
+#include "nvm/stall_tag.h"
 
 namespace nvmdb {
 
@@ -42,24 +43,6 @@ struct EngineConfig {
   size_t memtable_threshold_bytes = 1 << 20;  // Log engines
   size_t lsm_level0_limit = 4;      // runs before compaction triggers
   bool use_bloom_filters = true;    // NVM-Log run filters (ablation knob)
-};
-
-/// Time-breakdown categories of Fig. 13.
-enum class TimeCategory : uint8_t {
-  kStorage = 0,   // allocator / filesystem storage management
-  kRecovery = 1,  // logging, checkpointing, commit persistence
-  kIndex = 2,     // index access and maintenance
-  kOther = 3,     // everything else (engine logic, compaction bookkeeping)
-  kCount = 4,
-};
-
-struct EngineTimeBreakdown {
-  uint64_t ns[static_cast<size_t>(TimeCategory::kCount)] = {};
-  uint64_t total() const {
-    uint64_t sum = 0;
-    for (uint64_t v : ns) sum += v;
-    return sum;
-  }
 };
 
 /// Storage-footprint breakdown of Fig. 14.
@@ -131,6 +114,14 @@ class StorageEngine {
   /// Engine-initiated checkpoint (only meaningful for InP).
   virtual Status Checkpoint() { return Status::OK(); }
 
+  /// Force only the *pending commit group* durable (WAL group-commit
+  /// flush, CoW batch flush) — nothing more. The coordinator calls this
+  /// at the end of a run so the tail group's transactions get response
+  /// times; a full Checkpoint() here would bill checkpoint cost (log
+  /// truncation, memtable flushes, compressed snapshots) into the last
+  /// group's tail latency. Engines durable at commit need no override.
+  virtual Status ForceDurable() { return Status::OK(); }
+
   virtual FootprintStats Footprint() const = 0;
 
   /// Volatile (DRAM-equivalent) memory only — page caches, volatile
@@ -138,9 +129,6 @@ class StorageEngine {
   /// per-tag stats would double-count when partitions share an allocator;
   /// Database::Footprint combines the global tags with this.
   virtual FootprintStats VolatileFootprint() const { return {}; }
-
-  const EngineTimeBreakdown& time_breakdown() const { return breakdown_; }
-  void ResetTimeBreakdown() { breakdown_ = EngineTimeBreakdown(); }
 
   uint64_t committed_txns() const { return committed_txns_; }
 
@@ -152,37 +140,9 @@ class StorageEngine {
   virtual uint64_t LastDurableTxn() const { return 0; }
 
  protected:
-  /// RAII timer attributing time to a Fig.-13 category. It accumulates
-  /// the *simulated* time charged to the device while the section ran.
-  /// The simulated clock is the only clock used — an earlier version also
-  /// added host wall time as a CPU-work proxy, but that made the
-  /// breakdown nondeterministic and host-dependent while every other
-  /// reported number is driven purely by the model; under the
-  /// coordinator's deterministic serial schedule the stall delta is
-  /// exactly the section's own charges.
-  class ScopedTimer {
-   public:
-    ScopedTimer(StorageEngine* engine, TimeCategory cat)
-        : engine_(engine), cat_(cat), device_(NvmEnv::Get()) {
-      if (device_ != nullptr) stall_before_ = device_->TotalStallNanos();
-    }
-    ~ScopedTimer() {
-      if (device_ == nullptr) return;
-      engine_->breakdown_.ns[static_cast<size_t>(cat_)] +=
-          device_->TotalStallNanos() - stall_before_;
-    }
-
-   private:
-    StorageEngine* engine_;
-    TimeCategory cat_;
-    NvmDevice* device_;
-    uint64_t stall_before_ = 0;
-  };
-
   uint64_t next_txn_id_ = 1;
   uint64_t active_txn_ = 0;
   uint64_t committed_txns_ = 0;
-  EngineTimeBreakdown breakdown_;
 };
 
 /// Factory covering all six engines.

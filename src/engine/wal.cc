@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/crc32.h"
+#include "common/trace.h"
+#include "nvm/stall_tag.h"
 
 namespace nvmdb {
 
@@ -86,6 +88,7 @@ Wal::Wal(Pmfs* fs, const std::string& file_name, size_t group_commit_size)
 Wal::~Wal() { fs_->Close(fd_); }
 
 void Wal::Append(const LogRecord& record) {
+  ScopedStallTag tag(StallTag::kWal);
   const size_t before = buffer_.size();
   EncodeLogRecord(record, &buffer_);
   // The log buffer lives in NVM-as-volatile-memory; model its traffic at
@@ -97,6 +100,7 @@ void Wal::Append(const LogRecord& record) {
 }
 
 bool Wal::LogCommit(uint64_t txn_id) {
+  ScopedStallTag tag(StallTag::kWal);
   LogRecord commit;
   commit.op = LogOp::kCommit;
   commit.txn_id = txn_id;
@@ -113,6 +117,7 @@ bool Wal::LogCommit(uint64_t txn_id) {
 }
 
 Status Wal::Flush() {
+  ScopedStallTag tag(StallTag::kWal);
   if (!buffer_.empty()) {
     Status s = fs_->Append(fd_, buffer_.data(), buffer_.size());
     if (!s.ok()) return s;
@@ -127,6 +132,10 @@ Status Wal::Flush() {
   assert(last_buffered_commit_ >= last_durable_txn_);
   if (last_buffered_commit_ > last_durable_txn_) {
     last_durable_txn_ = last_buffered_commit_;
+  }
+  if (TraceWriter* trace = NvmEnv::Trace()) {
+    trace->Instant("group_commit_force", "wal",
+                   fs_->device()->TotalStallNanos(), 0);
   }
   return Status::OK();
 }
@@ -155,6 +164,7 @@ std::vector<LogRecord> Wal::ReadAll() {
 }
 
 Status Wal::Truncate() {
+  ScopedStallTag tag(StallTag::kWal);
   buffer_.clear();
   commits_in_group_ = 0;
   // Buffered-but-unflushed commits died with the buffer; without this, the

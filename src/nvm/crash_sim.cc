@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/trace.h"
 #include "nvm/nvm_device.h"
 
 namespace nvmdb {
@@ -98,6 +99,9 @@ void CrashSim::Capture(NvmDevice* device, uint64_t offset, size_t n,
   }
   captured_ = true;
   captured_event_ = events_;
+  if (TraceWriter* trace = NvmEnv::Trace()) {
+    trace->Instant("crash_capture", "crash", device->TotalStallNanos(), 0);
+  }
   if (on_capture_) on_capture_();
 }
 

@@ -213,6 +213,9 @@ NvmCounters NvmDevice::counters() const {
   c.sync_calls = sync_calls_.load(std::memory_order_relaxed);
   c.bytes_read = c.loads * cache_->line_size();
   c.bytes_written = c.stores * cache_->line_size();
+  for (size_t i = 0; i < kStallTagCount; i++) {
+    c.tag_ns[i] = tag_ns_[i].load(std::memory_order_relaxed);
+  }
   return c;
 }
 
@@ -224,6 +227,9 @@ void NvmDevice::ResetCounters() {
   // counters do support reset.
   stall_ns_.store(0, std::memory_order_relaxed);
   sync_calls_.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < kStallTagCount; i++) {
+    tag_ns_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 WearStats NvmDevice::wear() const {
@@ -247,9 +253,13 @@ WearStats NvmDevice::wear() const {
 
 namespace {
 thread_local NvmDevice* g_current_device = nullptr;
+thread_local TraceWriter* g_current_trace = nullptr;
 }  // namespace
 
 NvmDevice* NvmEnv::Get() { return g_current_device; }
 void NvmEnv::Set(NvmDevice* device) { g_current_device = device; }
+
+TraceWriter* NvmEnv::Trace() { return g_current_trace; }
+void NvmEnv::SetTrace(TraceWriter* trace) { g_current_trace = trace; }
 
 }  // namespace nvmdb

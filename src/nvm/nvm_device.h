@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "nvm/cache_sim.h"
+#include "nvm/stall_tag.h"
 
 namespace nvmdb {
 
 class CrashSim;
+class TraceWriter;
 
 /// Latency/bandwidth profile of the emulated NVM device. The paper's
 /// hardware emulator exposes exactly these knobs (Section 2.2): a tunable
@@ -69,6 +71,9 @@ struct NvmCounters {
   uint64_t sync_calls = 0;   // sync primitive invocations
   uint64_t bytes_read = 0;   // loads * line
   uint64_t bytes_written = 0;
+  /// stall_ns split by the component tag current when each charge was
+  /// made (ScopedStallTag); the slices sum to stall_ns.
+  uint64_t tag_ns[kStallTagCount] = {};
 };
 
 /// Software stand-in for the Intel Labs NVM hardware emulator.
@@ -251,7 +256,13 @@ class NvmDevice {
       counter.fetch_add(v, std::memory_order_relaxed);
     }
   }
-  void ChargeStall(uint64_t ns) { CounterAdd(stall_ns_, ns); }
+  /// Every charge also lands in the per-tag slice of the thread's current
+  /// ScopedStallTag — one extra plain add in owner mode — which is what
+  /// turns the single stall clock into a per-component breakdown.
+  void ChargeStall(uint64_t ns) {
+    CounterAdd(stall_ns_, ns);
+    CounterAdd(tag_ns_[static_cast<size_t>(internal::t_stall_tag)], ns);
+  }
 
   /// Shared body of the Touch* entry points. In owner mode, a single-line
   /// access to an already-resident line — the overwhelmingly common case
@@ -313,6 +324,7 @@ class NvmDevice {
   std::atomic<uint64_t> stall_ns_{0};
   std::atomic<uint64_t> external_ns_{0};
   std::atomic<uint64_t> sync_calls_{0};
+  std::atomic<uint64_t> tag_ns_[kStallTagCount] = {};
   /// Modeled virtual address space for ReserveVirtual. 2^44 is far above
   /// any region offset (devices are at most a few GB), and reservations
   /// total well under 2^50, so ranges never collide with region lines.
@@ -331,6 +343,13 @@ class NvmEnv {
  public:
   static NvmDevice* Get();
   static void Set(NvmDevice* device);
+
+  /// Thread-local current trace writer (same ownership discipline as the
+  /// current device: the Database owning the writer sets it, the
+  /// coordinator re-binds it on whatever thread drives the database).
+  /// Null — the common case — means tracing is disabled.
+  static TraceWriter* Trace();
+  static void SetTrace(TraceWriter* trace);
 };
 
 /// Offset-based non-volatile pointer (Section 2.3's naming mechanism plus

@@ -88,6 +88,7 @@ void PmemAllocator::Format() {
 
 uint64_t PmemAllocator::Alloc(size_t size, StorageTag tag,
                               bool sync_header) {
+  ScopedStallTag stall_tag(StallTag::kAllocator);
   if (size == 0) size = 1;
   const size_t cls = SizeClass(size);
   std::lock_guard<std::mutex> guard(mu_);
@@ -164,6 +165,7 @@ bool PmemAllocator::ValidPayloadOffset(uint64_t payload_offset) const {
 }
 
 void PmemAllocator::Free(uint64_t payload_offset) {
+  ScopedStallTag stall_tag(StallTag::kAllocator);
   // A garbage pointer here is a legitimate recovery input (a torn tuple's
   // varlen offset), not a caller bug — reject it instead of asserting.
   if (!ValidPayloadOffset(payload_offset)) return;

@@ -184,6 +184,24 @@ std::string BenchRunner::WriteReport() {
     std::snprintf(ratio, sizeof(ratio), "%.3f", c.SimWallRatio());
     out += "     \"sim_wall_ratio\": ";
     out += ratio;
+    char mean[64];
+    std::snprintf(mean, sizeof(mean), "%.6g", c.latency.mean_ns);
+    out += ",\n     \"latency\": {\"count\": " +
+           std::to_string(c.latency.count) + ", \"mean_ns\": ";
+    out += mean;
+    out += ", \"p50_ns\": " + std::to_string(c.latency.p50_ns) +
+           ", \"p95_ns\": " + std::to_string(c.latency.p95_ns) +
+           ", \"p99_ns\": " + std::to_string(c.latency.p99_ns) +
+           ", \"p999_ns\": " + std::to_string(c.latency.p999_ns) +
+           ", \"max_ns\": " + std::to_string(c.latency.max_ns) + "},\n";
+    out += "     \"stalls\": {";
+    for (size_t t = 0; t < kStallTagCount; t++) {
+      if (t > 0) out += ", ";
+      out += "\"";
+      out += StallTagName(static_cast<StallTag>(t));
+      out += "_ns\": " + std::to_string(c.stalls.ns[t]);
+    }
+    out += "}";
     if (!c.metrics.empty()) {
       out += ",\n     \"metrics\": {";
       for (size_t j = 0; j < c.metrics.size(); j++) {

@@ -6,6 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
+#include "nvm/stall_tag.h"
+
 namespace nvmdb {
 
 /// One benchmark grid cell's results, as recorded by BenchRunner and
@@ -31,6 +34,11 @@ struct BenchCell {
   /// no such phases (e.g. recovery benches).
   uint64_t load_ns = 0;
   uint64_t run_ns = 0;
+  /// Response-latency distribution of the measured run (simulated clock;
+  /// see RunResult::latency). count == 0 when the cell has no txn run.
+  LatencySummary latency;
+  /// Simulated stall attributed per component tag over the measured run.
+  StallBreakdown stalls;
   std::vector<std::pair<std::string, double>> metrics;
 
   /// Simulated ns produced per wall ns spent computing them (simulator

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/histogram.h"
 #include "testbed/database.h"
 
 namespace nvmdb {
@@ -16,17 +17,6 @@ struct TxnTask {
   std::function<bool(StorageEngine*, uint64_t txn_id)> body;
 };
 
-/// Response-latency summary on the simulated clock (populated by
-/// RunSerial only — latency attribution needs a single worker because the
-/// simulated clock is shared).
-struct LatencySummary {
-  uint64_t count = 0;
-  double mean_ns = 0;
-  uint64_t p50_ns = 0;
-  uint64_t p95_ns = 0;
-  uint64_t p99_ns = 0;
-};
-
 /// Result of a benchmark run.
 struct RunResult {
   uint64_t committed = 0;
@@ -36,8 +26,14 @@ struct RunResult {
   /// Response latency: Begin() until the commit became *durable* — for
   /// group-committing engines that includes waiting for the group to be
   /// forced, the cost the paper attributes to traditional logging
-  /// (Sections 3.1/4.1).
+  /// (Sections 3.1/4.1). Tracked on per-partition simulated clocks (each
+  /// partition models one worker core, so another partition's slices
+  /// don't inflate its response times) and merged across partitions, so
+  /// Run — not just RunSerial — reports tail latency.
   LatencySummary latency;
+  /// The full histogram behind `latency`, for merging across runs and for
+  /// the determinism tests' bucket-exact comparisons.
+  LatencyHistogram latency_hist;
 
   /// Effective elapsed time on the *simulated* clock: total modeled time
   /// (cache hits/misses, write-backs, syncs, VFS crossings) averaged over
@@ -85,6 +81,9 @@ class Coordinator {
   RunResult RunSerial(size_t partition, const std::vector<TxnTask>& queue);
 
  private:
+  /// Shared body: queues[p] runs on partition p; null entries idle.
+  RunResult Execute(const std::vector<const std::vector<TxnTask>*>& queues);
+
   Database* db_;
 };
 

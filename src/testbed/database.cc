@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/timer.h"
+#include "common/trace.h"
 #include "nvm/crash_sim.h"
 
 namespace nvmdb {
@@ -11,6 +12,8 @@ Database::Database(const DatabaseConfig& config) : config_(config) {
   device_ = std::make_unique<NvmDevice>(config_.nvm_capacity,
                                         config_.latency, config_.cache);
   NvmEnv::Set(device_.get());
+  trace_ = TraceWriter::FromEnv();
+  NvmEnv::SetTrace(trace_.get());
   allocator_ = std::make_unique<PmemAllocator>(device_.get(),
                                                /*format=*/true);
   fs_ = std::make_unique<Pmfs>(allocator_.get());
@@ -20,6 +23,7 @@ Database::Database(const DatabaseConfig& config) : config_(config) {
 Database::~Database() {
   engines_.clear();
   if (NvmEnv::Get() == device_.get()) NvmEnv::Set(nullptr);
+  if (NvmEnv::Trace() == trace_.get()) NvmEnv::SetTrace(nullptr);
 }
 
 void Database::InstantiateEngines() {
@@ -43,6 +47,9 @@ Status Database::CreateTable(const TableDef& def) {
 }
 
 void Database::Crash() {
+  if (trace_ != nullptr) {
+    trace_->Instant("crash", "crash", device_->TotalStallNanos(), 0);
+  }
   // Power failure: volatile engine state dies with the process; unflushed
   // cache lines never reach the durable image.
   engines_.clear();
@@ -52,6 +59,10 @@ void Database::Crash() {
 }
 
 void Database::CrashAt(const CrashSim& sim) {
+  if (trace_ != nullptr) {
+    trace_->Instant("crash_at_capture", "crash", device_->TotalStallNanos(),
+                    0);
+  }
   assert(sim.captured());
   assert(sim.image().size() == device_->capacity());
   engines_.clear();
@@ -76,6 +87,9 @@ uint64_t Database::Recover() {
   }
   for (auto& engine : engines_) engine->Recover();
   const uint64_t stall = device_->TotalStallNanos() - stall_before;
+  if (trace_ != nullptr) {
+    trace_->Span("recover", "recovery", stall_before, stall, 0);
+  }
   return watch.ElapsedNanos() + stall;
 }
 

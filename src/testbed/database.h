@@ -12,6 +12,7 @@
 namespace nvmdb {
 
 class CrashSim;
+class TraceWriter;
 
 /// Configuration of a whole DBMS testbed instance (Section 3's Fig. 2).
 struct DatabaseConfig {
@@ -44,6 +45,10 @@ class Database {
   NvmDevice* device() { return device_.get(); }
   PmemAllocator* allocator() { return allocator_.get(); }
   Pmfs* fs() { return fs_.get(); }
+  /// Chrome-trace exporter for this database; null unless NVMDB_TRACE_DIR
+  /// is set (common/trace.h). The coordinator emits transaction spans
+  /// through it; the file is written when the database is destroyed.
+  TraceWriter* trace() { return trace_.get(); }
   const DatabaseConfig& config() const { return config_; }
 
   /// Simulate a power failure: unflushed data is lost, all volatile state
@@ -76,6 +81,7 @@ class Database {
 
   DatabaseConfig config_;
   std::unique_ptr<NvmDevice> device_;
+  std::unique_ptr<TraceWriter> trace_;
   std::unique_ptr<PmemAllocator> allocator_;
   std::unique_ptr<Pmfs> fs_;
   std::vector<std::unique_ptr<StorageEngine>> engines_;

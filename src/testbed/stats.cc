@@ -4,17 +4,21 @@
 
 namespace nvmdb {
 
-std::string FormatBreakdown(const EngineTimeBreakdown& breakdown) {
+std::string FormatBreakdown(const StallBreakdown& breakdown) {
   const uint64_t total = breakdown.total();
-  if (total == 0) return "storage 0% recovery 0% index 0% other 0%";
   char buf[128];
-  const char* names[] = {"storage", "recovery", "index", "other"};
   std::string out;
-  for (size_t i = 0; i < 4; i++) {
-    snprintf(buf, sizeof(buf), "%s %.1f%%%s", names[i],
-             100.0 * static_cast<double>(breakdown.ns[i]) /
-                 static_cast<double>(total),
-             i == 3 ? "" : " ");
+  for (size_t i = 0; i < kStallTagCount; i++) {
+    const char* name = StallTagName(static_cast<StallTag>(i));
+    const char* sep = i + 1 == kStallTagCount ? "" : " ";
+    if (total == 0) {
+      snprintf(buf, sizeof(buf), "%s 0%%%s", name, sep);
+    } else {
+      snprintf(buf, sizeof(buf), "%s %.1f%%%s", name,
+               100.0 * static_cast<double>(breakdown.ns[i]) /
+                   static_cast<double>(total),
+               sep);
+    }
     out += buf;
   }
   return out;

@@ -17,6 +17,8 @@ struct CounterDelta {
   uint64_t sync_calls = 0;
   uint64_t external_ns = 0;
   uint64_t stall_ns = 0;  // simulated clock advanced during the interval
+  /// stall_ns split by component tag (ScopedStallTag attribution).
+  StallBreakdown tags;
 };
 
 class CounterSampler {
@@ -33,6 +35,9 @@ class CounterSampler {
     d.sync_calls = now.sync_calls - start_.sync_calls;
     d.external_ns = now.external_ns - start_.external_ns;
     d.stall_ns = now.stall_ns - start_.stall_ns;
+    for (size_t i = 0; i < kStallTagCount; i++) {
+      d.tags.ns[i] = now.tag_ns[i] - start_.tag_ns[i];
+    }
     return d;
   }
 
@@ -41,8 +46,8 @@ class CounterSampler {
   NvmCounters start_;
 };
 
-/// Render a Fig. 13-style percentage breakdown.
-std::string FormatBreakdown(const EngineTimeBreakdown& breakdown);
+/// Render a Fig. 13-style percentage breakdown over the stall tags.
+std::string FormatBreakdown(const StallBreakdown& breakdown);
 
 /// Render host wall-clock vs simulated-clock time side by side, with the
 /// simulator's real-time factor (simulated ns advanced per wall ns spent

@@ -1,0 +1,124 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace nvmdb {
+namespace {
+
+TEST(LatencyHistogramTest, BucketBoundariesPinned) {
+  // Values below kSubBucketCount*2 = 128 are exact: identity buckets up
+  // to 63, then one-per-value through the first log group.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(63), 63u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(64), 64u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(127), 127u);
+  // 128 starts the second log group: two values per bucket.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(128), 128u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(129), 128u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(130), 129u);
+  EXPECT_EQ(LatencyHistogram::kNumBuckets, 3776u);
+}
+
+TEST(LatencyHistogramTest, LowerBoundInvertsIndex) {
+  // BucketLowerBound must be the smallest value mapping to that bucket.
+  const uint64_t probes[] = {0,    1,     63,        64,         127,
+                             128,  1000,  123456,    1u << 20,   (1u << 20) + 37,
+                             1ull << 40,  (1ull << 63) + 12345};
+  for (uint64_t v : probes) {
+    const size_t idx = LatencyHistogram::BucketIndex(v);
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(idx);
+    EXPECT_LE(lo, v) << v;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), idx) << v;
+    if (idx > 0) {
+      EXPECT_LT(LatencyHistogram::BucketLowerBound(idx - 1), lo) << v;
+    }
+    // <= 1/64 relative error: the bucket's span is bounded by lo/64.
+    if (lo >= 64) {
+      const uint64_t next = LatencyHistogram::BucketLowerBound(idx + 1);
+      EXPECT_LE(next - lo, lo / 64 + 1) << v;
+    }
+  }
+}
+
+// Regression for the nearest-rank off-by-one: the old sorted-vector code
+// indexed latencies[n*99/100], which for n == 100 returns element 99 —
+// the maximum, i.e. p100, not p99. Ceil-based nearest rank over exact
+// (sub-128) values must return exactly the k-th smallest.
+TEST(LatencyHistogramTest, ExactPercentilesOnOneToHundred) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 100; v++) h.Record(v);
+  EXPECT_EQ(h.Percentile(50.0), 50u);
+  EXPECT_EQ(h.Percentile(95.0), 95u);
+  EXPECT_EQ(h.Percentile(99.0), 99u);
+  EXPECT_EQ(h.Percentile(100.0), 100u);
+  EXPECT_EQ(h.Percentile(1.0), 1u);
+}
+
+TEST(LatencyHistogramTest, SummarizeFields) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; v++) h.Record(v);
+  const LatencySummary s = h.Summarize();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.max_ns, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean_ns, 500.5);
+  // Values >= 128 land in log buckets; percentiles report the bucket
+  // lower bound, within 1/64 of the true nearest-rank value.
+  EXPECT_LE(s.p50_ns, 500u);
+  EXPECT_GE(s.p50_ns, 500u - 500u / 64 - 1);
+  EXPECT_LE(s.p99_ns, 990u);
+  EXPECT_GE(s.p99_ns, 990u - 990u / 64 - 1);
+  EXPECT_LE(s.p999_ns, 999u);
+  EXPECT_GE(s.p999_ns, 999u - 999u / 64 - 1);
+  EXPECT_GE(s.p999_ns, s.p99_ns);
+  EXPECT_GE(s.p99_ns, s.p95_ns);
+  EXPECT_GE(s.p95_ns, s.p50_ns);
+}
+
+TEST(LatencyHistogramTest, EmptySummarizesToZero) {
+  const LatencySummary s = LatencyHistogram().Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50_ns, 0u);
+  EXPECT_EQ(s.p999_ns, 0u);
+  EXPECT_EQ(s.max_ns, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_ns, 0.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (uint64_t v = 0; v < 5000; v += 7) {
+    a.Record(v * v % 100000);
+    combined.Record(v * v % 100000);
+  }
+  for (uint64_t v = 1; v < 3000; v += 3) {
+    b.Record(v * 31 % 77777);
+    combined.Record(v * 31 % 77777);
+  }
+  LatencyHistogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged, combined);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.sum(), combined.sum());
+  EXPECT_EQ(merged.max(), combined.max());
+  const LatencySummary sm = merged.Summarize();
+  const LatencySummary sc = combined.Summarize();
+  EXPECT_EQ(sm.p50_ns, sc.p50_ns);
+  EXPECT_EQ(sm.p999_ns, sc.p999_ns);
+}
+
+TEST(LatencyHistogramTest, HugeValuesDoNotOverflow) {
+  LatencyHistogram h;
+  h.Record(~0ull);
+  h.Record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_EQ(h.Percentile(100.0),
+            LatencyHistogram::BucketLowerBound(
+                LatencyHistogram::BucketIndex(~0ull)));
+}
+
+}  // namespace
+}  // namespace nvmdb

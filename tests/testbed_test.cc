@@ -75,13 +75,20 @@ INSTANTIATE_TEST_SUITE_P(Engines, TestbedTest,
                          });
 
 TEST(StatsTest, FormatBreakdownSumsTo100) {
-  EngineTimeBreakdown breakdown;
-  breakdown.ns[0] = 250;
-  breakdown.ns[1] = 250;
-  breakdown.ns[2] = 250;
-  breakdown.ns[3] = 250;
+  StallBreakdown breakdown;
+  breakdown.ns[static_cast<size_t>(StallTag::kWal)] = 250;
+  breakdown.ns[static_cast<size_t>(StallTag::kIndex)] = 250;
+  breakdown.ns[static_cast<size_t>(StallTag::kTuple)] = 250;
+  breakdown.ns[static_cast<size_t>(StallTag::kOther)] = 250;
   EXPECT_EQ(FormatBreakdown(breakdown),
-            "storage 25.0% recovery 25.0% index 25.0% other 25.0%");
+            "wal 25.0% index 25.0% tuple 25.0% allocator 0.0% "
+            "checkpoint 0.0% recovery 0.0% other 25.0%");
+}
+
+TEST(StatsTest, FormatBreakdownAllZero) {
+  EXPECT_EQ(FormatBreakdown(StallBreakdown{}),
+            "wal 0% index 0% tuple 0% allocator 0% checkpoint 0% "
+            "recovery 0% other 0%");
 }
 
 TEST(StatsTest, FormatBytesUnits) {
