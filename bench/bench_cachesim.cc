@@ -16,9 +16,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 
+#include "engine/tuple.h"
+#include "engine/wal.h"
 #include "nvm/cache_sim.h"
 #include "nvm/nvm_device.h"
+#include "nvm/pmem_allocator.h"
+#include "nvm/pmfs.h"
 
 namespace {
 
@@ -135,6 +140,73 @@ void BM_DeviceTouchHit(benchmark::State& state, ConcurrencyMode mode) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Transaction-hot-path entry: one LogRecordRef encoded in a single pass
+/// (header reserve + backpatch) into the WAL's reused buffer, Slices
+/// viewing caller scratch — the per-update logging cost of the InP/Log
+/// engines, group-commit flush included at the benchmark cadence.
+void BM_WalAppend(benchmark::State& state, ConcurrencyMode mode) {
+  NvmDevice device(64 * 1024 * 1024, NvmLatencyConfig::Dram(),
+                   BenchCacheConfig(mode));
+  nvmdb::PmemAllocator allocator(&device);
+  nvmdb::Pmfs fs(&allocator);
+  nvmdb::Wal wal(&fs, "bench.wal", /*group_commit_size=*/4);
+  const std::string before(64, 'b');
+  const std::string after(64, 'a');
+  nvmdb::LogRecordRef record;
+  record.op = nvmdb::LogOp::kUpdate;
+  record.table_id = 1;
+  record.before = nvmdb::Slice(before);
+  record.after = nvmdb::Slice(after);
+  uint64_t txn = 0;
+  for (auto _ : state) {
+    record.txn_id = ++txn;
+    record.key = txn & 1023;
+    wal.Append(record);
+    wal.LogCommit(txn);
+    if ((txn & 16383) == 0) {
+      // Bound file growth without letting truncation dominate.
+      state.PauseTiming();
+      wal.Truncate();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Transaction-hot-path entry: refill an arena-backed scratch tuple,
+/// serialize it inlined into a reused buffer, and parse it back into a
+/// second scratch — the materialize/serialize cycle of engine reads,
+/// checkpoints, and LSM memtable flushes. Zero steady-state allocations.
+void BM_TupleRoundtrip(benchmark::State& state) {
+  std::vector<nvmdb::Column> cols;
+  cols.push_back({"id", nvmdb::ColumnType::kUInt64, 8});
+  for (int i = 1; i <= 10; i++) {
+    cols.push_back({"f" + std::to_string(i), nvmdb::ColumnType::kVarchar,
+                    100});
+  }
+  const nvmdb::Schema schema(cols);
+  const std::string field(100, 'x');
+  nvmdb::Tuple t(&schema);
+  nvmdb::Tuple parsed(&schema);
+  std::string bytes;
+  uint64_t key = 0;
+  for (auto _ : state) {
+    t.Reset(&schema);
+    t.SetU64(0, key++);
+    for (size_t c = 1; c <= 10; c++) {
+      char* dst = t.AppendStringUninit(c, field.size());
+      memcpy(dst, field.data(), field.size());
+    }
+    bytes.clear();
+    t.AppendInlined(&bytes);
+    nvmdb::Tuple::ParseInlined(&schema, nvmdb::Slice(bytes), &parsed);
+    benchmark::DoNotOptimize(parsed.Key());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+
 BENCHMARK_CAPTURE(BM_HitDominated, owner, ConcurrencyMode::kOwner);
 BENCHMARK_CAPTURE(BM_HitDominated, shared, ConcurrencyMode::kShared);
 BENCHMARK_CAPTURE(BM_MissDominated, owner, ConcurrencyMode::kOwner);
@@ -146,6 +218,9 @@ BENCHMARK_CAPTURE(BM_DeviceWritePersist, owner, ConcurrencyMode::kOwner);
 BENCHMARK_CAPTURE(BM_DeviceWritePersist, shared, ConcurrencyMode::kShared);
 BENCHMARK_CAPTURE(BM_DeviceTouchHit, owner, ConcurrencyMode::kOwner);
 BENCHMARK_CAPTURE(BM_DeviceTouchHit, shared, ConcurrencyMode::kShared);
+BENCHMARK_CAPTURE(BM_WalAppend, owner, ConcurrencyMode::kOwner);
+BENCHMARK_CAPTURE(BM_WalAppend, shared, ConcurrencyMode::kShared);
+BENCHMARK(BM_TupleRoundtrip);
 
 }  // namespace
 

@@ -76,8 +76,10 @@ Measured MeasureEngine(EngineKind engine) {
     for (uint64_t key = 0; key < kOpsPerPhase; key++) {
       const uint64_t txn = e->Begin();
       // The model's update: one fixed-length field + one varlen field.
+      // (Value::Str is non-owning; keep the backing string alive.)
+      const std::string value = rng.String(100);
       std::vector<ColumnUpdate> up;
-      up.push_back({1, Value::Str(rng.String(100))});
+      up.push_back({1, Value::Str(value)});
       e->Update(txn, 1, key, up);
       e->Commit(txn);
     }

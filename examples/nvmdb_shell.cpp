@@ -40,9 +40,9 @@ EngineKind ParseEngine(const char* arg) {
 }
 
 void PrintRow(const Tuple& t) {
-  printf("  key=%llu name=%s count=%llu\n",
-         (unsigned long long)t.GetU64(0), t.GetString(1).c_str(),
-         (unsigned long long)t.GetU64(3));
+  printf("  key=%llu name=%.*s count=%llu\n",
+         (unsigned long long)t.GetU64(0), (int)t.GetString(1).size(),
+         t.GetString(1).data(), (unsigned long long)t.GetU64(3));
 }
 
 }  // namespace

@@ -61,9 +61,9 @@ int main() {
   for (uint64_t id = 1; id <= 5; id++) {
     Tuple t;
     if (engine->Select(txn, 1, id, &t).ok()) {
-      printf("  id=%llu name=%s balance=%llu\n",
-             (unsigned long long)id, t.GetString(1).c_str(),
-             (unsigned long long)t.GetU64(2));
+      printf("  id=%llu name=%.*s balance=%llu\n",
+             (unsigned long long)id, (int)t.GetString(1).size(),
+             t.GetString(1).data(), (unsigned long long)t.GetU64(2));
     }
   }
   engine->Commit(txn);

@@ -43,10 +43,24 @@ class Random {
   /// Random printable-ASCII string of exactly `len` bytes.
   std::string String(size_t len) {
     std::string s(len, ' ');
-    for (size_t i = 0; i < len; i++) {
-      s[i] = static_cast<char>('a' + Uniform(26));
-    }
+    FillString(&s[0], len);
     return s;
+  }
+
+  /// Write the same byte stream as String(len) into caller-owned storage
+  /// (consumes the generator identically — the allocation-free form for
+  /// pooled buffers and in-place tuple arenas).
+  void FillString(char* dst, size_t len) {
+    for (size_t i = 0; i < len; i++) {
+      dst[i] = static_cast<char>('a' + Uniform(26));
+    }
+  }
+
+  /// Append the same byte stream as String(len) to *out.
+  void AppendString(size_t len, std::string* out) {
+    const size_t off = out->size();
+    out->resize(off + len);
+    FillString(&(*out)[off], len);
   }
 
  private:

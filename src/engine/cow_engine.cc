@@ -41,21 +41,23 @@ const SecondaryIndexDef* CowEngine::GetIndexDef(const TableInfo& table,
 }
 
 void CowEngine::JournalPut(uint64_t gkey) {
-  InverseOp op;
+  if (journal_used_ == txn_journal_.size()) txn_journal_.emplace_back();
+  InverseOp& op = txn_journal_[journal_used_++];
   op.global_key = gkey;
+  op.old_value.clear();
   op.had_value = tree_->Get(gkey, &op.old_value);
-  txn_journal_.push_back(std::move(op));
 }
 
-std::string CowEngine::EncodeTupleValue(uint32_t table_id, const Tuple& tuple,
-                                        Status* status) {
+Status CowEngine::EncodeTupleValueTo(uint32_t table_id, const Tuple& tuple,
+                                     std::string* out) {
   (void)table_id;
-  *status = Status::OK();
-  return tuple.SerializeInlined();
+  tuple.AppendInlined(out);
+  return Status::OK();
 }
 
-Tuple CowEngine::DecodeTupleValue(uint32_t table_id, const Slice& value) {
-  return Tuple::ParseInlined(&tables_[table_id].def.schema, value);
+void CowEngine::DecodeTupleValueTo(uint32_t table_id, const Slice& value,
+                                   Tuple* out) {
+  Tuple::ParseInlined(&tables_[table_id].def.schema, value, out);
 }
 
 Status CowEngine::PutSecondaryEntries(const TableInfo& table,
@@ -98,16 +100,16 @@ Status CowEngine::Insert(uint64_t txn_id, uint32_t table_id,
       return Status::InvalidArgument("duplicate key");
     }
   }
-  Status status;
-  const std::string value = EncodeTupleValue(table_id, tuple, &status);
+  val_scratch2_.clear();
+  Status status = EncodeTupleValueTo(table_id, tuple, &val_scratch2_);
   if (!status.ok()) return status;
-  if (value.size() > tree_->MaxValueSize()) {
+  if (val_scratch2_.size() > tree_->MaxValueSize()) {
     return Status::InvalidArgument("tuple larger than CoW page");
   }
   {
     ScopedStallTag t(StallTag::kIndex);
     JournalPut(gkey);
-    if (!tree_->Put(gkey, Slice(value))) {
+    if (!tree_->Put(gkey, Slice(val_scratch2_))) {
       return Status::OutOfSpace("cow put");
     }
     Status s = PutSecondaryEntries(*table, tuple, pk);
@@ -122,31 +124,30 @@ Status CowEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   TableInfo* table = GetTable(table_id);
   if (table == nullptr) return Status::InvalidArgument("no such table");
   const uint64_t gkey = GlobalKey(table_id, 0, key);
-  std::string old_value;
+  val_scratch_.clear();
   {
     ScopedStallTag t(StallTag::kIndex);
-    if (!tree_->Get(gkey, &old_value)) return Status::NotFound();
+    if (!tree_->Get(gkey, &val_scratch_)) return Status::NotFound();
   }
 
   // Copy-on-write at tuple granularity: make a copy, modify the copy,
   // write the copy into the dirty directory (Section 3.2). The whole
   // tuple is rewritten even when one field changed — the engine's write
   // amplification (Table 3's B + F + V).
-  Tuple old_tuple = DecodeTupleValue(table_id, Slice(old_value));
-  Tuple new_tuple = old_tuple;
-  ApplyUpdates(&new_tuple, updates);
-  Status status;
-  const std::string new_value =
-      EncodeTupleValue(table_id, new_tuple, &status);
+  DecodeTupleValueTo(table_id, Slice(val_scratch_), &tup_scratch_);
+  tup_scratch2_ = tup_scratch_;
+  ApplyUpdates(&tup_scratch2_, updates);
+  val_scratch2_.clear();
+  Status status = EncodeTupleValueTo(table_id, tup_scratch2_, &val_scratch2_);
   if (!status.ok()) return status;
 
   {
     ScopedStallTag t(StallTag::kIndex);
     JournalPut(gkey);
-    if (!tree_->Put(gkey, Slice(new_value))) {
+    if (!tree_->Put(gkey, Slice(val_scratch2_))) {
       return Status::OutOfSpace("cow put");
     }
-    OnValueReplaced(table_id, old_value);
+    OnValueReplaced(table_id, Slice(val_scratch_));
 
     bool touches_secondary = false;
     for (const ColumnUpdate& u : updates) {
@@ -157,8 +158,8 @@ Status CowEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
       }
     }
     if (touches_secondary) {
-      DeleteSecondaryEntries(*table, old_tuple, key);
-      Status s = PutSecondaryEntries(*table, new_tuple, key);
+      DeleteSecondaryEntries(*table, tup_scratch_, key);
+      Status s = PutSecondaryEntries(*table, tup_scratch2_, key);
       if (!s.ok()) return s;
     }
   }
@@ -170,18 +171,18 @@ Status CowEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
   TableInfo* table = GetTable(table_id);
   if (table == nullptr) return Status::InvalidArgument("no such table");
   const uint64_t gkey = GlobalKey(table_id, 0, key);
-  std::string old_value;
+  val_scratch_.clear();
   {
     ScopedStallTag t(StallTag::kIndex);
-    if (!tree_->Get(gkey, &old_value)) return Status::NotFound();
+    if (!tree_->Get(gkey, &val_scratch_)) return Status::NotFound();
   }
-  Tuple old_tuple = DecodeTupleValue(table_id, Slice(old_value));
+  DecodeTupleValueTo(table_id, Slice(val_scratch_), &tup_scratch_);
   {
     ScopedStallTag t(StallTag::kIndex);
     JournalPut(gkey);
     tree_->Delete(gkey);
-    OnValueReplaced(table_id, old_value);
-    DeleteSecondaryEntries(*table, old_tuple, key);
+    OnValueReplaced(table_id, Slice(val_scratch_));
+    DeleteSecondaryEntries(*table, tup_scratch_, key);
   }
   return Status::OK();
 }
@@ -191,16 +192,16 @@ Status CowEngine::Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
   (void)txn_id;
   TableInfo* table = GetTable(table_id);
   if (table == nullptr) return Status::InvalidArgument("no such table");
-  std::string value;
+  val_scratch_.clear();
   {
     ScopedStallTag t(StallTag::kIndex);
     // Every lookup fetches the master record and walks the current
     // directory (Section 5.2's explanation of CoW's read overhead).
-    if (!tree_->Get(GlobalKey(table_id, 0, key), &value)) {
+    if (!tree_->Get(GlobalKey(table_id, 0, key), &val_scratch_)) {
       return Status::NotFound();
     }
   }
-  *out = DecodeTupleValue(table_id, Slice(value));
+  DecodeTupleValueTo(table_id, Slice(val_scratch_), out);
   return Status::OK();
 }
 
@@ -213,8 +214,8 @@ Status CowEngine::ScanRange(
   ScopedStallTag t(StallTag::kIndex);
   tree_->Scan(GlobalKey(table_id, 0, lo), GlobalKey(table_id, 0, hi),
               [&](uint64_t gkey, const Slice& value) {
-                return fn(LocalKey(gkey),
-                          DecodeTupleValue(table_id, value));
+                DecodeTupleValueTo(table_id, value, &scan_scratch_);
+                return fn(LocalKey(gkey), scan_scratch_);
               });
   return Status::OK();
 }
@@ -259,7 +260,7 @@ void CowEngine::FlushBatch() {
 }
 
 Status CowEngine::Commit(uint64_t txn_id) {
-  txn_journal_.clear();
+  journal_used_ = 0;
   OnTxnCommitHook();
   committed_txns_++;
   last_committed_txn_ = txn_id;
@@ -274,14 +275,15 @@ Status CowEngine::Abort(uint64_t txn_id) {
   (void)txn_id;
   ScopedStallTag t(StallTag::kIndex);
   // Undo only this transaction inside the shared dirty directory.
-  for (auto it = txn_journal_.rbegin(); it != txn_journal_.rend(); ++it) {
-    if (it->had_value) {
-      tree_->Put(it->global_key, Slice(it->old_value));
+  for (size_t i = journal_used_; i-- > 0;) {
+    const InverseOp& op = txn_journal_[i];
+    if (op.had_value) {
+      tree_->Put(op.global_key, Slice(op.old_value));
     } else {
-      tree_->Delete(it->global_key);
+      tree_->Delete(op.global_key);
     }
   }
-  txn_journal_.clear();
+  journal_used_ = 0;
   OnTxnAbortHook();
   active_txn_ = 0;
   return Status::OK();
@@ -300,6 +302,7 @@ Status CowEngine::Recover() {
   tree_ = std::make_unique<CowBTree>(store_.get());
   tree_->GarbageCollect();
   txn_journal_.clear();
+  journal_used_ = 0;
   txns_in_batch_ = 0;
   return Status::OK();
 }

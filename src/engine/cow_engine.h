@@ -65,7 +65,9 @@ class CowEngine : public StorageEngine {
   };
 
   // Volatile per-transaction inverse ops for txn-level abort inside a
-  // group-commit batch.
+  // group-commit batch. The journal is a pool: entries up to
+  // journal_used_ are live, the rest keep their string capacity for
+  // reuse, so journaling stops allocating in steady state.
   struct InverseOp {
     uint64_t global_key;
     bool had_value;
@@ -82,13 +84,14 @@ class CowEngine : public StorageEngine {
                               uint64_t pk);
   void FlushBatch();
 
-  // Tuple representation hooks overridden by NVM-CoW.
-  virtual std::string EncodeTupleValue(uint32_t table_id,
-                                       const Tuple& tuple, Status* status);
-  virtual Tuple DecodeTupleValue(uint32_t table_id, const Slice& value);
+  // Tuple representation hooks overridden by NVM-CoW. The append/into
+  // forms let callers reuse buffers across transactions.
+  virtual Status EncodeTupleValueTo(uint32_t table_id, const Tuple& tuple,
+                                    std::string* out);
+  virtual void DecodeTupleValueTo(uint32_t table_id, const Slice& value,
+                                  Tuple* out);
   /// Called when a tuple value is replaced or removed by update/delete.
-  virtual void OnValueReplaced(uint32_t table_id,
-                               const std::string& old_value) {
+  virtual void OnValueReplaced(uint32_t table_id, const Slice& old_value) {
     (void)table_id;
     (void)old_value;
   }
@@ -109,9 +112,17 @@ class CowEngine : public StorageEngine {
   std::map<uint32_t, TableInfo> tables_;
 
   std::vector<InverseOp> txn_journal_;
+  size_t journal_used_ = 0;
   size_t txns_in_batch_ = 0;
   uint64_t last_committed_txn_ = 0;
   uint64_t last_durable_txn_ = 0;
+
+  // Reused per-operation scratch (engines are partition-confined).
+  std::string val_scratch_;   // old encoded value
+  std::string val_scratch2_;  // new encoded value
+  Tuple tup_scratch_;         // old tuple image
+  Tuple tup_scratch2_;        // new tuple image
+  Tuple scan_scratch_;        // scan / secondary materialization
 };
 
 }  // namespace nvmdb

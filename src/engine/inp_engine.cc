@@ -86,12 +86,14 @@ Status InPEngine::Insert(uint64_t txn_id, uint32_t table_id,
   {
     // WAL first: the after image is everything redo needs.
     ScopedStallTag t(StallTag::kWal);
-    LogRecord record;
+    LogRecordRef record;
     record.op = LogOp::kInsert;
     record.txn_id = txn_id;
     record.table_id = table_id;
     record.key = key;
-    record.after = tuple.SerializeInlined();
+    wal_after_.clear();
+    tuple.AppendInlined(&wal_after_);
+    record.after = Slice(wal_after_);
     wal_->Append(record);
   }
 
@@ -106,8 +108,33 @@ Status InPEngine::Insert(uint64_t txn_id, uint32_t table_id,
     table->primary->Insert(key, slot);
     AddSecondaryEntries(table, tuple, key);
   }
-  txn_actions_.push_back({LogOp::kInsert, table_id, key, slot, {}});
+  txn_actions_.push_back({LogOp::kInsert, table_id, key, slot, 0, 0});
   return Status::OK();
+}
+
+void InPEngine::AppendBeforeImage(Table* table, uint64_t slot,
+                                  const std::vector<ColumnUpdate>& updates,
+                                  std::string* out) {
+  const uint16_t count = static_cast<uint16_t>(updates.size());
+  out->append(reinterpret_cast<const char*>(&count), 2);
+  for (const ColumnUpdate& u : updates) {
+    const uint16_t col = static_cast<uint16_t>(u.column);
+    out->append(reinterpret_cast<const char*>(&col), 2);
+    const bool is_string =
+        table->def.schema.column(u.column).type == ColumnType::kVarchar;
+    out->push_back(static_cast<char>(is_string ? 1 : 0));
+    if (is_string) {
+      const size_t len_pos = out->size();
+      out->append(4, '\0');
+      const size_t start = out->size();
+      table->heap->AppendString(slot, u.column, out);
+      const uint32_t len = static_cast<uint32_t>(out->size() - start);
+      memcpy(&(*out)[len_pos], &len, 4);
+    } else {
+      const uint64_t num = table->heap->ReadU64(slot, u.column);
+      out->append(reinterpret_cast<const char*>(&num), 8);
+    }
+  }
 }
 
 Status InPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
@@ -120,40 +147,34 @@ Status InPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
 
-  // Capture before-values (for the WAL and secondary maintenance).
-  std::vector<ColumnUpdate> before_updates;
+  // Capture before-values (for the WAL and secondary maintenance),
+  // encoding them straight into the reused before-image buffer.
   bool touches_secondary = false;
-  Tuple old_tuple;
   {
     ScopedStallTag t(StallTag::kTuple);
+    wal_before_.clear();
+    AppendBeforeImage(table, slot, updates, &wal_before_);
     for (const ColumnUpdate& u : updates) {
-      ColumnUpdate b;
-      b.column = u.column;
-      const Column& col = table->def.schema.column(u.column);
-      if (col.type == ColumnType::kVarchar) {
-        b.value = Value::Str(table->heap->ReadString(slot, u.column));
-      } else {
-        b.value = Value::U64(table->heap->ReadU64(slot, u.column));
-      }
-      before_updates.push_back(std::move(b));
       for (const auto& sec : table->def.secondary_indexes) {
         for (size_t c : sec.key_columns) {
           if (c == u.column) touches_secondary = true;
         }
       }
     }
-    if (touches_secondary) old_tuple = table->heap->Read(slot);
+    if (touches_secondary) table->heap->Read(slot, &scratch_tuple_);
   }
 
   {
     ScopedStallTag t(StallTag::kWal);
-    LogRecord record;
+    LogRecordRef record;
     record.op = LogOp::kUpdate;
     record.txn_id = txn_id;
     record.table_id = table_id;
     record.key = key;
-    record.before = EncodeUpdates(table->def.schema, before_updates);
-    record.after = EncodeUpdates(table->def.schema, updates);
+    record.before = Slice(wal_before_);
+    wal_after_.clear();
+    EncodeUpdatesTo(table->def.schema, updates, &wal_after_);
+    record.after = Slice(wal_after_);
     wal_->Append(record);
   }
 
@@ -162,20 +183,22 @@ Status InPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   action.table_id = table_id;
   action.key = key;
   action.slot = slot;
+  action.undo_begin = static_cast<uint32_t>(undo_pool_.size());
   {
     ScopedStallTag t(StallTag::kTuple);
-    Status s = table->heap->Update(slot, updates, &action.undo,
+    Status s = table->heap->Update(slot, updates, &undo_pool_,
                                    &commit_free_varlen_);
     if (!s.ok()) return s;
   }
+  action.undo_end = static_cast<uint32_t>(undo_pool_.size());
   if (touches_secondary) {
     ScopedStallTag t(StallTag::kIndex);
-    Tuple new_tuple = old_tuple;
-    ApplyUpdates(&new_tuple, updates);
-    RemoveSecondaryEntries(table, old_tuple, key);
-    AddSecondaryEntries(table, new_tuple, key);
+    scratch_tuple2_ = scratch_tuple_;
+    ApplyUpdates(&scratch_tuple2_, updates);
+    RemoveSecondaryEntries(table, scratch_tuple_, key);
+    AddSecondaryEntries(table, scratch_tuple2_, key);
   }
-  txn_actions_.push_back(std::move(action));
+  txn_actions_.push_back(action);
   return Status::OK();
 }
 
@@ -187,29 +210,30 @@ Status InPEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
     ScopedStallTag t(StallTag::kIndex);
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
-  Tuple old_tuple;
   {
     ScopedStallTag t(StallTag::kTuple);
-    old_tuple = table->heap->Read(slot);
+    table->heap->Read(slot, &scratch_tuple_);
   }
   {
     ScopedStallTag t(StallTag::kWal);
-    LogRecord record;
+    LogRecordRef record;
     record.op = LogOp::kDelete;
     record.txn_id = txn_id;
     record.table_id = table_id;
     record.key = key;
-    record.before = old_tuple.SerializeInlined();
+    wal_before_.clear();
+    scratch_tuple_.AppendInlined(&wal_before_);
+    record.before = Slice(wal_before_);
     wal_->Append(record);
   }
   {
     ScopedStallTag t(StallTag::kIndex);
     table->primary->Erase(key);
-    RemoveSecondaryEntries(table, old_tuple, key);
+    RemoveSecondaryEntries(table, scratch_tuple_, key);
   }
   // The slot is reclaimed only after commit; abort re-links it.
   commit_free_slots_.push_back(slot);
-  txn_actions_.push_back({LogOp::kDelete, table_id, key, slot, {}});
+  txn_actions_.push_back({LogOp::kDelete, table_id, key, slot, 0, 0});
   return Status::OK();
 }
 
@@ -224,7 +248,7 @@ Status InPEngine::Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
   ScopedStallTag t(StallTag::kTuple);
-  *out = table->heap->Read(slot);
+  table->heap->Read(slot, out);
   return Status::OK();
 }
 
@@ -236,7 +260,8 @@ Status InPEngine::ScanRange(
   if (table == nullptr) return Status::InvalidArgument("no such table");
   ScopedStallTag t(StallTag::kIndex);
   table->primary->Scan(lo, hi, [&](uint64_t key, const uint64_t& slot) {
-    return fn(key, table->heap->Read(slot));
+    table->heap->Read(slot, &scan_scratch_);
+    return fn(key, scan_scratch_);
   });
   return Status::OK();
 }
@@ -270,8 +295,10 @@ Status InPEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
   for (uint64_t pk : pks) {
     uint64_t slot = 0;
     if (!table->primary->Find(pk, &slot)) continue;
-    Tuple t = table->heap->Read(slot);
-    if (SecondaryKeyHash(t, *def) == h) out->push_back(std::move(t));
+    table->heap->Read(slot, &scan_scratch_);
+    if (SecondaryKeyHash(scan_scratch_, *def) == h) {
+      out->push_back(scan_scratch_);
+    }
   }
   return Status::OK();
 }
@@ -296,6 +323,7 @@ Status InPEngine::Commit(uint64_t txn_id) {
     commit_free_varlen_.clear();
   }
   txn_actions_.clear();
+  undo_pool_.clear();
   committed_txns_++;
   active_txn_ = 0;
 
@@ -327,8 +355,9 @@ Status InPEngine::Abort(uint64_t txn_id) {
       }
       case LogOp::kUpdate: {
         const Tuple newer = table->heap->Read(it->slot);
-        for (auto u = it->undo.rbegin(); u != it->undo.rend(); ++u) {
-          table->heap->ApplyUndo(it->slot, *u, &abort_free_varlen_);
+        for (size_t u = it->undo_end; u-- > it->undo_begin;) {
+          table->heap->ApplyUndo(it->slot, undo_pool_[u],
+                                 &abort_free_varlen_);
         }
         const Tuple older = table->heap->Read(it->slot);
         RemoveSecondaryEntries(table, newer, it->key);
@@ -351,6 +380,7 @@ Status InPEngine::Abort(uint64_t txn_id) {
   commit_free_varlen_.clear();
   commit_free_slots_.clear();
   txn_actions_.clear();
+  undo_pool_.clear();
   active_txn_ = 0;
   return Status::OK();
 }

@@ -61,18 +61,28 @@ class InPEngine : public StorageEngine {
         secondaries;
   };
 
-  // Volatile per-transaction undo actions (abort path).
+  // Volatile per-transaction undo actions (abort path). POD: an update's
+  // undo fields live in the shared undo_pool_, addressed by range, so
+  // recording an action never allocates once the pools have grown.
   struct TxnAction {
     LogOp op;
     uint32_t table_id;
     uint64_t key;
-    uint64_t slot;                             // insert/delete
-    std::vector<TableHeap::UndoField> undo;    // update
+    uint64_t slot;         // insert/delete
+    uint32_t undo_begin;   // update: range in undo_pool_
+    uint32_t undo_end;
   };
 
   Table* GetTable(uint32_t table_id);
   void AddSecondaryEntries(Table* table, const Tuple& tuple, uint64_t pk);
   void RemoveSecondaryEntries(Table* table, const Tuple& tuple, uint64_t pk);
+  /// Append the WAL before-image delta for `updates` to `out`: the same
+  /// bytes EncodeUpdates would produce from the captured old values, and
+  /// the same device reads (one fixed-field read per column, plus varlen
+  /// header/payload reads) — without materializing a ColumnUpdate vector.
+  void AppendBeforeImage(Table* table, uint64_t slot,
+                         const std::vector<ColumnUpdate>& updates,
+                         std::string* out);
   void ApplyCommittedRecord(const LogRecord& record);
   std::string SerializeDatabase();
   void LoadDatabase(const std::string& payload);
@@ -85,10 +95,18 @@ class InPEngine : public StorageEngine {
   std::map<uint32_t, Table> tables_;
 
   std::vector<TxnAction> txn_actions_;
+  std::vector<TableHeap::UndoField> undo_pool_;
   std::vector<uint64_t> commit_free_varlen_;  // old varlens, freed on commit
   std::vector<uint64_t> commit_free_slots_;   // deleted slots
   std::vector<uint64_t> abort_free_varlen_;   // filled during undo
   uint64_t txns_since_checkpoint_ = 0;
+
+  // Reused per-operation scratch (engines are partition-confined).
+  std::string wal_before_;
+  std::string wal_after_;
+  Tuple scratch_tuple_;   // update/delete old image
+  Tuple scratch_tuple2_;  // update new image (secondary maintenance)
+  Tuple scan_scratch_;    // select-secondary / scan materialization
 };
 
 }  // namespace nvmdb

@@ -44,14 +44,17 @@ LogEngine::Table* LogEngine::GetTable(uint32_t table_id) {
 
 bool LogEngine::GetTuple(Table* table, uint64_t key, Tuple* out) {
   // Tuple coalescing: gather records newest-first from the MemTable, then
-  // from the LSM runs, stopping at the first conclusive record.
-  std::vector<DeltaRecord> records;
+  // from the LSM runs, stopping at the first conclusive record. The chain
+  // collects into a reused record pool.
+  DeltaRecordList& records = lookup_records_;
+  records.Clear();
   {
     ScopedStallTag t(StallTag::kIndex);
     table->mem->Collect(key, &records);
   }
   const bool concluded =
-      !records.empty() && records.back().kind != DeltaKind::kDelta;
+      !records.empty() &&
+      records[records.size() - 1].kind != DeltaKind::kDelta;
   if (!concluded) {
     ScopedStallTag t(StallTag::kTuple);
     table->lsm->Collect(key, &records);
@@ -60,8 +63,8 @@ bool LogEngine::GetTuple(Table* table, uint64_t key, Tuple* out) {
 }
 
 bool LogEngine::KeyExists(Table* table, uint64_t key) {
-  Tuple unused(&table->def.schema);
-  return GetTuple(table, key, &unused);
+  exists_scratch_.Reset(&table->def.schema);
+  return GetTuple(table, key, &exists_scratch_);
 }
 
 Status LogEngine::Insert(uint64_t txn_id, uint32_t table_id,
@@ -71,15 +74,16 @@ Status LogEngine::Insert(uint64_t txn_id, uint32_t table_id,
   const uint64_t key = tuple.Key();
   if (KeyExists(table, key)) return Status::InvalidArgument("duplicate key");
 
-  const std::string serialized = tuple.SerializeInlined();
+  wal_after_.clear();
+  tuple.AppendInlined(&wal_after_);
   {
     ScopedStallTag t(StallTag::kWal);
-    LogRecord record;
+    LogRecordRef record;
     record.op = LogOp::kInsert;
     record.txn_id = txn_id;
     record.table_id = table_id;
     record.key = key;
-    record.after = serialized;
+    record.after = Slice(wal_after_);
     wal_->Append(record);
   }
   TxnAction action;
@@ -88,7 +92,7 @@ Status LogEngine::Insert(uint64_t txn_id, uint32_t table_id,
   {
     ScopedStallTag t(StallTag::kTuple);
     action.record_off =
-        table->mem->Push(key, DeltaKind::kFull, Slice(serialized));
+        table->mem->Push(key, DeltaKind::kFull, Slice(wal_after_));
   }
   {
     ScopedStallTag t(StallTag::kIndex);
@@ -117,19 +121,22 @@ Status LogEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
     }
   }
 
-  Tuple old_tuple(&table->def.schema);
-  if (!GetTuple(table, key, &old_tuple)) return Status::NotFound();
+  old_tuple_.Reset(&table->def.schema);
+  if (!GetTuple(table, key, &old_tuple_)) return Status::NotFound();
 
-  const std::string delta = EncodeUpdates(table->def.schema, updates);
+  wal_after_.clear();
+  EncodeUpdatesTo(table->def.schema, updates, &wal_after_);
   {
     ScopedStallTag t(StallTag::kWal);
-    LogRecord record;
+    LogRecordRef record;
     record.op = LogOp::kUpdate;
     record.txn_id = txn_id;
     record.table_id = table_id;
     record.key = key;
-    record.before = old_tuple.SerializeInlined();
-    record.after = delta;
+    wal_before_.clear();
+    old_tuple_.AppendInlined(&wal_before_);
+    record.before = Slice(wal_before_);
+    record.after = Slice(wal_after_);
     wal_->Append(record);
   }
   TxnAction action;
@@ -138,17 +145,17 @@ Status LogEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   {
     ScopedStallTag t(StallTag::kTuple);
     action.record_off = table->mem->Push(key, DeltaKind::kDelta,
-                                         Slice(delta));
+                                         Slice(wal_after_));
   }
   if (touches_secondary) {
     ScopedStallTag t(StallTag::kIndex);
-    Tuple new_tuple = old_tuple;
-    ApplyUpdates(&new_tuple, updates);
+    new_tuple_ = old_tuple_;
+    ApplyUpdates(&new_tuple_, updates);
     for (const auto& sec : table->def.secondary_indexes) {
       const uint64_t old_comp =
-          SecondaryComposite(SecondaryKeyHash(old_tuple, sec), key);
+          SecondaryComposite(SecondaryKeyHash(old_tuple_, sec), key);
       const uint64_t new_comp =
-          SecondaryComposite(SecondaryKeyHash(new_tuple, sec), key);
+          SecondaryComposite(SecondaryKeyHash(new_tuple_, sec), key);
       if (old_comp == new_comp) continue;
       table->secondaries[sec.index_id]->Erase(old_comp);
       table->secondaries[sec.index_id]->Insert(new_comp, key);
@@ -163,17 +170,19 @@ Status LogEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
 Status LogEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
   Table* table = GetTable(table_id);
   if (table == nullptr) return Status::InvalidArgument("no such table");
-  Tuple old_tuple(&table->def.schema);
-  if (!GetTuple(table, key, &old_tuple)) return Status::NotFound();
+  old_tuple_.Reset(&table->def.schema);
+  if (!GetTuple(table, key, &old_tuple_)) return Status::NotFound();
 
   {
     ScopedStallTag t(StallTag::kWal);
-    LogRecord record;
+    LogRecordRef record;
     record.op = LogOp::kDelete;
     record.txn_id = txn_id;
     record.table_id = table_id;
     record.key = key;
-    record.before = old_tuple.SerializeInlined();
+    wal_before_.clear();
+    old_tuple_.AppendInlined(&wal_before_);
+    record.before = Slice(wal_before_);
     wal_->Append(record);
   }
   TxnAction action;
@@ -189,7 +198,7 @@ Status LogEngine::Delete(uint64_t txn_id, uint32_t table_id, uint64_t key) {
     ScopedStallTag t(StallTag::kIndex);
     for (const auto& sec : table->def.secondary_indexes) {
       const uint64_t comp =
-          SecondaryComposite(SecondaryKeyHash(old_tuple, sec), key);
+          SecondaryComposite(SecondaryKeyHash(old_tuple_, sec), key);
       table->secondaries[sec.index_id]->Erase(comp);
       action.sec_removed.emplace_back(sec.index_id, comp);
     }

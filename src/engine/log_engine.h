@@ -86,6 +86,14 @@ class LogEngine : public StorageEngine {
   std::unique_ptr<Wal> wal_;
   std::map<uint32_t, Table> tables_;
   std::vector<TxnAction> txn_actions_;
+
+  // Reused per-operation scratch (engines are partition-confined).
+  DeltaRecordList lookup_records_;  // coalescing chains
+  std::string wal_before_;
+  std::string wal_after_;
+  Tuple old_tuple_;     // update/delete old image
+  Tuple new_tuple_;     // update new image (secondary maintenance)
+  Tuple exists_scratch_;
 };
 
 }  // namespace nvmdb

@@ -70,24 +70,27 @@ void NvWal::Clear() {
   ScopedStallTag tag(StallTag::kWal);
   // Truncation uses the volatile mirror of the entry list when available
   // (steady state), avoiding NVM re-reads of entries that were just
-  // flushed out of the cache by their own persists. After a restart the
-  // mirror is empty and the persistent list is walked instead.
-  std::vector<uint64_t> entries;
+  // flushed out of the cache by their own persists — and freeing straight
+  // out of the mirror keeps its capacity for the next transaction instead
+  // of surrendering it per commit. After a restart the mirror is empty
+  // and the persistent list is walked instead.
   if (!mirror_.empty()) {
-    entries.swap(mirror_);
-  } else {
-    uint64_t off = head();
-    while (off != 0) {
-      if (!allocator_->ValidPayloadOffset(off) ||
-          allocator_->StateOf(off) !=
-              PmemAllocator::SlotState::kPersisted) {
-        break;
-      }
-      EntryHeader hdr;
-      device_->Read(off, &hdr, sizeof(hdr));
-      entries.push_back(off);
-      off = hdr.next;
+    device_->AtomicPersistWrite64(head_slot_, 0);
+    for (uint64_t e : mirror_) allocator_->Free(e);
+    mirror_.clear();
+    return;
+  }
+  std::vector<uint64_t> entries;
+  uint64_t off = head();
+  while (off != 0) {
+    if (!allocator_->ValidPayloadOffset(off) ||
+        allocator_->StateOf(off) != PmemAllocator::SlotState::kPersisted) {
+      break;
     }
+    EntryHeader hdr;
+    device_->Read(off, &hdr, sizeof(hdr));
+    entries.push_back(off);
+    off = hdr.next;
   }
   device_->AtomicPersistWrite64(head_slot_, 0);
   for (uint64_t e : entries) allocator_->Free(e);

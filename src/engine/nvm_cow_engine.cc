@@ -22,33 +22,29 @@ Status NvmCowEngine::CreateTable(const TableDef& def) {
   return Status::OK();
 }
 
-std::string NvmCowEngine::EncodeTupleValue(uint32_t table_id,
-                                           const Tuple& tuple,
-                                           Status* status) {
+Status NvmCowEngine::EncodeTupleValueTo(uint32_t table_id,
+                                        const Tuple& tuple,
+                                        std::string* out) {
   // Persist the tuple copy into the slot pools and hand the directory an
   // 8-byte non-volatile pointer — the data-duplication saving of
   // Section 4.2. The sync is deferred to the batch flush.
   TableHeap* heap = heaps_[table_id].get();
   const uint64_t slot = heap->Insert(tuple, /*defer_mark=*/true);
-  if (slot == 0) {
-    *status = Status::OutOfSpace("tuple slot");
-    return "";
-  }
+  if (slot == 0) return Status::OutOfSpace("tuple slot");
   txn_new_slots_.push_back({table_id, slot});
-  *status = Status::OK();
-  char bytes[8];
-  memcpy(bytes, &slot, 8);
-  return std::string(bytes, 8);
+  out->append(reinterpret_cast<const char*>(&slot), 8);
+  return Status::OK();
 }
 
-Tuple NvmCowEngine::DecodeTupleValue(uint32_t table_id, const Slice& value) {
+void NvmCowEngine::DecodeTupleValueTo(uint32_t table_id, const Slice& value,
+                                      Tuple* out) {
   uint64_t slot;
   memcpy(&slot, value.data(), 8);
-  return heaps_[table_id]->Read(slot);
+  heaps_[table_id]->Read(slot, out);
 }
 
 void NvmCowEngine::OnValueReplaced(uint32_t table_id,
-                                   const std::string& old_value) {
+                                   const Slice& old_value) {
   uint64_t slot;
   memcpy(&slot, old_value.data(), 8);
   txn_old_slots_.push_back({table_id, slot});

@@ -32,11 +32,11 @@ class NvmCowEngine : public CowEngine {
   FootprintStats Footprint() const override;
 
  protected:
-  std::string EncodeTupleValue(uint32_t table_id, const Tuple& tuple,
-                               Status* status) override;
-  Tuple DecodeTupleValue(uint32_t table_id, const Slice& value) override;
-  void OnValueReplaced(uint32_t table_id,
-                       const std::string& old_value) override;
+  Status EncodeTupleValueTo(uint32_t table_id, const Tuple& tuple,
+                            std::string* out) override;
+  void DecodeTupleValueTo(uint32_t table_id, const Slice& value,
+                          Tuple* out) override;
+  void OnValueReplaced(uint32_t table_id, const Slice& old_value) override;
   void OnTxnCommitHook() override;
   void OnTxnAbortHook() override;
   void OnBatchFlush() override;

@@ -16,31 +16,26 @@ namespace {
 constexpr size_t kUndoHeaderBytes = 1 + 4 + 8 + 8 + 2;
 constexpr size_t kUndoFieldBytes = 2 + 8 + 8;
 
-struct UndoField {
-  uint16_t column;
-  uint64_t before;
-  uint64_t new_varlen;
-};
+}  // namespace
 
-std::string EncodeUndo(uint8_t op, uint32_t table_id, uint64_t key,
-                       uint64_t slot, const std::vector<UndoField>& fields) {
-  std::string out;
-  out.reserve(kUndoHeaderBytes + fields.size() * kUndoFieldBytes);
+void NvmInPEngine::PushUndoEntry(uint8_t op, uint32_t table_id, uint64_t key,
+                                 uint64_t slot, size_t fcount) {
+  std::string& out = wal_entry_;
+  out.clear();
   out.push_back(static_cast<char>(op));
   out.append(reinterpret_cast<const char*>(&table_id), 4);
   out.append(reinterpret_cast<const char*>(&key), 8);
   out.append(reinterpret_cast<const char*>(&slot), 8);
-  const uint16_t count = static_cast<uint16_t>(fields.size());
+  const uint16_t count = static_cast<uint16_t>(fcount);
   out.append(reinterpret_cast<const char*>(&count), 2);
-  for (const UndoField& f : fields) {
+  for (size_t i = 0; i < fcount; i++) {
+    const StagedField& f = staged_fields_[i];
     out.append(reinterpret_cast<const char*>(&f.column), 2);
     out.append(reinterpret_cast<const char*>(&f.before), 8);
     out.append(reinterpret_cast<const char*>(&f.new_varlen), 8);
   }
-  return out;
+  wal_->Push(out.data(), out.size());
 }
-
-}  // namespace
 
 NvmInPEngine::NvmInPEngine(const EngineConfig& config)
     : config_(config), allocator_(config.allocator) {
@@ -110,9 +105,8 @@ Status NvmInPEngine::Insert(uint64_t txn_id, uint32_t table_id,
   }
   {
     ScopedStallTag t(StallTag::kWal);
-    const std::string entry = EncodeUndo(
-        static_cast<uint8_t>(LogOp::kInsert), table_id, key, slot, {});
-    wal_->Push(entry.data(), entry.size());
+    PushUndoEntry(static_cast<uint8_t>(LogOp::kInsert), table_id, key, slot,
+                  0);
   }
   {
     // Tuple payloads + slot states become durable only now, after the WAL
@@ -147,35 +141,34 @@ Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
       }
     }
   }
-  Tuple old_tuple;
-  if (touches_secondary) old_tuple = table->heap->Read(slot);
+  if (touches_secondary) table->heap->Read(slot, &scratch_tuple_);
 
   // Phase 1: stage new varlen values (unmarked) and capture before words.
-  std::vector<UndoField> fields;
-  std::vector<uint64_t> new_words(updates.size());
+  staged_fields_.clear();
+  staged_words_.assign(updates.size(), 0);
   {
     ScopedStallTag t(StallTag::kTuple);
     for (size_t i = 0; i < updates.size(); i++) {
       const ColumnUpdate& u = updates[i];
       const Column& col = table->def.schema.column(u.column);
-      UndoField f;
+      StagedField f;
       f.column = static_cast<uint16_t>(u.column);
       f.before = table->heap->ReadFieldRaw(slot, u.column);
       f.new_varlen = 0;
       if (col.type == ColumnType::kVarchar && !col.IsInlined()) {
         f.new_varlen = table->heap->AllocVarlenUnmarked(u.value.str);
         if (f.new_varlen == 0) return Status::OutOfSpace("varlen");
-        new_words[i] = f.new_varlen;
+        staged_words_[i] = f.new_varlen;
         commit_free_varlen_.push_back(f.before);  // old slot, freed at commit
       } else if (col.type == ColumnType::kVarchar) {
         uint64_t word = 0;
         memcpy(&word, u.value.str.data(),
                std::min<size_t>(8, u.value.str.size()));
-        new_words[i] = word;
+        staged_words_[i] = word;
       } else {
-        new_words[i] = u.value.num;
+        staged_words_[i] = u.value.num;
       }
-      fields.push_back(f);
+      staged_fields_.push_back(f);
     }
   }
 
@@ -183,9 +176,8 @@ Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
   // Table 3's F + p bytes, not 2*(F+V) like the traditional engine).
   {
     ScopedStallTag t(StallTag::kWal);
-    const std::string entry = EncodeUndo(
-        static_cast<uint8_t>(LogOp::kUpdate), table_id, key, slot, fields);
-    wal_->Push(entry.data(), entry.size());
+    PushUndoEntry(static_cast<uint8_t>(LogOp::kUpdate), table_id, key, slot,
+                  staged_fields_.size());
   }
 
   // Phase 3: apply in place; one sync covers the whole modified span.
@@ -193,12 +185,12 @@ Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
     ScopedStallTag t(StallTag::kTuple);
     size_t min_col = updates[0].column, max_col = updates[0].column;
     for (size_t i = 0; i < updates.size(); i++) {
-      table->heap->WriteFieldRaw(slot, updates[i].column, new_words[i],
+      table->heap->WriteFieldRaw(slot, updates[i].column, staged_words_[i],
                                  /*persist=*/false);
       min_col = std::min(min_col, updates[i].column);
       max_col = std::max(max_col, updates[i].column);
-      if (fields[i].new_varlen != 0) {
-        table->heap->PersistVarlenAndMark(fields[i].new_varlen);
+      if (staged_fields_[i].new_varlen != 0) {
+        table->heap->PersistVarlenAndMark(staged_fields_[i].new_varlen);
       }
     }
     table->heap->PersistFieldSpan(slot, min_col, max_col);
@@ -206,10 +198,10 @@ Status NvmInPEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
 
   if (touches_secondary) {
     ScopedStallTag t(StallTag::kIndex);
-    Tuple new_tuple = old_tuple;
-    ApplyUpdates(&new_tuple, updates);
-    RemoveSecondaryEntries(table, old_tuple, key);
-    AddSecondaryEntries(table, new_tuple, key);
+    scratch_tuple2_ = scratch_tuple_;
+    ApplyUpdates(&scratch_tuple2_, updates);
+    RemoveSecondaryEntries(table, scratch_tuple_, key);
+    AddSecondaryEntries(table, scratch_tuple2_, key);
   }
   return Status::OK();
 }
@@ -226,15 +218,14 @@ Status NvmInPEngine::Delete(uint64_t txn_id, uint32_t table_id,
   }
   {
     ScopedStallTag t(StallTag::kWal);
-    const std::string entry = EncodeUndo(
-        static_cast<uint8_t>(LogOp::kDelete), table_id, key, slot, {});
-    wal_->Push(entry.data(), entry.size());
+    PushUndoEntry(static_cast<uint8_t>(LogOp::kDelete), table_id, key, slot,
+                  0);
   }
-  Tuple old_tuple = table->heap->Read(slot);
+  table->heap->Read(slot, &scan_scratch_);
   {
     ScopedStallTag t(StallTag::kIndex);
     table->primary->Erase(key);
-    RemoveSecondaryEntries(table, old_tuple, key);
+    RemoveSecondaryEntries(table, scan_scratch_, key);
   }
   // Space reclaimed at the end of the transaction (Table 2).
   commit_free_slots_.emplace_back(table_id, slot);
@@ -252,7 +243,7 @@ Status NvmInPEngine::Select(uint64_t txn_id, uint32_t table_id, uint64_t key,
     if (!table->primary->Find(key, &slot)) return Status::NotFound();
   }
   ScopedStallTag t(StallTag::kTuple);
-  *out = table->heap->Read(slot);
+  table->heap->Read(slot, out);
   return Status::OK();
 }
 
@@ -264,7 +255,8 @@ Status NvmInPEngine::ScanRange(
   if (table == nullptr) return Status::InvalidArgument("no such table");
   ScopedStallTag t(StallTag::kIndex);
   table->primary->Scan(lo, hi, [&](uint64_t key, uint64_t slot) {
-    return fn(key, table->heap->Read(slot));
+    table->heap->Read(slot, &scan_scratch_);
+    return fn(key, scan_scratch_);
   });
   return Status::OK();
 }
@@ -297,8 +289,10 @@ Status NvmInPEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
   for (uint64_t pk : pks) {
     uint64_t slot = 0;
     if (!table->primary->Find(pk, &slot)) continue;
-    Tuple t = table->heap->Read(slot);
-    if (SecondaryKeyHash(t, *def) == h) out->push_back(std::move(t));
+    table->heap->Read(slot, &scan_scratch_);
+    if (SecondaryKeyHash(scan_scratch_, *def) == h) {
+      out->push_back(scan_scratch_);
+    }
   }
   return Status::OK();
 }

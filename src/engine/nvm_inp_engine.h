@@ -66,10 +66,22 @@ class NvmInPEngine : public StorageEngine {
     // followed by field_count * { u16 column; u64 before; u64 new_varlen }
   };
 
+  // One staged field of an in-flight update (before word + the new varlen
+  // slot, if any); lives in the reused staged_fields_ buffer.
+  struct StagedField {
+    uint16_t column;
+    uint64_t before;
+    uint64_t new_varlen;
+  };
+
   Table* GetTable(uint32_t table_id);
   void UndoOne(const uint8_t* payload, size_t size);
   void AddSecondaryEntries(Table* table, const Tuple& tuple, uint64_t pk);
   void RemoveSecondaryEntries(Table* table, const Tuple& tuple, uint64_t pk);
+  /// Serialize an undo entry (op header plus the first `fcount` staged
+  /// fields) into the reused wal_entry_ buffer and push it to the NV-WAL.
+  void PushUndoEntry(uint8_t op, uint32_t table_id, uint64_t key,
+                     uint64_t slot, size_t fcount);
 
   EngineConfig config_;
   PmemAllocator* allocator_;
@@ -80,6 +92,14 @@ class NvmInPEngine : public StorageEngine {
   // deleted tuples: (table_id, slot) so Free can release varlen fields
   std::vector<std::pair<uint32_t, uint64_t>> commit_free_slots_;
   uint64_t last_committed_txn_ = 0;
+
+  // Reused per-operation scratch (engines are partition-confined).
+  std::vector<StagedField> staged_fields_;
+  std::vector<uint64_t> staged_words_;
+  std::string wal_entry_;
+  Tuple scratch_tuple_;   // update old image
+  Tuple scratch_tuple2_;  // update new image (secondary maintenance)
+  Tuple scan_scratch_;    // delete / scan / secondary materialization
 };
 
 }  // namespace nvmdb

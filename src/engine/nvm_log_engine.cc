@@ -12,37 +12,6 @@ namespace {
 
 constexpr uint64_t kRunDirMagic = 0x52554E4449523144ULL;  // "RUNDIR1D"
 
-// NV-WAL undo entry:
-// u8 op | u32 table | u64 key | u64 record_off | u8 n_added | u8 n_removed
-// | n_added * { u32 index_id; u64 composite }
-// | n_removed * { u32 index_id; u64 composite }
-struct SecRef {
-  uint32_t index_id;
-  uint64_t composite;
-};
-
-std::string EncodeUndo(uint8_t op, uint32_t table_id, uint64_t key,
-                       uint64_t record_off,
-                       const std::vector<SecRef>& added,
-                       const std::vector<SecRef>& removed) {
-  std::string out;
-  out.push_back(static_cast<char>(op));
-  out.append(reinterpret_cast<const char*>(&table_id), 4);
-  out.append(reinterpret_cast<const char*>(&key), 8);
-  out.append(reinterpret_cast<const char*>(&record_off), 8);
-  out.push_back(static_cast<char>(added.size()));
-  out.push_back(static_cast<char>(removed.size()));
-  for (const SecRef& r : added) {
-    out.append(reinterpret_cast<const char*>(&r.index_id), 4);
-    out.append(reinterpret_cast<const char*>(&r.composite), 8);
-  }
-  for (const SecRef& r : removed) {
-    out.append(reinterpret_cast<const char*>(&r.index_id), 4);
-    out.append(reinterpret_cast<const char*>(&r.composite), 8);
-  }
-  return out;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -132,6 +101,22 @@ void NvmLogEngine::NvMemTable::Collect(uint64_t key,
       device_->Read(off + sizeof(hdr), record.payload.data(), hdr.length);
     }
     out->push_back(std::move(record));
+    off = hdr.next;
+  }
+}
+
+void NvmLogEngine::NvMemTable::Collect(uint64_t key,
+                                       DeltaRecordList* out) const {
+  uint64_t off = 0;
+  if (!tree_->Find(key, &off)) return;
+  while (off != 0) {
+    RecordHeader hdr;
+    device_->Read(off, &hdr, sizeof(hdr));
+    DeltaRecord* record = out->Add(static_cast<DeltaKind>(hdr.kind));
+    record->payload.resize(hdr.length);
+    if (hdr.length > 0) {
+      device_->Read(off + sizeof(hdr), record->payload.data(), hdr.length);
+    }
     off = hdr.next;
   }
 }
@@ -268,11 +253,13 @@ NvmLogEngine::Table* NvmLogEngine::GetTable(uint32_t table_id) {
   return it == tables_.end() ? nullptr : &it->second;
 }
 
-bool NvmLogEngine::GetTuple(Table* table, uint64_t key, Tuple* out) const {
-  std::vector<DeltaRecord> records;
+bool NvmLogEngine::GetTuple(Table* table, uint64_t key, Tuple* out) {
+  DeltaRecordList& records = lookup_records_;
+  records.Clear();
   table->mutable_mem->Collect(key, &records);
   const bool concluded =
-      !records.empty() && records.back().kind != DeltaKind::kDelta;
+      !records.empty() &&
+      records[records.size() - 1].kind != DeltaKind::kDelta;
   if (!concluded) {
     // Immutable MemTables newest first, Bloom-guarded (Section 4.3).
     for (size_t i = table->immutables.size(); i-- > 0;) {
@@ -280,7 +267,8 @@ bool NvmLogEngine::GetTuple(Table* table, uint64_t key, Tuple* out) const {
         continue;
       }
       table->immutables[i]->Collect(key, &records);
-      if (!records.empty() && records.back().kind != DeltaKind::kDelta) {
+      if (!records.empty() &&
+          records[records.size() - 1].kind != DeltaKind::kDelta) {
         break;
       }
     }
@@ -288,9 +276,30 @@ bool NvmLogEngine::GetTuple(Table* table, uint64_t key, Tuple* out) const {
   return MaterializeNewestFirst(table->def.schema, records, out);
 }
 
-bool NvmLogEngine::KeyExists(Table* table, uint64_t key) const {
-  Tuple unused(&table->def.schema);
-  return GetTuple(table, key, &unused);
+bool NvmLogEngine::KeyExists(Table* table, uint64_t key) {
+  exists_scratch_.Reset(&table->def.schema);
+  return GetTuple(table, key, &exists_scratch_);
+}
+
+void NvmLogEngine::PushUndoEntry(uint8_t op, uint32_t table_id, uint64_t key,
+                                 uint64_t record_off) {
+  std::string& out = wal_entry_;
+  out.clear();
+  out.push_back(static_cast<char>(op));
+  out.append(reinterpret_cast<const char*>(&table_id), 4);
+  out.append(reinterpret_cast<const char*>(&key), 8);
+  out.append(reinterpret_cast<const char*>(&record_off), 8);
+  out.push_back(static_cast<char>(sec_added_.size()));
+  out.push_back(static_cast<char>(sec_removed_.size()));
+  for (const SecRef& r : sec_added_) {
+    out.append(reinterpret_cast<const char*>(&r.index_id), 4);
+    out.append(reinterpret_cast<const char*>(&r.composite), 8);
+  }
+  for (const SecRef& r : sec_removed_) {
+    out.append(reinterpret_cast<const char*>(&r.index_id), 4);
+    out.append(reinterpret_cast<const char*>(&r.composite), 8);
+  }
+  wal_->Push(out.data(), out.size());
 }
 
 Status NvmLogEngine::Insert(uint64_t txn_id, uint32_t table_id,
@@ -303,30 +312,30 @@ Status NvmLogEngine::Insert(uint64_t txn_id, uint32_t table_id,
 
   // Table 2, NVM-Log INSERT: sync tuple -> WAL pointer -> sync log ->
   // mark persisted -> add MemTable entry.
-  const std::string serialized = tuple.SerializeInlined();
+  serial_buf_.clear();
+  tuple.AppendInlined(&serial_buf_);
   uint64_t record_off;
   {
     ScopedStallTag t(StallTag::kTuple);
     record_off = table->mutable_mem->PrepareRecord(key, DeltaKind::kFull,
-                                                   Slice(serialized));
+                                                   Slice(serial_buf_));
   }
-  std::vector<SecRef> added;
+  sec_added_.clear();
+  sec_removed_.clear();
   for (const auto& sec : table->def.secondary_indexes) {
-    added.push_back(
+    sec_added_.push_back(
         {sec.index_id,
          SecondaryComposite(SecondaryKeyHash(tuple, sec), key)});
   }
   {
     ScopedStallTag t(StallTag::kWal);
-    const std::string entry =
-        EncodeUndo(static_cast<uint8_t>(LogOp::kInsert), table_id, key,
-                   record_off, added, {});
-    wal_->Push(entry.data(), entry.size());
+    PushUndoEntry(static_cast<uint8_t>(LogOp::kInsert), table_id, key,
+                  record_off);
   }
   {
     ScopedStallTag t(StallTag::kIndex);
     table->mutable_mem->CommitRecord(key, record_off);
-    for (const SecRef& r : added) {
+    for (const SecRef& r : sec_added_) {
       table->secondaries[r.index_id]->Insert(r.composite, key);
     }
   }
@@ -347,48 +356,48 @@ Status NvmLogEngine::Update(uint64_t txn_id, uint32_t table_id, uint64_t key,
       }
     }
   }
-  Tuple old_tuple(&table->def.schema);
-  std::vector<SecRef> added, removed;
+  sec_added_.clear();
+  sec_removed_.clear();
   if (touches_secondary || !table->def.secondary_indexes.empty()) {
-    if (!GetTuple(table, key, &old_tuple)) return Status::NotFound();
+    scratch_tuple_.Reset(&table->def.schema);
+    if (!GetTuple(table, key, &scratch_tuple_)) return Status::NotFound();
   } else if (!KeyExists(table, key)) {
     return Status::NotFound();
   }
   if (touches_secondary) {
-    Tuple new_tuple = old_tuple;
-    ApplyUpdates(&new_tuple, updates);
+    scratch_tuple2_ = scratch_tuple_;
+    ApplyUpdates(&scratch_tuple2_, updates);
     for (const auto& sec : table->def.secondary_indexes) {
       const uint64_t oc =
-          SecondaryComposite(SecondaryKeyHash(old_tuple, sec), key);
+          SecondaryComposite(SecondaryKeyHash(scratch_tuple_, sec), key);
       const uint64_t nc =
-          SecondaryComposite(SecondaryKeyHash(new_tuple, sec), key);
+          SecondaryComposite(SecondaryKeyHash(scratch_tuple2_, sec), key);
       if (oc == nc) continue;
-      removed.push_back({sec.index_id, oc});
-      added.push_back({sec.index_id, nc});
+      sec_removed_.push_back({sec.index_id, oc});
+      sec_added_.push_back({sec.index_id, nc});
     }
   }
 
-  const std::string delta = EncodeUpdates(table->def.schema, updates);
+  serial_buf_.clear();
+  EncodeUpdatesTo(table->def.schema, updates, &serial_buf_);
   uint64_t record_off;
   {
     ScopedStallTag t(StallTag::kTuple);
     record_off = table->mutable_mem->PrepareRecord(key, DeltaKind::kDelta,
-                                                   Slice(delta));
+                                                   Slice(serial_buf_));
   }
   {
     ScopedStallTag t(StallTag::kWal);
-    const std::string entry =
-        EncodeUndo(static_cast<uint8_t>(LogOp::kUpdate), table_id, key,
-                   record_off, added, removed);
-    wal_->Push(entry.data(), entry.size());
+    PushUndoEntry(static_cast<uint8_t>(LogOp::kUpdate), table_id, key,
+                  record_off);
   }
   {
     ScopedStallTag t(StallTag::kIndex);
     table->mutable_mem->CommitRecord(key, record_off);
-    for (const SecRef& r : removed) {
+    for (const SecRef& r : sec_removed_) {
       table->secondaries[r.index_id]->Erase(r.composite);
     }
-    for (const SecRef& r : added) {
+    for (const SecRef& r : sec_added_) {
       table->secondaries[r.index_id]->Insert(r.composite, key);
     }
   }
@@ -400,14 +409,15 @@ Status NvmLogEngine::Delete(uint64_t txn_id, uint32_t table_id,
   (void)txn_id;
   Table* table = GetTable(table_id);
   if (table == nullptr) return Status::InvalidArgument("no such table");
-  Tuple old_tuple(&table->def.schema);
-  if (!GetTuple(table, key, &old_tuple)) return Status::NotFound();
+  scratch_tuple_.Reset(&table->def.schema);
+  if (!GetTuple(table, key, &scratch_tuple_)) return Status::NotFound();
 
-  std::vector<SecRef> removed;
+  sec_added_.clear();
+  sec_removed_.clear();
   for (const auto& sec : table->def.secondary_indexes) {
-    removed.push_back(
+    sec_removed_.push_back(
         {sec.index_id,
-         SecondaryComposite(SecondaryKeyHash(old_tuple, sec), key)});
+         SecondaryComposite(SecondaryKeyHash(scratch_tuple_, sec), key)});
   }
   uint64_t record_off;
   {
@@ -417,15 +427,13 @@ Status NvmLogEngine::Delete(uint64_t txn_id, uint32_t table_id,
   }
   {
     ScopedStallTag t(StallTag::kWal);
-    const std::string entry =
-        EncodeUndo(static_cast<uint8_t>(LogOp::kDelete), table_id, key,
-                   record_off, {}, removed);
-    wal_->Push(entry.data(), entry.size());
+    PushUndoEntry(static_cast<uint8_t>(LogOp::kDelete), table_id, key,
+                  record_off);
   }
   {
     ScopedStallTag t(StallTag::kIndex);
     table->mutable_mem->CommitRecord(key, record_off);
-    for (const SecRef& r : removed) {
+    for (const SecRef& r : sec_removed_) {
       table->secondaries[r.index_id]->Erase(r.composite);
     }
   }
@@ -459,9 +467,9 @@ Status NvmLogEngine::ScanRange(
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   }
   for (uint64_t key : keys) {
-    Tuple t(&table->def.schema);
-    if (!GetTuple(table, key, &t)) continue;
-    if (!fn(key, t)) break;
+    scan_scratch_.Reset(&table->def.schema);
+    if (!GetTuple(table, key, &scan_scratch_)) continue;
+    if (!fn(key, scan_scratch_)) break;
   }
   return Status::OK();
 }
@@ -492,9 +500,11 @@ Status NvmLogEngine::SelectSecondary(uint64_t txn_id, uint32_t table_id,
                          });
   }
   for (uint64_t pk : pks) {
-    Tuple t(&table->def.schema);
-    if (!GetTuple(table, pk, &t)) continue;
-    if (SecondaryKeyHash(t, *def) == h) out->push_back(std::move(t));
+    scan_scratch_.Reset(&table->def.schema);
+    if (!GetTuple(table, pk, &scan_scratch_)) continue;
+    if (SecondaryKeyHash(scan_scratch_, *def) == h) {
+      out->push_back(scan_scratch_);
+    }
   }
   return Status::OK();
 }

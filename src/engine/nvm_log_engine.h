@@ -70,6 +70,7 @@ class NvmLogEngine : public StorageEngine {
     void UndoRecord(uint64_t key, uint64_t record_off);
 
     void Collect(uint64_t key, std::vector<DeltaRecord>* out) const;
+    void Collect(uint64_t key, DeltaRecordList* out) const;
     void CollectKeysInRange(uint64_t lo, uint64_t hi,
                             std::vector<uint64_t>* out) const;
     void ForEachKey(const std::function<void(
@@ -111,9 +112,21 @@ class NvmLogEngine : public StorageEngine {
   // Persistent run directory: u64 magic, u64 count, u64 entries[kMaxRuns].
   static constexpr size_t kMaxRuns = 64;
 
+  // Secondary-index entry touched by the in-flight operation (undo info).
+  struct SecRef {
+    uint32_t index_id;
+    uint64_t composite;
+  };
+
   Table* GetTable(uint32_t table_id);
-  bool GetTuple(Table* table, uint64_t key, Tuple* out) const;
-  bool KeyExists(Table* table, uint64_t key) const;
+  bool GetTuple(Table* table, uint64_t key, Tuple* out);
+  bool KeyExists(Table* table, uint64_t key);
+  /// Encode the NV-WAL undo entry for the in-flight op (referencing the
+  /// staged sec_added_/sec_removed_) into wal_entry_ and push it.
+  /// Layout: u8 op | u32 table | u64 key | u64 record_off | u8 n_added |
+  /// u8 n_removed | (n_added + n_removed) * { u32 index_id; u64 composite }.
+  void PushUndoEntry(uint8_t op, uint32_t table_id, uint64_t key,
+                     uint64_t record_off);
   void MarkImmutable(Table* table);
   void CompactTable(Table* table);
   void UndoOne(const uint8_t* payload, size_t size);
@@ -127,6 +140,17 @@ class NvmLogEngine : public StorageEngine {
   std::unique_ptr<NvWal> wal_;
   std::map<uint32_t, Table> tables_;
   uint64_t last_committed_txn_ = 0;
+
+  // Reused per-operation scratch (engines are partition-confined).
+  DeltaRecordList lookup_records_;  // coalescing chains
+  std::vector<SecRef> sec_added_;
+  std::vector<SecRef> sec_removed_;
+  std::string wal_entry_;   // encoded NV-WAL undo entry
+  std::string serial_buf_;  // inlined tuple / delta payload
+  Tuple scratch_tuple_;     // update/delete old image
+  Tuple scratch_tuple2_;    // update new image (secondary maintenance)
+  Tuple scan_scratch_;
+  Tuple exists_scratch_;
 };
 
 }  // namespace nvmdb

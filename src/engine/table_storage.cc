@@ -19,7 +19,7 @@ TableHeap::TableHeap(PmemAllocator* allocator, const Schema* schema,
       nvm_aware_(nvm_aware),
       slot_size_(schema->FixedSize()) {}
 
-uint64_t TableHeap::WriteVarlen(const std::string& value) {
+uint64_t TableHeap::WriteVarlen(const Slice& value) {
   const uint64_t off = allocator_->Alloc(
       kVarlenHeader + value.size(), StorageTag::kTable,
       /*sync_header=*/!nvm_aware_);
@@ -46,31 +46,41 @@ std::string TableHeap::ReadVarlen(uint64_t varlen_slot) const {
   return out;
 }
 
+void TableHeap::ReadVarlenInto(uint64_t varlen_slot, Tuple* out,
+                               size_t col) const {
+  uint32_t len = 0;
+  device_->Read(varlen_slot, &len, 4);
+  const size_t cap = allocator_->UsableSize(varlen_slot);
+  if (len > cap - kVarlenHeader) len = static_cast<uint32_t>(cap - kVarlenHeader);
+  char* dst = out->AppendStringUninit(col, len);
+  if (len > 0) device_->Read(varlen_slot + 4, dst, len);
+}
+
 uint64_t TableHeap::Insert(const Tuple& tuple, bool defer_mark) {
   const uint64_t slot = allocator_->Alloc(slot_size_, StorageTag::kTable);
   if (slot == 0) return 0;
 
-  std::vector<uint64_t> fixed(schema_->num_columns());
+  fixed_scratch_.assign(schema_->num_columns(), 0);
   for (size_t i = 0; i < schema_->num_columns(); i++) {
     const Column& col = schema_->column(i);
     if (col.type == ColumnType::kVarchar) {
       if (col.IsInlined()) {
         uint64_t inline_bytes = 0;
-        const std::string& s = tuple.GetString(i);
+        const Slice s = tuple.GetString(i);
         memcpy(&inline_bytes, s.data(), std::min<size_t>(8, s.size()));
-        fixed[i] = inline_bytes;
+        fixed_scratch_[i] = inline_bytes;
       } else {
         const uint64_t voff = defer_mark
                                   ? AllocVarlenUnmarked(tuple.GetString(i))
                                   : WriteVarlen(tuple.GetString(i));
         if (voff == 0) return 0;
-        fixed[i] = voff;
+        fixed_scratch_[i] = voff;
       }
     } else {
-      fixed[i] = tuple.GetU64(i);
+      fixed_scratch_[i] = tuple.GetU64(i);
     }
   }
-  device_->Write(slot, fixed.data(), slot_size_);
+  device_->Write(slot, fixed_scratch_.data(), slot_size_);
   if (nvm_aware_ && !defer_mark) {
     allocator_->PersistPayloadAndMark(slot, slot_size_);
   }
@@ -112,26 +122,25 @@ void TableHeap::MarkTuplePersisted(uint64_t slot) {
   MarkSlotPersisted(slot);
 }
 
-Tuple TableHeap::Read(uint64_t slot) const {
-  Tuple t(schema_);
-  std::vector<uint64_t> fixed(schema_->num_columns());
-  device_->Read(slot, fixed.data(), slot_size_);
+void TableHeap::Read(uint64_t slot, Tuple* out) const {
+  out->Reset(schema_);
+  fixed_scratch_.resize(schema_->num_columns());
+  device_->Read(slot, fixed_scratch_.data(), slot_size_);
   for (size_t i = 0; i < schema_->num_columns(); i++) {
     const Column& col = schema_->column(i);
     if (col.type == ColumnType::kVarchar) {
       if (col.IsInlined()) {
-        const char* p = reinterpret_cast<const char*>(&fixed[i]);
+        const char* p = reinterpret_cast<const char*>(&fixed_scratch_[i]);
         size_t len = 0;
         while (len < 8 && p[len] != '\0') len++;
-        t.SetString(i, std::string(p, len));
+        out->SetString(i, Slice(p, len));
       } else {
-        t.SetString(i, ReadVarlen(fixed[i]));
+        ReadVarlenInto(fixed_scratch_[i], out, i);
       }
     } else {
-      t.SetU64(i, fixed[i]);
+      out->SetU64(i, fixed_scratch_[i]);
     }
   }
-  return t;
 }
 
 uint64_t TableHeap::ReadU64(uint64_t slot, size_t col) const {
@@ -151,6 +160,27 @@ std::string TableHeap::ReadString(uint64_t slot, size_t col) const {
     return std::string(p, len);
   }
   return ReadVarlen(v);
+}
+
+void TableHeap::AppendString(uint64_t slot, size_t col,
+                             std::string* out) const {
+  uint64_t v = 0;
+  device_->Read(slot + schema_->FixedOffset(col), &v, 8);
+  const Column& c = schema_->column(col);
+  if (c.IsInlined()) {
+    const char* p = reinterpret_cast<const char*>(&v);
+    size_t len = 0;
+    while (len < 8 && p[len] != '\0') len++;
+    out->append(p, len);
+    return;
+  }
+  uint32_t len = 0;
+  device_->Read(v, &len, 4);
+  const size_t cap = allocator_->UsableSize(v);
+  if (len > cap - kVarlenHeader) len = static_cast<uint32_t>(cap - kVarlenHeader);
+  const size_t off = out->size();
+  out->resize(off + len);
+  if (len > 0) device_->Read(v + 4, &(*out)[off], len);
 }
 
 Status TableHeap::Update(uint64_t slot,
@@ -229,7 +259,7 @@ void TableHeap::FreeVarlenIfPersisted(uint64_t varlen_slot) {
   }
 }
 
-uint64_t TableHeap::AllocVarlenUnmarked(const std::string& value) {
+uint64_t TableHeap::AllocVarlenUnmarked(const Slice& value) {
   const uint64_t off =
       allocator_->Alloc(kVarlenHeader + value.size(), StorageTag::kTable);
   if (off == 0) return 0;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/slice.h"
 #include "engine/tuple.h"
 #include "nvm/pmem_allocator.h"
 
@@ -41,12 +42,21 @@ class TableHeap {
   /// the group commit (Section 4.2).
   void PersistTuple(uint64_t slot);
 
-  /// Materialize the tuple stored at `slot`.
-  Tuple Read(uint64_t slot) const;
+  /// Materialize the tuple stored at `slot` into `out` (reusing its
+  /// buffers — the hot path), or into a fresh Tuple (cold convenience).
+  void Read(uint64_t slot, Tuple* out) const;
+  Tuple Read(uint64_t slot) const {
+    Tuple t;
+    Read(slot, &t);
+    return t;
+  }
 
-  /// Read a single column (cheaper than full materialization).
+  /// Read a single column (cheaper than full materialization). The
+  /// appending form reads the column's bytes onto the end of `out`
+  /// without a temporary (same device accesses as ReadString).
   uint64_t ReadU64(uint64_t slot, size_t col) const;
   std::string ReadString(uint64_t slot, size_t col) const;
+  void AppendString(uint64_t slot, size_t col, std::string* out) const;
 
   /// Field-level undo information captured before an in-place update.
   /// For an inlined column `before` is the old 8-byte value; for an
@@ -84,7 +94,7 @@ class TableHeap {
   // (prepare varlen slots -> WAL -> apply field swaps).
 
   /// Write a varlen value without syncing or marking its slot.
-  uint64_t AllocVarlenUnmarked(const std::string& value);
+  uint64_t AllocVarlenUnmarked(const Slice& value);
   void MarkVarlenPersisted(uint64_t varlen_slot);
   /// Persist a varlen slot's payload and state with one sync (no-op if
   /// already persisted).
@@ -114,8 +124,11 @@ class TableHeap {
   size_t live_tuples() const { return live_tuples_; }
 
  private:
-  uint64_t WriteVarlen(const std::string& value);
+  uint64_t WriteVarlen(const Slice& value);
   std::string ReadVarlen(uint64_t varlen_slot) const;
+  /// Read a varlen payload straight into `out`'s arena for column `col`
+  /// (same device accesses as ReadVarlen, no temporary string).
+  void ReadVarlenInto(uint64_t varlen_slot, Tuple* out, size_t col) const;
 
   PmemAllocator* allocator_;
   NvmDevice* device_;
@@ -123,6 +136,9 @@ class TableHeap {
   bool nvm_aware_;
   size_t slot_size_;
   size_t live_tuples_ = 0;
+  // Reused fixed-part staging buffer for Insert/Read (TableHeaps are
+  // partition-confined, like the engines that own them).
+  mutable std::vector<uint64_t> fixed_scratch_;
 };
 
 }  // namespace nvmdb

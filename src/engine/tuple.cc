@@ -15,25 +15,42 @@ uint64_t MixHash(uint64_t h, const void* data, size_t n) {
 }
 }  // namespace
 
-std::string Tuple::SerializeInlined() const {
-  std::string out;
+void Tuple::SetString(size_t col, const Slice& v) {
+  // The source may alias this tuple's own arena (copying a column from the
+  // same tuple); appending can reallocate, so track it by offset.
+  const char* base = arena_.data();
+  if (v.data() >= base && v.data() <= base + arena_.size()) {
+    const size_t src_off = static_cast<size_t>(v.data() - base);
+    const size_t len = v.size();
+    const size_t off = arena_.size();
+    arena_.resize(off + len);
+    memmove(&arena_[off], arena_.data() + src_off, len);
+    words_[col] = (static_cast<uint64_t>(off) << 24) |
+                  static_cast<uint64_t>(len);
+    return;
+  }
+  char* dst = AppendStringUninit(col, v.size());
+  memcpy(dst, v.data(), v.size());
+}
+
+void Tuple::AppendInlined(std::string* out) const {
   const size_t n = schema_->num_columns();
-  out.reserve(LogicalSize() + n * 4);
   for (size_t i = 0; i < n; i++) {
     const Column& col = schema_->column(i);
     if (col.type == ColumnType::kVarchar) {
-      const uint32_t len = static_cast<uint32_t>(strings_[i].size());
-      out.append(reinterpret_cast<const char*>(&len), 4);
-      out.append(strings_[i]);
+      const Slice s = GetString(i);
+      const uint32_t len = static_cast<uint32_t>(s.size());
+      out->append(reinterpret_cast<const char*>(&len), 4);
+      out->append(s.data(), s.size());
     } else {
-      out.append(reinterpret_cast<const char*>(&numerics_[i]), 8);
+      out->append(reinterpret_cast<const char*>(&words_[i]), 8);
     }
   }
-  return out;
 }
 
-Tuple Tuple::ParseInlined(const Schema* schema, const Slice& data) {
-  Tuple t(schema);
+void Tuple::ParseInlined(const Schema* schema, const Slice& data,
+                         Tuple* out) {
+  out->Reset(schema);
   const char* p = data.data();
   const char* end = p + data.size();
   for (size_t i = 0; i < schema->num_columns(); i++) {
@@ -44,23 +61,22 @@ Tuple Tuple::ParseInlined(const Schema* schema, const Slice& data) {
       memcpy(&len, p, 4);
       p += 4;
       assert(p + len <= end);
-      t.strings_[i].assign(p, len);
+      out->SetString(i, Slice(p, len));
       p += len;
     } else {
       assert(p + 8 <= end);
-      memcpy(&t.numerics_[i], p, 8);
+      memcpy(&out->words_[i], p, 8);
       p += 8;
     }
   }
   (void)end;
-  return t;
 }
 
 size_t Tuple::LogicalSize() const {
   size_t bytes = schema_->FixedSize();
   for (size_t i = 0; i < schema_->num_columns(); i++) {
     if (schema_->column(i).type == ColumnType::kVarchar) {
-      bytes += strings_[i].size();
+      bytes += GetString(i).size();
     }
   }
   return bytes;
@@ -74,9 +90,9 @@ bool Tuple::EqualTo(const Tuple& other) const {
   }
   for (size_t i = 0; i < schema_->num_columns(); i++) {
     if (schema_->column(i).type == ColumnType::kVarchar) {
-      if (strings_[i] != other.strings_[i]) return false;
+      if (GetString(i) != other.GetString(i)) return false;
     } else {
-      if (numerics_[i] != other.numerics_[i]) return false;
+      if (words_[i] != other.words_[i]) return false;
     }
   }
   return true;
@@ -86,7 +102,7 @@ uint64_t SecondaryKeyHash(const Tuple& tuple, const SecondaryIndexDef& def) {
   uint64_t h = 14695981039346656037ULL;
   for (size_t col : def.key_columns) {
     if (tuple.schema()->column(col).type == ColumnType::kVarchar) {
-      const std::string& s = tuple.GetString(col);
+      const Slice s = tuple.GetString(col);
       h = MixHash(h, s.data(), s.size());
     } else {
       const uint64_t v = tuple.GetU64(col);

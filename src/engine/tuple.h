@@ -10,7 +10,11 @@
 
 namespace nvmdb {
 
-/// A typed cell value used in the engine API (inserts, updates).
+/// A typed cell value used in the engine API (inserts, updates). String
+/// values are non-owning views: the bytes must stay alive for the duration
+/// of the engine call that consumes the Value (DESIGN.md §8's Slice
+/// lifetime contract). Numeric values carry no string payload at all —
+/// a Value is two words plus a flag.
 struct Value {
   static Value U64(uint64_t v) {
     Value val;
@@ -27,15 +31,15 @@ struct Value {
     memcpy(&val.num, &v, 8);
     return val;
   }
-  static Value Str(std::string s) {
+  static Value Str(const Slice& s) {
     Value val;
     val.is_string = true;
-    val.str = std::move(s);
+    val.str = s;
     return val;
   }
 
   uint64_t num = 0;
-  std::string str;
+  Slice str;
   bool is_string = false;
 };
 
@@ -47,48 +51,86 @@ struct ColumnUpdate {
 
 /// In-flight (volatile, engine-API-level) tuple representation. Engines
 /// translate this into their own storage layout.
+///
+/// Storage is arena-backed: one word per column (the numeric value, or an
+/// offset/length handle into a single flat byte arena for varchars), so a
+/// Tuple can be Reset() and refilled without heap allocation once its
+/// buffers have grown to the working size — the hot paths reuse one
+/// scratch Tuple per partition across millions of transactions.
 class Tuple {
  public:
-  Tuple() : schema_(nullptr) {}
-  explicit Tuple(const Schema* schema)
-      : schema_(schema),
-        numerics_(schema->num_columns(), 0),
-        strings_(schema->num_columns()) {}
+  Tuple() = default;
+  explicit Tuple(const Schema* schema) { Reset(schema); }
+
+  /// Rebind to `schema` and clear all columns, keeping buffer capacity.
+  void Reset(const Schema* schema) {
+    schema_ = schema;
+    words_.assign(schema->num_columns(), 0);
+    arena_.clear();
+  }
 
   const Schema* schema() const { return schema_; }
 
-  void SetU64(size_t col, uint64_t v) { numerics_[col] = v; }
+  void SetU64(size_t col, uint64_t v) { words_[col] = v; }
   void SetI64(size_t col, int64_t v) {
-    numerics_[col] = static_cast<uint64_t>(v);
+    words_[col] = static_cast<uint64_t>(v);
   }
-  void SetDouble(size_t col, double v) { memcpy(&numerics_[col], &v, 8); }
-  void SetString(size_t col, std::string v) { strings_[col] = std::move(v); }
+  void SetDouble(size_t col, double v) { memcpy(&words_[col], &v, 8); }
+  void SetString(size_t col, const Slice& v);
   void Set(size_t col, const Value& v) {
     if (v.is_string) {
-      strings_[col] = v.str;
+      SetString(col, v.str);
     } else {
-      numerics_[col] = v.num;
+      words_[col] = v.num;
     }
   }
 
-  uint64_t GetU64(size_t col) const { return numerics_[col]; }
+  /// Reserve `len` arena bytes for column `col` and return the write
+  /// cursor. The pointer is invalidated by the next arena append — write
+  /// immediately (TableHeap reads device bytes straight into it).
+  char* AppendStringUninit(size_t col, size_t len) {
+    const size_t off = arena_.size();
+    arena_.resize(off + len);
+    words_[col] = (static_cast<uint64_t>(off) << 24) |
+                  static_cast<uint64_t>(len);
+    return &arena_[off];
+  }
+
+  uint64_t GetU64(size_t col) const { return words_[col]; }
   int64_t GetI64(size_t col) const {
-    return static_cast<int64_t>(numerics_[col]);
+    return static_cast<int64_t>(words_[col]);
   }
   double GetDouble(size_t col) const {
     double d;
-    memcpy(&d, &numerics_[col], 8);
+    memcpy(&d, &words_[col], 8);
     return d;
   }
-  const std::string& GetString(size_t col) const { return strings_[col]; }
+  Slice GetString(size_t col) const {
+    const uint64_t handle = words_[col];
+    return Slice(arena_.data() + (handle >> 24),
+                 static_cast<size_t>(handle & 0xFFFFFF));
+  }
 
   /// Primary key (column 0 by convention).
-  uint64_t Key() const { return numerics_[0]; }
+  uint64_t Key() const { return words_[0]; }
 
   /// Serialize with every field inlined — the HDD/SSD-optimized format the
-  /// CoW/Log engines keep on "durable storage" (Section 3.2).
-  std::string SerializeInlined() const;
-  static Tuple ParseInlined(const Schema* schema, const Slice& data);
+  /// CoW/Log engines keep on "durable storage" (Section 3.2). The
+  /// appending form is the hot path; the returning form is a convenience
+  /// wrapper for cold callers.
+  void AppendInlined(std::string* out) const;
+  std::string SerializeInlined() const {
+    std::string out;
+    AppendInlined(&out);
+    return out;
+  }
+  static void ParseInlined(const Schema* schema, const Slice& data,
+                           Tuple* out);
+  static Tuple ParseInlined(const Schema* schema, const Slice& data) {
+    Tuple t;
+    ParseInlined(schema, data, &t);
+    return t;
+  }
 
   /// Approximate logical size in bytes (fixed part + varlen payloads).
   size_t LogicalSize() const;
@@ -96,9 +138,11 @@ class Tuple {
   bool EqualTo(const Tuple& other) const;
 
  private:
-  const Schema* schema_;
-  std::vector<uint64_t> numerics_;
-  std::vector<std::string> strings_;
+  const Schema* schema_ = nullptr;
+  // Per-column word: numeric value, or (arena offset << 24 | length) for
+  // varchar columns (lengths are < 2^24; arenas stay < 2^40 bytes).
+  std::vector<uint64_t> words_;
+  std::string arena_;
 };
 
 /// 48-bit hash of a tuple's secondary-key columns, used to build the

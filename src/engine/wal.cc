@@ -1,5 +1,6 @@
 #include "engine/wal.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -9,24 +10,29 @@
 
 namespace nvmdb {
 
-void EncodeLogRecord(const LogRecord& record, std::string* out) {
-  std::string payload;
-  payload.push_back(static_cast<char>(record.op));
-  payload.append(reinterpret_cast<const char*>(&record.txn_id), 8);
-  payload.append(reinterpret_cast<const char*>(&record.table_id), 4);
-  payload.append(reinterpret_cast<const char*>(&record.key), 8);
-  uint32_t blen = static_cast<uint32_t>(record.before.size());
-  uint32_t alen = static_cast<uint32_t>(record.after.size());
-  payload.append(reinterpret_cast<const char*>(&blen), 4);
-  payload.append(record.before);
-  payload.append(reinterpret_cast<const char*>(&alen), 4);
-  payload.append(record.after);
+void EncodeLogRecord(const LogRecordRef& record, std::string* out) {
+  // Single pass: reserve the crc/len header, append the payload fields
+  // directly (no temporary payload string), then backpatch the header.
+  // The byte layout is identical to the historical two-pass encoder:
+  // [u32 crc][u32 len][u8 op|u64 txn|u32 table|u64 key|u32 blen|before|
+  //  u32 alen|after], crc over the payload.
+  const size_t base = out->size();
+  out->resize(base + 8);
+  out->push_back(static_cast<char>(record.op));
+  out->append(reinterpret_cast<const char*>(&record.txn_id), 8);
+  out->append(reinterpret_cast<const char*>(&record.table_id), 4);
+  out->append(reinterpret_cast<const char*>(&record.key), 8);
+  const uint32_t blen = static_cast<uint32_t>(record.before.size());
+  const uint32_t alen = static_cast<uint32_t>(record.after.size());
+  out->append(reinterpret_cast<const char*>(&blen), 4);
+  out->append(record.before.data(), record.before.size());
+  out->append(reinterpret_cast<const char*>(&alen), 4);
+  out->append(record.after.data(), record.after.size());
 
-  const uint32_t crc = Crc32c(payload.data(), payload.size());
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  out->append(reinterpret_cast<const char*>(&crc), 4);
-  out->append(reinterpret_cast<const char*>(&len), 4);
-  out->append(payload);
+  const uint32_t len = static_cast<uint32_t>(out->size() - base - 8);
+  const uint32_t crc = Crc32c(out->data() + base + 8, len);
+  memcpy(&(*out)[base], &crc, 4);
+  memcpy(&(*out)[base + 4], &len, 4);
 }
 
 bool DecodeLogRecord(const char* data, size_t size, LogRecord* out,
@@ -87,7 +93,7 @@ Wal::Wal(Pmfs* fs, const std::string& file_name, size_t group_commit_size)
 
 Wal::~Wal() { fs_->Close(fd_); }
 
-void Wal::Append(const LogRecord& record) {
+void Wal::Append(const LogRecordRef& record) {
   ScopedStallTag tag(StallTag::kWal);
   const size_t before = buffer_.size();
   EncodeLogRecord(record, &buffer_);
@@ -101,7 +107,7 @@ void Wal::Append(const LogRecord& record) {
 
 bool Wal::LogCommit(uint64_t txn_id) {
   ScopedStallTag tag(StallTag::kWal);
-  LogRecord commit;
+  LogRecordRef commit;
   commit.op = LogOp::kCommit;
   commit.txn_id = txn_id;
   // Route through Append so the commit record's buffer traffic is modeled
@@ -142,23 +148,65 @@ Status Wal::Flush() {
 
 std::vector<LogRecord> Wal::ReadAll() {
   std::vector<LogRecord> records;
-  const uint64_t size = fs_->Size(fd_);
-  if (size == 0) return records;
-  std::string data(size, '\0');
-  size_t got = 0;
-  fs_->Read(fd_, 0, data.data(), size, &got);
-  data.resize(got);
+  const uint64_t file_size = fs_->Size(fd_);
+  if (file_size == 0) return records;
 
-  size_t pos = 0;
-  while (pos < data.size()) {
+  // Decode from a bounded sliding window instead of materializing the
+  // whole file: recovering a large log otherwise spikes resident memory
+  // to the log size. The window grows past kWindowBytes only when a
+  // single record is larger than the window, and never past what the
+  // file can actually supply (so a corrupt length field cannot trigger a
+  // giant allocation).
+  constexpr size_t kWindowBytes = size_t{1} << 20;
+  constexpr uint32_t kFixedPayload = 29;
+  std::string window;
+  uint64_t file_pos = 0;  // next file byte to fetch
+  size_t pos = 0;         // decode cursor inside the window
+  for (;;) {
     LogRecord record;
     size_t consumed = 0;
-    if (!DecodeLogRecord(data.data() + pos, data.size() - pos, &record,
-                         &consumed)) {
-      break;  // torn tail from a crash mid-append
+    const size_t avail = window.size() - pos;
+    if (DecodeLogRecord(window.data() + pos, avail, &record, &consumed)) {
+      records.push_back(std::move(record));
+      pos += consumed;
+      continue;
     }
-    records.push_back(std::move(record));
-    pos += consumed;
+    // Decode failed. More file bytes can only help if the failure was a
+    // short read; a complete-but-corrupt record is the torn tail.
+    const uint64_t remaining = file_size - file_pos;
+    if (avail >= 8) {
+      uint32_t len;
+      memcpy(&len, window.data() + pos + 4, 4);
+      if (len < kFixedPayload) break;          // malformed header
+      if (avail >= 8ull + len) break;          // full record, bad CRC/body
+      if (8ull + len > avail + remaining) break;  // tail cannot complete it
+    } else if (avail + remaining < 8) {
+      break;  // not even a record header left
+    }
+    if (remaining == 0) break;
+    // Slide: drop consumed bytes, then top the window back up.
+    window.erase(0, pos);
+    pos = 0;
+    size_t want = kWindowBytes > window.size()
+                      ? kWindowBytes - window.size()
+                      : 0;
+    if (window.size() >= 8) {
+      uint32_t len;
+      memcpy(&len, window.data() + 4, 4);
+      const uint64_t whole = 8ull + len;
+      if (whole > window.size() + want) {
+        want = static_cast<size_t>(whole - window.size());
+      }
+    }
+    if (want == 0) want = kWindowBytes;
+    want = static_cast<size_t>(std::min<uint64_t>(want, remaining));
+    const size_t old = window.size();
+    window.resize(old + want);
+    size_t got = 0;
+    fs_->Read(fd_, file_pos, &window[old], want, &got);
+    window.resize(old + got);
+    file_pos += got;
+    if (got == 0) break;
   }
   return records;
 }

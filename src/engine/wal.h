@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/slice.h"
 #include "common/status.h"
 #include "nvm/pmfs.h"
 
@@ -20,7 +21,8 @@ enum class LogOp : uint8_t {
 };
 
 /// A WAL record: transaction id, table, tuple id, and the before/after
-/// images the operation needs (Section 3.1).
+/// images the operation needs (Section 3.1). Owning form, produced by
+/// recovery (ReadAll) and used by tests.
 struct LogRecord {
   LogOp op = LogOp::kBegin;
   uint64_t txn_id = 0;
@@ -28,6 +30,30 @@ struct LogRecord {
   uint64_t key = 0;
   std::string before;
   std::string after;
+};
+
+/// Non-owning view of a record for the append path: the before/after
+/// images are Slices into caller-owned scratch buffers that must stay
+/// alive for the duration of the Append/Encode call (DESIGN.md §8). This
+/// is what lets the hot path log a record without copying its images into
+/// a temporary.
+struct LogRecordRef {
+  LogRecordRef() = default;
+  // Implicit: an owning LogRecord views as a ref (tests, recovery replay).
+  LogRecordRef(const LogRecord& r)  // NOLINT(runtime/explicit)
+      : op(r.op),
+        txn_id(r.txn_id),
+        table_id(r.table_id),
+        key(r.key),
+        before(r.before),
+        after(r.after) {}
+
+  LogOp op = LogOp::kBegin;
+  uint64_t txn_id = 0;
+  uint32_t table_id = 0;
+  uint64_t key = 0;
+  Slice before;
+  Slice after;
 };
 
 /// Filesystem-backed write-ahead log used by the traditional InP and Log
@@ -41,7 +67,7 @@ class Wal {
   ~Wal();
 
   /// Buffer a record (not yet durable).
-  void Append(const LogRecord& record);
+  void Append(const LogRecordRef& record);
 
   /// Append a commit record; flushes the group when it is full.
   /// Returns true if this commit's group was forced to storage.
@@ -74,8 +100,10 @@ class Wal {
 };
 
 /// Serialize / parse a single record (exposed for tests and the NV WAL's
-/// payload encoding).
-void EncodeLogRecord(const LogRecord& record, std::string* out);
+/// payload encoding). Encoding appends to `out` in a single pass: the
+/// 8-byte crc/len header is reserved up front and backpatched once the
+/// payload bytes are in place — no intermediate payload string.
+void EncodeLogRecord(const LogRecordRef& record, std::string* out);
 bool DecodeLogRecord(const char* data, size_t size, LogRecord* out,
                      size_t* consumed);
 

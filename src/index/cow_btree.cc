@@ -16,6 +16,31 @@ CowBTree::CowBTree(PageStore* store) : store_(store) {
   dirty_root_ = current_root_;
 }
 
+std::pair<uint32_t, uint32_t> CowBTree::Node::AppendBytes(const Slice& v) {
+  // The source may alias this node's own arena; track it by offset across
+  // the append's potential reallocation.
+  const char* base = arena.data();
+  const size_t len = v.size();
+  const size_t off = arena.size();
+  if (v.data() >= base && v.data() <= base + arena.size()) {
+    const size_t src_off = static_cast<size_t>(v.data() - base);
+    arena.resize(off + len);
+    memmove(&arena[off], arena.data() + src_off, len);
+  } else {
+    arena.append(v.data(), len);
+  }
+  return {static_cast<uint32_t>(off), static_cast<uint32_t>(len)};
+}
+
+CowBTree::Node* CowBTree::AcquireNode() const {
+  if (pool_used_ == node_pool_.size()) {
+    node_pool_.emplace_back(new Node());
+  }
+  Node* node = node_pool_[pool_used_++].get();
+  node->Clear();
+  return node;
+}
+
 size_t CowBTree::MaxValueSize() const {
   // One entry must fit a leaf page: header + key + vlen + value.
   return store_->page_size() - kPageHeaderBytes - 12;
@@ -30,7 +55,7 @@ size_t CowBTree::InnerCapacity() const {
 size_t CowBTree::SerializedSize(const Node& node) const {
   if (node.leaf) {
     size_t bytes = kPageHeaderBytes;
-    for (const auto& v : node.values) bytes += 12 + v.size();
+    for (const auto& v : node.vals) bytes += 12 + v.second;
     return bytes;
   }
   return kPageHeaderBytes + node.keys.size() * 8 +
@@ -52,10 +77,10 @@ void CowBTree::SerializeNode(const Node& node, uint8_t* buf) const {
     for (size_t i = 0; i < node.keys.size(); i++) {
       memcpy(p, &node.keys[i], 8);
       p += 8;
-      const uint32_t vlen = static_cast<uint32_t>(node.values[i].size());
+      const uint32_t vlen = node.vals[i].second;
       memcpy(p, &vlen, 4);
       p += 4;
-      memcpy(p, node.values[i].data(), vlen);
+      memcpy(p, node.arena.data() + node.vals[i].first, vlen);
       p += vlen;
     }
   } else {
@@ -71,65 +96,91 @@ void CowBTree::SerializeNode(const Node& node, uint8_t* buf) const {
   assert(static_cast<size_t>(p - buf) <= store_->page_size());
 }
 
-CowBTree::Node CowBTree::ParseNode(const uint8_t* buf) const {
-  Node node;
+void CowBTree::ParseNode(const uint8_t* buf, Node* out) const {
+  out->Clear();
   const uint8_t* p = buf;
   uint32_t magic;
   memcpy(&magic, p, 4);
   p += 4;
   assert(magic == kPageMagic && "corrupt CoW page");
+  (void)magic;
   uint16_t is_leaf, count;
   memcpy(&is_leaf, p, 2);
   p += 2;
   memcpy(&count, p, 2);
   p += 2;
-  node.leaf = is_leaf != 0;
-  node.keys.resize(count);
-  if (node.leaf) {
-    node.values.resize(count);
+  out->leaf = is_leaf != 0;
+  out->keys.resize(count);
+  if (out->leaf) {
+    out->vals.reserve(count);
     for (size_t i = 0; i < count; i++) {
-      memcpy(&node.keys[i], p, 8);
+      memcpy(&out->keys[i], p, 8);
       p += 8;
       uint32_t vlen;
       memcpy(&vlen, p, 4);
       p += 4;
-      node.values[i].assign(reinterpret_cast<const char*>(p), vlen);
+      out->vals.push_back(
+          out->AppendBytes(Slice(reinterpret_cast<const char*>(p), vlen)));
       p += vlen;
     }
   } else {
     for (size_t i = 0; i < count; i++) {
-      memcpy(&node.keys[i], p, 8);
+      memcpy(&out->keys[i], p, 8);
       p += 8;
     }
-    node.children.resize(count + 1);
+    out->children.resize(count + 1);
     for (size_t i = 0; i <= count; i++) {
-      memcpy(&node.children[i], p, 8);
+      memcpy(&out->children[i], p, 8);
       p += 8;
     }
   }
-  return node;
 }
 
-CowBTree::Node CowBTree::LoadNode(uint64_t epid) const {
+void CowBTree::LoadNode(uint64_t epid, Node* out) const {
   assert(epid != kNilPage);
-  std::vector<uint8_t> buf(store_->page_size());
-  store_->ReadPage(epid - 1, buf.data());
-  return ParseNode(buf.data());
+  page_buf_.resize(store_->page_size());
+  store_->ReadPage(epid - 1, page_buf_.data());
+  ParseNode(page_buf_.data(), out);
+}
+
+bool CowBTree::IsFresh(uint64_t epid) const {
+  return std::binary_search(fresh_pages_.begin(), fresh_pages_.end(), epid);
+}
+
+void CowBTree::AddFresh(uint64_t epid) {
+  fresh_pages_.insert(
+      std::lower_bound(fresh_pages_.begin(), fresh_pages_.end(), epid),
+      epid);
+}
+
+void CowBTree::RemoveFresh(uint64_t epid) {
+  auto it =
+      std::lower_bound(fresh_pages_.begin(), fresh_pages_.end(), epid);
+  if (it != fresh_pages_.end() && *it == epid) fresh_pages_.erase(it);
+}
+
+void CowBTree::RetirePage(uint64_t epid) {
+  if (IsFresh(epid)) {
+    RemoveFresh(epid);
+    store_->FreePage(epid - 1);
+  } else {
+    replaced_pages_.push_back(epid);
+  }
 }
 
 uint64_t CowBTree::StoreNode(const Node& node, uint64_t old_epid) {
   uint64_t epid;
-  if (old_epid != kNilPage && fresh_pages_.count(old_epid) != 0) {
+  if (old_epid != kNilPage && IsFresh(old_epid)) {
     // Already part of the dirty directory: update in place.
     epid = old_epid;
   } else {
     epid = store_->AllocPage() + 1;
-    fresh_pages_.insert(epid);
+    AddFresh(epid);
     if (old_epid != kNilPage) replaced_pages_.push_back(old_epid);
   }
-  std::vector<uint8_t> buf(store_->page_size());
-  SerializeNode(node, buf.data());
-  store_->WritePage(epid - 1, buf.data());
+  page_buf_.resize(store_->page_size());
+  SerializeNode(node, page_buf_.data());
+  store_->WritePage(epid - 1, page_buf_.data());
   return epid;
 }
 
@@ -139,7 +190,7 @@ void CowBTree::SplitLeaf(Node* node, Node* right) const {
   size_t acc = kPageHeaderBytes;
   size_t split_at = node->keys.size() / 2;
   for (size_t i = 0; i < node->keys.size(); i++) {
-    acc += 12 + node->values[i].size();
+    acc += 12 + node->vals[i].second;
     if (acc >= total / 2) {
       split_at = i + 1;
       break;
@@ -149,9 +200,12 @@ void CowBTree::SplitLeaf(Node* node, Node* right) const {
   if (split_at >= node->keys.size()) split_at = node->keys.size() - 1;
   right->leaf = true;
   right->keys.assign(node->keys.begin() + split_at, node->keys.end());
-  right->values.assign(node->values.begin() + split_at, node->values.end());
+  right->vals.reserve(node->keys.size() - split_at);
+  for (size_t i = split_at; i < node->keys.size(); i++) {
+    right->vals.push_back(right->AppendBytes(node->value(i)));
+  }
   node->keys.resize(split_at);
-  node->values.resize(split_at);
+  node->vals.resize(split_at);
 }
 
 void CowBTree::SplitInner(Node* node, Node* right, uint64_t* sep) const {
@@ -168,55 +222,55 @@ void CowBTree::SplitInner(Node* node, Node* right, uint64_t* sep) const {
 CowBTree::ModResult CowBTree::PutRec(uint64_t epid, uint64_t key,
                                      const Slice& value, bool* inserted) {
   ModResult result;
-  Node node;
-  if (epid == kNilPage) {
-    node.leaf = true;
-  } else {
-    node = LoadNode(epid);
-  }
+  const size_t pool_mark = pool_used_;
+  Node* node = AcquireNode();
+  if (epid != kNilPage) LoadNode(epid, node);
 
-  if (node.leaf) {
+  if (node->leaf) {
     const auto it =
-        std::lower_bound(node.keys.begin(), node.keys.end(), key);
-    const size_t i = static_cast<size_t>(it - node.keys.begin());
-    if (it != node.keys.end() && *it == key) {
-      node.values[i] = value.ToString();
+        std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const size_t i = static_cast<size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+      node->SetValue(i, value);
       *inserted = false;
     } else {
-      node.keys.insert(it, key);
-      node.values.insert(node.values.begin() + i, value.ToString());
+      node->keys.insert(it, key);
+      node->InsertValue(i, value);
       *inserted = true;
     }
-    if (SerializedSize(node) > store_->page_size() && node.keys.size() > 1) {
-      Node right;
-      SplitLeaf(&node, &right);
+    if (SerializedSize(*node) > store_->page_size() &&
+        node->keys.size() > 1) {
+      Node* right = AcquireNode();
+      SplitLeaf(node, right);
       result.has_split = true;
-      result.split_key = right.keys.front();
-      result.right_pid = StoreNode(right, kNilPage);
+      result.split_key = right->keys.front();
+      result.right_pid = StoreNode(*right, kNilPage);
     }
-    result.pid = StoreNode(node, epid);
+    result.pid = StoreNode(*node, epid);
+    pool_used_ = pool_mark;
     return result;
   }
 
   // Inner: keys[i] is the smallest key of children[i+1].
   size_t ci = static_cast<size_t>(
-      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
-      node.keys.begin());
-  ModResult child = PutRec(node.children[ci], key, value, inserted);
-  node.children[ci] = child.pid;
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  ModResult child = PutRec(node->children[ci], key, value, inserted);
+  node->children[ci] = child.pid;
   if (child.has_split) {
-    node.keys.insert(node.keys.begin() + ci, child.split_key);
-    node.children.insert(node.children.begin() + ci + 1, child.right_pid);
+    node->keys.insert(node->keys.begin() + ci, child.split_key);
+    node->children.insert(node->children.begin() + ci + 1, child.right_pid);
   }
-  if (node.keys.size() > InnerCapacity()) {
-    Node right;
+  if (node->keys.size() > InnerCapacity()) {
+    Node* right = AcquireNode();
     uint64_t sep;
-    SplitInner(&node, &right, &sep);
+    SplitInner(node, right, &sep);
     result.has_split = true;
     result.split_key = sep;
-    result.right_pid = StoreNode(right, kNilPage);
+    result.right_pid = StoreNode(*right, kNilPage);
   }
-  result.pid = StoreNode(node, epid);
+  result.pid = StoreNode(*node, epid);
+  pool_used_ = pool_mark;
   return result;
 }
 
@@ -225,11 +279,13 @@ bool CowBTree::Put(uint64_t key, const Slice& value) {
   bool inserted = false;
   ModResult result = PutRec(dirty_root_, key, value, &inserted);
   if (result.has_split) {
-    Node new_root;
-    new_root.leaf = false;
-    new_root.keys = {result.split_key};
-    new_root.children = {result.pid, result.right_pid};
-    dirty_root_ = StoreNode(new_root, kNilPage);
+    const size_t pool_mark = pool_used_;
+    Node* new_root = AcquireNode();
+    new_root->leaf = false;
+    new_root->keys.assign(1, result.split_key);
+    new_root->children.assign({result.pid, result.right_pid});
+    dirty_root_ = StoreNode(*new_root, kNilPage);
+    pool_used_ = pool_mark;
   } else {
     dirty_root_ = result.pid;
   }
@@ -241,58 +297,60 @@ CowBTree::ModResult CowBTree::DeleteRec(uint64_t epid, uint64_t key,
   ModResult result;
   result.pid = epid;
   if (epid == kNilPage) return result;
-  Node node = LoadNode(epid);
+  const size_t pool_mark = pool_used_;
+  Node* node = AcquireNode();
+  LoadNode(epid, node);
 
-  if (node.leaf) {
+  if (node->leaf) {
     const auto it =
-        std::lower_bound(node.keys.begin(), node.keys.end(), key);
-    if (it == node.keys.end() || *it != key) return result;
-    const size_t i = static_cast<size_t>(it - node.keys.begin());
-    node.keys.erase(it);
-    node.values.erase(node.values.begin() + i);
-    *deleted = true;
-    if (node.keys.empty()) {
-      result.removed = true;
-      if (fresh_pages_.count(epid) != 0) {
-        fresh_pages_.erase(epid);
-        store_->FreePage(epid - 1);
-      } else {
-        replaced_pages_.push_back(epid);
-      }
-      result.pid = kNilPage;
+        std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it == node->keys.end() || *it != key) {
+      pool_used_ = pool_mark;
       return result;
     }
-    result.pid = StoreNode(node, epid);
+    const size_t i = static_cast<size_t>(it - node->keys.begin());
+    node->keys.erase(it);
+    node->vals.erase(node->vals.begin() + static_cast<ptrdiff_t>(i));
+    *deleted = true;
+    if (node->keys.empty()) {
+      result.removed = true;
+      RetirePage(epid);
+      result.pid = kNilPage;
+      pool_used_ = pool_mark;
+      return result;
+    }
+    result.pid = StoreNode(*node, epid);
+    pool_used_ = pool_mark;
     return result;
   }
 
   size_t ci = static_cast<size_t>(
-      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
-      node.keys.begin());
-  ModResult child = DeleteRec(node.children[ci], key, deleted);
-  if (!*deleted) return result;
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  ModResult child = DeleteRec(node->children[ci], key, deleted);
+  if (!*deleted) {
+    pool_used_ = pool_mark;
+    return result;
+  }
   if (child.removed) {
-    node.children.erase(node.children.begin() + ci);
+    node->children.erase(node->children.begin() + ci);
     if (ci == 0) {
-      if (!node.keys.empty()) node.keys.erase(node.keys.begin());
+      if (!node->keys.empty()) node->keys.erase(node->keys.begin());
     } else {
-      node.keys.erase(node.keys.begin() + ci - 1);
+      node->keys.erase(node->keys.begin() + ci - 1);
     }
-    if (node.children.empty()) {
+    if (node->children.empty()) {
       result.removed = true;
-      if (fresh_pages_.count(epid) != 0) {
-        fresh_pages_.erase(epid);
-        store_->FreePage(epid - 1);
-      } else {
-        replaced_pages_.push_back(epid);
-      }
+      RetirePage(epid);
       result.pid = kNilPage;
+      pool_used_ = pool_mark;
       return result;
     }
   } else {
-    node.children[ci] = child.pid;
+    node->children[ci] = child.pid;
   }
-  result.pid = StoreNode(node, epid);
+  result.pid = StoreNode(*node, epid);
+  pool_used_ = pool_mark;
   return result;
 }
 
@@ -303,35 +361,43 @@ bool CowBTree::Delete(uint64_t key) {
   dirty_root_ = result.pid;
   // Collapse a single-child root.
   while (dirty_root_ != kNilPage) {
-    Node node = LoadNode(dirty_root_);
-    if (node.leaf || node.children.size() != 1) break;
-    const uint64_t old_root = dirty_root_;
-    dirty_root_ = node.children[0];
-    if (fresh_pages_.count(old_root) != 0) {
-      fresh_pages_.erase(old_root);
-      store_->FreePage(old_root - 1);
-    } else {
-      replaced_pages_.push_back(old_root);
+    const size_t pool_mark = pool_used_;
+    Node* node = AcquireNode();
+    LoadNode(dirty_root_, node);
+    if (node->leaf || node->children.size() != 1) {
+      pool_used_ = pool_mark;
+      break;
     }
+    const uint64_t old_root = dirty_root_;
+    dirty_root_ = node->children[0];
+    RetirePage(old_root);
+    pool_used_ = pool_mark;
   }
   return true;
 }
 
 bool CowBTree::GetRec(uint64_t epid, uint64_t key, std::string* out) const {
   if (epid == kNilPage) return false;
-  Node node = LoadNode(epid);
-  while (!node.leaf) {
+  const size_t pool_mark = pool_used_;
+  Node* node = AcquireNode();
+  LoadNode(epid, node);
+  while (!node->leaf) {
     const size_t ci = static_cast<size_t>(
-        std::upper_bound(node.keys.begin(), node.keys.end(), key) -
-        node.keys.begin());
-    node = LoadNode(node.children[ci]);
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    const uint64_t child = node->children[ci];
+    LoadNode(child, node);
   }
-  const auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
-  if (it == node.keys.end() || *it != key) return false;
-  if (out != nullptr) {
-    *out = node.values[static_cast<size_t>(it - node.keys.begin())];
+  const auto it =
+      std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  const bool found = it != node->keys.end() && *it == key;
+  if (found && out != nullptr) {
+    const Slice v =
+        node->value(static_cast<size_t>(it - node->keys.begin()));
+    out->assign(v.data(), v.size());
   }
-  return true;
+  pool_used_ = pool_mark;
+  return found;
 }
 
 bool CowBTree::Get(uint64_t key, std::string* out) const {
@@ -347,26 +413,30 @@ void CowBTree::ScanRec(
     const std::function<bool(uint64_t, const Slice&)>& fn,
     bool* keep_going) const {
   if (epid == kNilPage || !*keep_going) return;
-  Node node = LoadNode(epid);
-  if (node.leaf) {
-    for (size_t i = 0; i < node.keys.size(); i++) {
-      if (node.keys[i] < lo) continue;
-      if (node.keys[i] > hi) {
+  const size_t pool_mark = pool_used_;
+  Node* node = AcquireNode();
+  LoadNode(epid, node);
+  if (node->leaf) {
+    for (size_t i = 0; i < node->keys.size(); i++) {
+      if (node->keys[i] < lo) continue;
+      if (node->keys[i] > hi) {
         *keep_going = false;
-        return;
+        break;
       }
-      if (!fn(node.keys[i], Slice(node.values[i]))) {
+      if (!fn(node->keys[i], node->value(i))) {
         *keep_going = false;
-        return;
+        break;
       }
     }
+    pool_used_ = pool_mark;
     return;
   }
-  for (size_t i = 0; i < node.children.size() && *keep_going; i++) {
-    const bool lo_ok = (i == node.keys.size()) || lo <= node.keys[i];
-    const bool hi_ok = (i == 0) || node.keys[i - 1] <= hi;
-    if (lo_ok && hi_ok) ScanRec(node.children[i], lo, hi, fn, keep_going);
+  for (size_t i = 0; i < node->children.size() && *keep_going; i++) {
+    const bool lo_ok = (i == node->keys.size()) || lo <= node->keys[i];
+    const bool hi_ok = (i == 0) || node->keys[i - 1] <= hi;
+    if (lo_ok && hi_ok) ScanRec(node->children[i], lo, hi, fn, keep_going);
   }
+  pool_used_ = pool_mark;
 }
 
 void CowBTree::Scan(
@@ -378,9 +448,11 @@ void CowBTree::Scan(
 
 void CowBTree::Commit() {
   if (dirty_root_ == current_root_ && fresh_pages_.empty()) return;
-  std::set<uint64_t> to_flush;
-  for (uint64_t epid : fresh_pages_) to_flush.insert(epid - 1);
-  store_->FlushPages(to_flush);
+  // fresh_pages_ is sorted, so the flush runs ascending — the same order
+  // the historical std::set produced.
+  flush_scratch_.clear();
+  for (uint64_t epid : fresh_pages_) flush_scratch_.push_back(epid - 1);
+  store_->FlushPages(flush_scratch_);
   store_->WriteMaster(dirty_root_);
   for (uint64_t epid : replaced_pages_) store_->FreePage(epid - 1);
   replaced_pages_.clear();
@@ -399,10 +471,13 @@ void CowBTree::CollectReachable(uint64_t epid,
                                 std::set<uint64_t>* out) const {
   if (epid == kNilPage) return;
   out->insert(epid - 1);
-  Node node = LoadNode(epid);
-  if (!node.leaf) {
-    for (uint64_t child : node.children) CollectReachable(child, out);
+  const size_t pool_mark = pool_used_;
+  Node* node = AcquireNode();
+  LoadNode(epid, node);
+  if (!node->leaf) {
+    for (uint64_t child : node->children) CollectReachable(child, out);
   }
+  pool_used_ = pool_mark;
 }
 
 void CowBTree::GarbageCollect() {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,6 +27,11 @@ namespace nvmdb {
 /// record (one durable 8-byte write); `Abort()` discards the fresh pages.
 /// Group commit is the caller's policy: any number of operations may run
 /// between commits.
+///
+/// Ephemeral nodes come from a rewind pool (live nodes are bounded by
+/// 2x tree depth) and store their values in one arena per node, so
+/// steady-state operations stop allocating once the pool and the node
+/// buffers have grown to the working size.
 class CowBTree {
  public:
   explicit CowBTree(PageStore* store);
@@ -65,11 +71,32 @@ class CowBTree {
   size_t PageCount() const;
 
  private:
+  // Ephemeral in-memory node. Values live in a per-node byte arena
+  // addressed by (offset, length) handles; replacing a value appends and
+  // repoints, orphaning the old bytes — fine, since a node lives for one
+  // tree operation and its arena is rewound on reuse.
   struct Node {
     bool leaf = true;
     std::vector<uint64_t> keys;
-    std::vector<uint64_t> children;   // inner only, keys.size() + 1
-    std::vector<std::string> values;  // leaf only, keys.size()
+    std::vector<uint64_t> children;  // inner only, keys.size() + 1
+    std::vector<std::pair<uint32_t, uint32_t>> vals;  // leaf: off, len
+    std::string arena;
+
+    void Clear() {
+      leaf = true;
+      keys.clear();
+      children.clear();
+      vals.clear();
+      arena.clear();
+    }
+    Slice value(size_t i) const {
+      return Slice(arena.data() + vals[i].first, vals[i].second);
+    }
+    std::pair<uint32_t, uint32_t> AppendBytes(const Slice& v);
+    void SetValue(size_t i, const Slice& v) { vals[i] = AppendBytes(v); }
+    void InsertValue(size_t i, const Slice& v) {
+      vals.insert(vals.begin() + static_cast<ptrdiff_t>(i), AppendBytes(v));
+    }
   };
 
   // Result of a recursive CoW modification: the subtree's (possibly new)
@@ -86,20 +113,32 @@ class CowBTree {
   // Page ids are stored +1 in the master record and child arrays so that 0
   // can mean "empty tree".
 
-  Node LoadNode(uint64_t pid) const;
+  // Rewind pool: Acquire hands out cleared nodes; callers remember
+  // pool_used_ before acquiring and rewind it when their nodes die. Live
+  // nodes are bounded by the recursion depth (plus split siblings).
+  Node* AcquireNode() const;
+
+  void LoadNode(uint64_t epid, Node* out) const;
   uint64_t StoreNode(const Node& node, uint64_t old_pid);
   size_t SerializedSize(const Node& node) const;
   void SerializeNode(const Node& node, uint8_t* buf) const;
-  Node ParseNode(const uint8_t* buf) const;
+  void ParseNode(const uint8_t* buf, Node* out) const;
 
-  ModResult PutRec(uint64_t pid, uint64_t key, const Slice& value,
+  bool IsFresh(uint64_t epid) const;
+  void AddFresh(uint64_t epid);
+  void RemoveFresh(uint64_t epid);
+  /// Free an obsolete page: immediately if it was created in this batch,
+  /// else deferred to the commit (the committed directory still needs it).
+  void RetirePage(uint64_t epid);
+
+  ModResult PutRec(uint64_t epid, uint64_t key, const Slice& value,
                    bool* inserted);
-  ModResult DeleteRec(uint64_t pid, uint64_t key, bool* deleted);
-  bool GetRec(uint64_t pid, uint64_t key, std::string* out) const;
-  void ScanRec(uint64_t pid, uint64_t lo, uint64_t hi,
+  ModResult DeleteRec(uint64_t epid, uint64_t key, bool* deleted);
+  bool GetRec(uint64_t epid, uint64_t key, std::string* out) const;
+  void ScanRec(uint64_t epid, uint64_t lo, uint64_t hi,
                const std::function<bool(uint64_t, const Slice&)>& fn,
                bool* keep_going) const;
-  void CollectReachable(uint64_t pid, std::set<uint64_t>* out) const;
+  void CollectReachable(uint64_t epid, std::set<uint64_t>* out) const;
   void SplitLeaf(Node* node, Node* right) const;
   void SplitInner(Node* node, Node* right, uint64_t* sep) const;
   size_t InnerCapacity() const;
@@ -107,8 +146,12 @@ class CowBTree {
   PageStore* store_;
   uint64_t current_root_;  // 0 = empty tree
   uint64_t dirty_root_;
-  std::set<uint64_t> fresh_pages_;     // created in this batch
+  std::vector<uint64_t> fresh_pages_;     // created in this batch; sorted
   std::vector<uint64_t> replaced_pages_;  // to free on commit
+  mutable std::vector<std::unique_ptr<Node>> node_pool_;
+  mutable size_t pool_used_ = 0;
+  mutable std::vector<uint8_t> page_buf_;  // shared (de)serialize staging
+  mutable std::vector<uint64_t> flush_scratch_;
 };
 
 }  // namespace nvmdb

@@ -1,9 +1,86 @@
 #include "index/page_store.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
 namespace nvmdb {
+
+// ---------------------------------------------------------------------------
+// FlatPidSet
+// ---------------------------------------------------------------------------
+
+namespace {
+inline size_t PidHash(uint64_t pid) {
+  return static_cast<size_t>(pid * 0x9E3779B97F4A7C15ULL);
+}
+}  // namespace
+
+void FlatPidSet::Grow() {
+  std::vector<uint64_t> old;
+  old.swap(slots_);
+  slots_.assign(old.size() * 2, 0);
+  count_ = 0;
+  for (uint64_t pid : old) {
+    if (pid != 0) Insert(pid);
+  }
+}
+
+void FlatPidSet::Insert(uint64_t pid) {
+  assert(pid != 0);
+  if ((count_ + 1) * 4 >= slots_.size() * 3) Grow();
+  const size_t mask = slots_.size() - 1;
+  size_t i = PidHash(pid) & mask;
+  while (slots_[i] != 0) {
+    if (slots_[i] == pid) return;
+    i = (i + 1) & mask;
+  }
+  slots_[i] = pid;
+  count_++;
+}
+
+bool FlatPidSet::Erase(uint64_t pid) {
+  const size_t mask = slots_.size() - 1;
+  size_t i = PidHash(pid) & mask;
+  while (slots_[i] != pid) {
+    if (slots_[i] == 0) return false;
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion keeps probe chains intact without tombstones.
+  size_t hole = i;
+  for (;;) {
+    slots_[hole] = 0;
+    size_t j = hole;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (slots_[j] == 0) {
+        count_--;
+        return true;
+      }
+      const size_t home = PidHash(slots_[j]) & mask;
+      // Move slots_[j] into the hole unless its home lies strictly inside
+      // the (hole, j] probe span (cyclically) — then it is already as
+      // close to home as it can be.
+      const bool in_span = hole <= j ? (home > hole && home <= j)
+                                     : (home > hole || home <= j);
+      if (!in_span) {
+        slots_[hole] = slots_[j];
+        hole = j;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> FlatPidSet::Sorted() const {
+  std::vector<uint64_t> out;
+  out.reserve(count_);
+  for (uint64_t pid : slots_) {
+    if (pid != 0) out.push_back(pid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // PmfsPageStore
@@ -38,86 +115,130 @@ uint64_t PmfsPageStore::AllocPage() {
   return next_pid_++;
 }
 
-void PmfsPageStore::FreePage(uint64_t pid) {
-  auto it = cache_.find(pid);
-  if (it != cache_.end()) {
-    lru_.erase(it->second.lru_it);
-    cache_.erase(it);
+void PmfsPageStore::LruUnlink(uint32_t idx) {
+  Frame& f = frames_[idx];
+  if (f.lru_prev != kNoFrame) {
+    frames_[f.lru_prev].lru_next = f.lru_next;
+  } else {
+    lru_head_ = f.lru_next;
   }
+  if (f.lru_next != kNoFrame) {
+    frames_[f.lru_next].lru_prev = f.lru_prev;
+  } else {
+    lru_tail_ = f.lru_prev;
+  }
+  f.lru_prev = f.lru_next = kNoFrame;
+}
+
+void PmfsPageStore::LruPushFront(uint32_t idx) {
+  Frame& f = frames_[idx];
+  f.lru_prev = kNoFrame;
+  f.lru_next = lru_head_;
+  if (lru_head_ != kNoFrame) frames_[lru_head_].lru_prev = idx;
+  lru_head_ = idx;
+  if (lru_tail_ == kNoFrame) lru_tail_ = idx;
+}
+
+void PmfsPageStore::DropFrame(uint64_t pid, uint32_t idx) {
+  LruUnlink(idx);
+  page_to_frame_[pid] = kNoFrame;
+  free_frames_.push_back(idx);  // buffer recycled; vaddr is re-reserved
+  cached_count_--;
+}
+
+void PmfsPageStore::FreePage(uint64_t pid) {
+  const uint32_t idx = FrameOf(pid);
+  if (idx != kNoFrame) DropFrame(pid, idx);
   free_pids_.push_back(pid);
 }
 
-void PmfsPageStore::WriteBackEntry(uint64_t pid, CacheEntry* entry) {
-  if (!entry->dirty) return;
-  fs_->Write(fd_, (pid + 1) * page_size_, entry->data.get(), page_size_);
-  entry->dirty = false;
+void PmfsPageStore::WriteBackFrame(Frame* frame) {
+  if (!frame->dirty) return;
+  fs_->Write(fd_, (frame->pid + 1) * page_size_, frame->data.get(),
+             page_size_);
+  frame->dirty = false;
 }
 
 void PmfsPageStore::EvictIfNeeded() {
-  while (cache_.size() > cache_capacity_ && !lru_.empty()) {
-    const uint64_t victim = lru_.back();
-    auto it = cache_.find(victim);
-    assert(it != cache_.end());
-    WriteBackEntry(victim, &it->second);
-    lru_.pop_back();
-    cache_.erase(it);
+  while (cached_count_ > cache_capacity_ && lru_tail_ != kNoFrame) {
+    const uint32_t victim = lru_tail_;
+    WriteBackFrame(&frames_[victim]);
+    DropFrame(frames_[victim].pid, victim);
   }
 }
 
-PmfsPageStore::CacheEntry* PmfsPageStore::GetCached(uint64_t pid,
-                                                    bool fill_from_file) {
-  auto it = cache_.find(pid);
-  if (it != cache_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    it->second.lru_it = lru_.begin();
-    return &it->second;
+PmfsPageStore::Frame* PmfsPageStore::GetCached(uint64_t pid,
+                                               bool fill_from_file) {
+  uint32_t idx = FrameOf(pid);
+  if (idx != kNoFrame) {
+    if (lru_head_ != idx) {
+      LruUnlink(idx);
+      LruPushFront(idx);
+    }
+    return &frames_[idx];
   }
-  CacheEntry entry;
-  entry.data = std::make_unique<uint8_t[]>(page_size_);
+  if (!free_frames_.empty()) {
+    idx = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(frames_.size());
+    frames_.emplace_back();
+    frames_[idx].data = std::make_unique<uint8_t[]>(page_size_);
+  }
+  Frame& frame = frames_[idx];
+  frame.pid = pid;
+  frame.dirty = false;
   // Model the frame at a reserved address so the cache simulator sees the
   // same set indices regardless of where the heap buffer landed (ASLR).
-  entry.vaddr = fs_->device()->ReserveVirtual(page_size_);
+  // One fresh reservation per fill — identical to the historical cache,
+  // which never recycled modeled addresses, so the modeled access stream
+  // is unchanged even though the host buffer is reused.
+  frame.vaddr = fs_->device()->ReserveVirtual(page_size_);
   if (fill_from_file) {
     size_t got = 0;
-    fs_->Read(fd_, (pid + 1) * page_size_, entry.data.get(), page_size_,
+    fs_->Read(fd_, (pid + 1) * page_size_, frame.data.get(), page_size_,
               &got);
     if (got < page_size_) {
-      memset(entry.data.get() + got, 0, page_size_ - got);
+      memset(frame.data.get() + got, 0, page_size_ - got);
     }
   }
-  lru_.push_front(pid);
-  entry.lru_it = lru_.begin();
-  auto [pos, ok] = cache_.emplace(pid, std::move(entry));
-  (void)ok;
+  if (pid >= page_to_frame_.size()) {
+    page_to_frame_.resize(std::max<size_t>(pid + 1,
+                                           page_to_frame_.size() * 2),
+                          kNoFrame);
+  }
+  page_to_frame_[pid] = idx;
+  LruPushFront(idx);
+  cached_count_++;
   EvictIfNeeded();
-  // EvictIfNeeded never evicts the just-inserted MRU entry while capacity
+  // EvictIfNeeded never evicts the just-inserted MRU frame while capacity
   // is at least one page.
-  return &cache_.find(pid)->second;
+  return &frames_[idx];
 }
 
 void PmfsPageStore::ReadPage(uint64_t pid, void* buf) {
-  CacheEntry* entry = GetCached(pid, /*fill_from_file=*/true);
+  Frame* frame = GetCached(pid, /*fill_from_file=*/true);
   // The page cache occupies NVM (used as volatile memory); its accesses
   // pass through the CPU-cache model — this is the "I/O overhead of
   // maintaining this directory reduces the number of hot tuples that can
   // reside in the CPU caches" effect of Section 5.3.
-  fs_->device()->TouchVirtual(reinterpret_cast<const void*>(entry->vaddr),
+  fs_->device()->TouchVirtual(reinterpret_cast<const void*>(frame->vaddr),
                               page_size_, false);
-  memcpy(buf, entry->data.get(), page_size_);
+  memcpy(buf, frame->data.get(), page_size_);
 }
 
 void PmfsPageStore::WritePage(uint64_t pid, const void* buf) {
-  CacheEntry* entry = GetCached(pid, /*fill_from_file=*/false);
-  fs_->device()->TouchVirtual(reinterpret_cast<const void*>(entry->vaddr),
+  Frame* frame = GetCached(pid, /*fill_from_file=*/false);
+  fs_->device()->TouchVirtual(reinterpret_cast<const void*>(frame->vaddr),
                               page_size_, true);
-  memcpy(entry->data.get(), buf, page_size_);
-  entry->dirty = true;
+  memcpy(frame->data.get(), buf, page_size_);
+  frame->dirty = true;
 }
 
-void PmfsPageStore::FlushPages(const std::set<uint64_t>& pids) {
+void PmfsPageStore::FlushPages(const std::vector<uint64_t>& pids) {
   for (uint64_t pid : pids) {
-    auto it = cache_.find(pid);
-    if (it != cache_.end()) WriteBackEntry(pid, &it->second);
+    const uint32_t idx = FrameOf(pid);
+    if (idx != kNoFrame) WriteBackFrame(&frames_[idx]);
   }
   fs_->Fsync(fd_);
 }
@@ -141,7 +262,7 @@ uint64_t PmfsPageStore::StorageBytes() const {
 }
 
 uint64_t PmfsPageStore::CacheBytes() const {
-  return cache_.size() * (page_size_ + sizeof(CacheEntry));
+  return cached_count_ * (page_size_ + kFrameAccountedBytes);
 }
 
 void PmfsPageStore::RetainOnly(const std::set<uint64_t>& reachable) {
@@ -177,12 +298,12 @@ uint64_t NvmPageStore::AllocPage() {
   assert(off != 0);
   // Not MarkPersisted yet: an uncommitted dirty-directory page must be
   // reclaimed by allocator recovery if we crash before the commit flush.
-  live_pages_.insert(off);
+  live_pages_.Insert(off);
   return off;
 }
 
 void NvmPageStore::FreePage(uint64_t pid) {
-  live_pages_.erase(pid);
+  live_pages_.Erase(pid);
   allocator_->Free(pid);
 }
 
@@ -194,7 +315,7 @@ void NvmPageStore::WritePage(uint64_t pid, const void* buf) {
   device_->Write(pid, buf, page_size_);
 }
 
-void NvmPageStore::FlushPages(const std::set<uint64_t>& pids) {
+void NvmPageStore::FlushPages(const std::vector<uint64_t>& pids) {
   for (uint64_t pid : pids) {
     allocator_->PersistPayloadAndMark(pid, page_size_);
   }
@@ -216,13 +337,14 @@ uint64_t NvmPageStore::StorageBytes() const {
 
 void NvmPageStore::RetainOnly(const std::set<uint64_t>& reachable) {
   // After restart live_pages_ is empty; adopt the committed set. Any page
-  // that was live before but is no longer reachable is freed.
-  std::vector<uint64_t> to_free;
-  for (uint64_t pid : live_pages_) {
-    if (reachable.count(pid) == 0) to_free.push_back(pid);
+  // that was live before but is no longer reachable is freed — ascending,
+  // matching the old std::set iteration so the allocator's free-list
+  // order (and thus every later allocation) is unchanged.
+  for (uint64_t pid : live_pages_.Sorted()) {
+    if (reachable.count(pid) == 0) FreePage(pid);
   }
-  for (uint64_t pid : to_free) FreePage(pid);
-  live_pages_ = reachable;
+  live_pages_ = FlatPidSet();
+  for (uint64_t pid : reachable) live_pages_.Insert(pid);
 }
 
 }  // namespace nvmdb

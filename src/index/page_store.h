@@ -1,8 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -30,8 +28,10 @@ class PageStore {
   virtual void ReadPage(uint64_t pid, void* buf) = 0;
   virtual void WritePage(uint64_t pid, const void* buf) = 0;
 
-  /// Make the given pages durable (fsync / sync primitive).
-  virtual void FlushPages(const std::set<uint64_t>& pids) = 0;
+  /// Make the given pages durable (fsync / sync primitive). `pids` must
+  /// be sorted ascending — the flush order is part of the deterministic
+  /// device-access sequence.
+  virtual void FlushPages(const std::vector<uint64_t>& pids) = 0;
 
   /// The master record (Section 3.2): an atomically-updatable durable word
   /// pointing at the root of the current directory.
@@ -49,9 +49,38 @@ class PageStore {
   virtual void RetainOnly(const std::set<uint64_t>& reachable) = 0;
 };
 
+/// Open-addressing set of page offsets (keys are nonzero; 0 marks an
+/// empty slot). Replaces std::set on the page-alloc hot path: Insert and
+/// Erase are allocation-free once the table has grown to the working
+/// size. Iteration order is unspecified — cold callers sort first.
+class FlatPidSet {
+ public:
+  FlatPidSet() : slots_(16, 0) {}
+
+  void Insert(uint64_t pid);
+  bool Erase(uint64_t pid);
+  size_t size() const { return count_; }
+
+  /// Elements in ascending order (cold paths: GC, accounting).
+  std::vector<uint64_t> Sorted() const;
+
+ private:
+  void Grow();
+
+  std::vector<uint64_t> slots_;
+  size_t count_ = 0;
+};
+
 /// Pages stored in a PMFS file with an in-memory page cache (the CoW
 /// engine keeps hot pages cached, Section 3.2). Page id n lives at file
 /// offset (n + 1) * page_size; the master record occupies the first page.
+///
+/// The cache is a flat structure: a dense pid -> frame-index table plus an
+/// intrusive doubly-linked LRU over a frame pool, so steady-state hits,
+/// misses, and evictions perform no heap allocation (frame buffers are
+/// recycled; each fill still reserves a fresh modeled address, exactly as
+/// the previous map-based cache did, keeping the cache model's access
+/// stream bit-identical).
 class PmfsPageStore : public PageStore {
  public:
   PmfsPageStore(Pmfs* fs, const std::string& file_name, size_t page_size,
@@ -63,7 +92,7 @@ class PmfsPageStore : public PageStore {
   void FreePage(uint64_t pid) override;
   void ReadPage(uint64_t pid, void* buf) override;
   void WritePage(uint64_t pid, const void* buf) override;
-  void FlushPages(const std::set<uint64_t>& pids) override;
+  void FlushPages(const std::vector<uint64_t>& pids) override;
   uint64_t ReadMaster() override;
   void WriteMaster(uint64_t root_pid) override;
   uint64_t StorageBytes() const override;
@@ -71,16 +100,30 @@ class PmfsPageStore : public PageStore {
   void RetainOnly(const std::set<uint64_t>& reachable) override;
 
  private:
-  struct CacheEntry {
+  static constexpr uint32_t kNoFrame = UINT32_MAX;
+  // Footprint accounting charges this much host metadata per cached page
+  // (the size of the old map-based cache's entry struct — kept stable so
+  // the Fig. 14 cache-bytes columns don't move).
+  static constexpr size_t kFrameAccountedBytes = 32;
+
+  struct Frame {
     std::unique_ptr<uint8_t[]> data;
     uint64_t vaddr = 0;  // stable modeled address of the cached frame
+    uint64_t pid = 0;
     bool dirty = false;
-    std::list<uint64_t>::iterator lru_it;
+    uint32_t lru_prev = kNoFrame;
+    uint32_t lru_next = kNoFrame;
   };
 
-  CacheEntry* GetCached(uint64_t pid, bool fill_from_file);
+  Frame* GetCached(uint64_t pid, bool fill_from_file);
   void EvictIfNeeded();
-  void WriteBackEntry(uint64_t pid, CacheEntry* entry);
+  void WriteBackFrame(Frame* frame);
+  void LruUnlink(uint32_t idx);
+  void LruPushFront(uint32_t idx);
+  uint32_t FrameOf(uint64_t pid) const {
+    return pid < page_to_frame_.size() ? page_to_frame_[pid] : kNoFrame;
+  }
+  void DropFrame(uint64_t pid, uint32_t idx);
 
   Pmfs* fs_;
   Pmfs::Fd fd_;
@@ -88,8 +131,12 @@ class PmfsPageStore : public PageStore {
   size_t cache_capacity_;
   uint64_t next_pid_;
   std::vector<uint64_t> free_pids_;
-  std::map<uint64_t, CacheEntry> cache_;
-  std::list<uint64_t> lru_;  // front = most recent
+  std::vector<uint32_t> page_to_frame_;  // dense: pids come from next_pid_
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  uint32_t lru_head_ = kNoFrame;  // most recent
+  uint32_t lru_tail_ = kNoFrame;  // least recent
+  size_t cached_count_ = 0;
 };
 
 /// Pages allocated directly from the NVM allocator; page ids are payload
@@ -108,7 +155,7 @@ class NvmPageStore : public PageStore {
   void FreePage(uint64_t pid) override;
   void ReadPage(uint64_t pid, void* buf) override;
   void WritePage(uint64_t pid, const void* buf) override;
-  void FlushPages(const std::set<uint64_t>& pids) override;
+  void FlushPages(const std::vector<uint64_t>& pids) override;
   uint64_t ReadMaster() override;
   void WriteMaster(uint64_t root_pid) override;
   uint64_t StorageBytes() const override;
@@ -120,7 +167,7 @@ class NvmPageStore : public PageStore {
   size_t page_size_;
   StorageTag tag_;
   uint64_t master_off_;  // persistent 8-byte master record
-  std::set<uint64_t> live_pages_;
+  FlatPidSet live_pages_;
 };
 
 }  // namespace nvmdb

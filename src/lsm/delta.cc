@@ -5,25 +5,31 @@
 
 namespace nvmdb {
 
+void EncodeUpdatesTo(const Schema& schema,
+                     const std::vector<ColumnUpdate>& updates,
+                     std::string* out) {
+  const uint16_t count = static_cast<uint16_t>(updates.size());
+  out->append(reinterpret_cast<const char*>(&count), 2);
+  for (const ColumnUpdate& u : updates) {
+    const uint16_t col = static_cast<uint16_t>(u.column);
+    out->append(reinterpret_cast<const char*>(&col), 2);
+    const uint8_t is_string =
+        schema.column(u.column).type == ColumnType::kVarchar ? 1 : 0;
+    out->push_back(static_cast<char>(is_string));
+    if (is_string) {
+      const uint32_t len = static_cast<uint32_t>(u.value.str.size());
+      out->append(reinterpret_cast<const char*>(&len), 4);
+      out->append(u.value.str.data(), u.value.str.size());
+    } else {
+      out->append(reinterpret_cast<const char*>(&u.value.num), 8);
+    }
+  }
+}
+
 std::string EncodeUpdates(const Schema& schema,
                           const std::vector<ColumnUpdate>& updates) {
   std::string out;
-  const uint16_t count = static_cast<uint16_t>(updates.size());
-  out.append(reinterpret_cast<const char*>(&count), 2);
-  for (const ColumnUpdate& u : updates) {
-    const uint16_t col = static_cast<uint16_t>(u.column);
-    out.append(reinterpret_cast<const char*>(&col), 2);
-    const uint8_t is_string =
-        schema.column(u.column).type == ColumnType::kVarchar ? 1 : 0;
-    out.push_back(static_cast<char>(is_string));
-    if (is_string) {
-      const uint32_t len = static_cast<uint32_t>(u.value.str.size());
-      out.append(reinterpret_cast<const char*>(&len), 4);
-      out.append(u.value.str);
-    } else {
-      out.append(reinterpret_cast<const char*>(&u.value.num), 8);
-    }
-  }
+  EncodeUpdatesTo(schema, updates, &out);
   return out;
 }
 
@@ -52,7 +58,7 @@ std::vector<ColumnUpdate> DecodeUpdates(const Schema& schema,
       memcpy(&len, p, 4);
       p += 4;
       assert(p + len <= end);
-      u.value = Value::Str(std::string(p, len));
+      u.value = Value::Str(Slice(p, len));
       p += len;
     } else {
       assert(p + 8 <= end);
@@ -61,7 +67,7 @@ std::vector<ColumnUpdate> DecodeUpdates(const Schema& schema,
       p += 8;
       u.value = Value::U64(num);
     }
-    updates.push_back(std::move(u));
+    updates.push_back(u);
   }
   (void)end;
   return updates;
@@ -69,6 +75,40 @@ std::vector<ColumnUpdate> DecodeUpdates(const Schema& schema,
 
 void ApplyUpdates(Tuple* tuple, const std::vector<ColumnUpdate>& updates) {
   for (const ColumnUpdate& u : updates) tuple->Set(u.column, u.value);
+}
+
+void ApplyEncodedUpdates(const Schema& schema, const Slice& data,
+                         Tuple* tuple) {
+  (void)schema;
+  const char* p = data.data();
+  const char* end = p + data.size();
+  uint16_t count = 0;
+  assert(p + 2 <= end);
+  memcpy(&count, p, 2);
+  p += 2;
+  for (uint16_t i = 0; i < count; i++) {
+    uint16_t col;
+    assert(p + 3 <= end);
+    memcpy(&col, p, 2);
+    p += 2;
+    const uint8_t is_string = static_cast<uint8_t>(*p++);
+    if (is_string) {
+      uint32_t len;
+      assert(p + 4 <= end);
+      memcpy(&len, p, 4);
+      p += 4;
+      assert(p + len <= end);
+      tuple->SetString(col, Slice(p, len));
+      p += len;
+    } else {
+      assert(p + 8 <= end);
+      uint64_t num;
+      memcpy(&num, p, 8);
+      p += 8;
+      tuple->SetU64(col, num);
+    }
+  }
+  (void)end;
 }
 
 DeltaRecord CoalesceNewestFirst(const Schema& schema,
@@ -83,17 +123,18 @@ DeltaRecord CoalesceNewestFirst(const Schema& schema,
       Tuple t = Tuple::ParseInlined(&schema, Slice(r.payload));
       // Apply pending deltas oldest-above-base first.
       for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
-        ApplyUpdates(&t, DecodeUpdates(schema, Slice((*it)->payload)));
+        ApplyEncodedUpdates(schema, Slice((*it)->payload), &t);
       }
       return {DeltaKind::kFull, t.SerializeInlined()};
     }
     pending.push_back(&r);
   }
   // No base image here: merge the deltas (oldest first, newer overwrite).
+  // Decoded values are Slices into the records' payloads, which stay
+  // alive until the merged set is re-encoded below.
   std::vector<ColumnUpdate> merged;
   for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
-    for (ColumnUpdate& u :
-         DecodeUpdates(schema, Slice((*it)->payload))) {
+    for (ColumnUpdate& u : DecodeUpdates(schema, Slice((*it)->payload))) {
       bool replaced = false;
       for (ColumnUpdate& m : merged) {
         if (m.column == u.column) {
@@ -102,27 +143,26 @@ DeltaRecord CoalesceNewestFirst(const Schema& schema,
           break;
         }
       }
-      if (!replaced) merged.push_back(std::move(u));
+      if (!replaced) merged.push_back(u);
     }
   }
   return {DeltaKind::kDelta, EncodeUpdates(schema, merged)};
 }
 
 bool MaterializeNewestFirst(const Schema& schema,
-                            const std::vector<DeltaRecord>& records,
+                            const DeltaRecord* records, size_t count,
                             Tuple* out) {
-  std::vector<const DeltaRecord*> pending;
-  for (const DeltaRecord& r : records) {
+  for (size_t base = 0; base < count; base++) {
+    const DeltaRecord& r = records[base];
     if (r.kind == DeltaKind::kTombstone) return false;
     if (r.kind == DeltaKind::kFull) {
-      Tuple t = Tuple::ParseInlined(&schema, Slice(r.payload));
-      for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
-        ApplyUpdates(&t, DecodeUpdates(schema, Slice((*it)->payload)));
+      Tuple::ParseInlined(&schema, Slice(r.payload), out);
+      // Apply the deltas above the base image oldest first, newest last.
+      for (size_t i = base; i-- > 0;) {
+        ApplyEncodedUpdates(schema, Slice(records[i].payload), out);
       }
-      *out = t;
       return true;
     }
-    pending.push_back(&r);
   }
   return false;  // deltas without a base: key does not exist
 }

@@ -20,18 +20,54 @@ enum class DeltaKind : uint8_t {
 };
 
 /// Serialize a set of column updates (the payload of a kDelta record).
+/// The appending form is the hot path; the returning form is a cold-path
+/// convenience wrapper.
+void EncodeUpdatesTo(const Schema& schema,
+                     const std::vector<ColumnUpdate>& updates,
+                     std::string* out);
 std::string EncodeUpdates(const Schema& schema,
                           const std::vector<ColumnUpdate>& updates);
+
+/// Decoded updates hold Slice values pointing into `data` — the caller
+/// must keep the encoded bytes alive while the updates are in use.
 std::vector<ColumnUpdate> DecodeUpdates(const Schema& schema,
                                         const Slice& data);
 
 /// Apply updates onto a materialized tuple.
 void ApplyUpdates(Tuple* tuple, const std::vector<ColumnUpdate>& updates);
 
+/// Decode-and-apply in one pass, with no intermediate vector — the
+/// per-lookup coalescing path of the Log engines.
+void ApplyEncodedUpdates(const Schema& schema, const Slice& data,
+                         Tuple* tuple);
+
 /// One record during reconstruction: kind + payload bytes.
 struct DeltaRecord {
   DeltaKind kind;
   std::string payload;
+};
+
+/// A reusable pool of DeltaRecords: Clear() rewinds the logical count but
+/// keeps every record's payload capacity, so the per-lookup record chains
+/// the Log engines collect stop churning the heap once the pool has grown
+/// to the longest chain seen.
+struct DeltaRecordList {
+  DeltaRecord* Add(DeltaKind kind) {
+    if (count == items.size()) items.emplace_back();
+    DeltaRecord* r = &items[count++];
+    r->kind = kind;
+    r->payload.clear();
+    return r;
+  }
+  void RemoveLast() { count--; }
+  void Clear() { count = 0; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  const DeltaRecord* data() const { return items.data(); }
+  const DeltaRecord& operator[](size_t i) const { return items[i]; }
+
+  std::vector<DeltaRecord> items;
+  size_t count = 0;
 };
 
 /// Coalesce records (ordered newest first) into a single conclusive
@@ -43,7 +79,19 @@ DeltaRecord CoalesceNewestFirst(const Schema& schema,
 /// Materialize a tuple from records ordered newest first. Returns false
 /// if the records conclude in a tombstone or never reach a full image.
 bool MaterializeNewestFirst(const Schema& schema,
-                            const std::vector<DeltaRecord>& records,
+                            const DeltaRecord* records, size_t count,
                             Tuple* out);
+inline bool MaterializeNewestFirst(const Schema& schema,
+                                   const std::vector<DeltaRecord>& records,
+                                   Tuple* out) {
+  return MaterializeNewestFirst(schema, records.data(), records.size(),
+                                out);
+}
+inline bool MaterializeNewestFirst(const Schema& schema,
+                                   const DeltaRecordList& records,
+                                   Tuple* out) {
+  return MaterializeNewestFirst(schema, records.data(), records.size(),
+                                out);
+}
 
 }  // namespace nvmdb

@@ -53,6 +53,30 @@ void LsmTree::Collect(uint64_t key, std::vector<DeltaRecord>* out) const {
   }
 }
 
+void LsmTree::Collect(uint64_t key, DeltaRecordList* out) const {
+  auto conclusive = [](const DeltaRecord& r) {
+    return r.kind != DeltaKind::kDelta;
+  };
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it) {
+    DeltaRecord* record = out->Add(DeltaKind::kDelta);
+    if ((*it)->Get(key, record)) {
+      if (conclusive(*record)) return;
+    } else {
+      out->RemoveLast();
+    }
+  }
+  for (size_t level = 1; level < levels_.size(); level++) {
+    for (const auto& run : levels_[level]) {
+      DeltaRecord* record = out->Add(DeltaKind::kDelta);
+      if (run->Get(key, record)) {
+        if (conclusive(*record)) return;
+      } else {
+        out->RemoveLast();
+      }
+    }
+  }
+}
+
 void LsmTree::CollectKeysInRange(uint64_t lo, uint64_t hi,
                                  std::vector<uint64_t>* out) const {
   for (const auto& level : levels_) {

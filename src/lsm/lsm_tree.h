@@ -30,8 +30,10 @@ class LsmTree {
   std::string NextFlushFileName() { return NextFileName(); }
 
   /// Collect records for `key`, newest run first, stopping once a
-  /// conclusive record (full/tombstone) is found.
+  /// conclusive record (full/tombstone) is found. The pool form appends
+  /// into a reusable DeltaRecordList (the per-lookup hot path).
   void Collect(uint64_t key, std::vector<DeltaRecord>* out) const;
+  void Collect(uint64_t key, DeltaRecordList* out) const;
 
   /// Keys present anywhere in [lo, hi] (may include dead keys — callers
   /// materialize to filter).

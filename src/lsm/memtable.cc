@@ -76,6 +76,21 @@ void MemTable::Collect(uint64_t key, std::vector<DeltaRecord>* out) const {
   }
 }
 
+void MemTable::Collect(uint64_t key, DeltaRecordList* out) const {
+  uint64_t off = 0;
+  if (!index_.Find(key, &off)) return;
+  while (off != 0) {
+    RecordHeader hdr;
+    device_->Read(off, &hdr, sizeof(hdr));
+    DeltaRecord* record = out->Add(static_cast<DeltaKind>(hdr.kind));
+    record->payload.resize(hdr.length);
+    if (hdr.length > 0) {
+      device_->Read(off + sizeof(hdr), record->payload.data(), hdr.length);
+    }
+    off = hdr.next;
+  }
+}
+
 bool MemTable::ContainsKey(uint64_t key) const {
   return index_.Contains(key);
 }

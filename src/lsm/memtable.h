@@ -31,8 +31,10 @@ class MemTable {
   /// Remove the newest record of `key` if it is `record_off` (undo path).
   bool PopNewest(uint64_t key, uint64_t record_off);
 
-  /// Collect the key's records newest-first.
+  /// Collect the key's records newest-first. The pool form appends into a
+  /// reusable DeltaRecordList (the per-lookup hot path).
   void Collect(uint64_t key, std::vector<DeltaRecord>* out) const;
+  void Collect(uint64_t key, DeltaRecordList* out) const;
   bool ContainsKey(uint64_t key) const;
 
   /// Ordered iteration over all keys with their chains (flush/compaction).

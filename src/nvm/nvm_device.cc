@@ -137,13 +137,26 @@ void NvmDevice::ChargeAccess(uint64_t addr, size_t n, bool is_write) {
 
 void NvmDevice::Read(uint64_t offset, void* dst, size_t n) {
   assert(offset + n <= capacity_);
-  ChargeAccess(offset, n, /*is_write=*/false);
+  // Same owner-mode resident-hit fast path as Touch(): a single-line hit —
+  // the overwhelmingly common shape for header/field reads — completes
+  // with one inline probe and one plain add, identical accounting to the
+  // out-of-line path (n == 0 must keep taking ChargeAccess, whose legacy
+  // cost formula charges line coverage without probing the cache).
+  if (owner_ && n != 0 && cache_->OwnerHitFast(offset, n, false)) {
+    ChargeStall(latency_.cache_hit_ns);
+  } else {
+    ChargeAccess(offset, n, /*is_write=*/false);
+  }
   memcpy(dst, working_ + offset, n);
 }
 
 void NvmDevice::Write(uint64_t offset, const void* src, size_t n) {
   assert(offset + n <= capacity_);
-  ChargeAccess(offset, n, /*is_write=*/true);
+  if (owner_ && n != 0 && cache_->OwnerHitFast(offset, n, true)) {
+    ChargeStall(latency_.cache_hit_ns);
+  } else {
+    ChargeAccess(offset, n, /*is_write=*/true);
+  }
   memcpy(working_ + offset, src, n);
 }
 

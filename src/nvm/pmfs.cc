@@ -180,7 +180,9 @@ Status Pmfs::Write(Fd fd, uint64_t offset, const void* buf, size_t n) {
     const size_t in_block = pos % bs;
     const size_t chunk = std::min(remaining, bs - in_block);
     device_->Write(table[block_idx] + in_block, src, chunk);
-    h.dirty_blocks.insert(block_idx);
+    if (h.dirty_blocks.empty() || h.dirty_blocks.back() != block_idx) {
+      h.dirty_blocks.push_back(block_idx);
+    }
     src += chunk;
     pos += chunk;
     remaining -= chunk;
@@ -248,6 +250,10 @@ Status Pmfs::Fsync(Fd fd) {
   device_->ChargeExternalStall(config_.fsync_overhead_ns);
 
   const uint64_t* table = ExtentTable(inode);
+  std::sort(h.dirty_blocks.begin(), h.dirty_blocks.end());
+  h.dirty_blocks.erase(
+      std::unique(h.dirty_blocks.begin(), h.dirty_blocks.end()),
+      h.dirty_blocks.end());
   for (size_t block_idx : h.dirty_blocks) {
     device_->Persist(table[block_idx], config_.block_size);
   }
@@ -277,8 +283,11 @@ Status Pmfs::Truncate(Fd fd, uint64_t new_size) {
   device_->TouchWrite(&inode->size, sizeof(inode->size));
   device_->Persist(&inode->size, sizeof(inode->size));
   uint64_t* table = ExtentTable(inode);
+  h.dirty_blocks.erase(
+      std::remove_if(h.dirty_blocks.begin(), h.dirty_blocks.end(),
+                     [keep](size_t b) { return b >= keep; }),
+      h.dirty_blocks.end());
   for (uint32_t i = keep; i < inode->extent_count; i++) {
-    h.dirty_blocks.erase(i);
     allocator_->Free(table[i]);
     table[i] = 0;
   }

@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -84,7 +83,12 @@ class Pmfs {
   mutable std::mutex mu_;
   struct Handle {
     int inode_idx = -1;
-    std::set<size_t> dirty_blocks;  // block indices needing flush
+    // Block indices needing flush, in append order with possible
+    // duplicates (a plain vector so the per-Write hot path never
+    // allocates once capacity has grown); Fsync sorts + dedups before
+    // persisting, which reproduces the ascending flush order the old
+    // std::set gave.
+    std::vector<size_t> dirty_blocks;
     bool inode_dirty = false;
   };
   std::map<Fd, Handle> handles_;

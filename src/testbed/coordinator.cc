@@ -8,8 +8,7 @@
 
 namespace nvmdb {
 
-RunResult Coordinator::Execute(
-    const std::vector<const std::vector<TxnTask>*>& queues) {
+RunResult Coordinator::Execute(const std::vector<const TxnQueue*>& queues) {
   // Bind the thread-local device (and trace writer, when enabled) so
   // NvmPtr resolution and the stall-tag attribution work no matter which
   // thread drives this database (the bench grid scheduler runs whole
@@ -36,6 +35,9 @@ RunResult Coordinator::Execute(
     std::vector<std::pair<uint64_t, uint64_t>> pending;  // txn id, start
   };
   std::vector<PartState> parts(queues.size());
+  // Per-partition scratch: one set of reusable buffers per worker core, so
+  // steady-state transaction bodies allocate nothing.
+  std::vector<TxnScratch> scratch(queues.size());
 
   // A transaction's response time runs from Begin() until
   // LastDurableTxn() covers it — for group-committing engines that is
@@ -71,13 +73,17 @@ RunResult Coordinator::Execute(
         continue;
       }
       progress = true;
-      const TxnTask& task = (*queues[p])[parts[p].pos++];
+      const TxnQueue& queue = *queues[p];
+      const TxnTask& task = queue.tasks[parts[p].pos++];
       PartState& st = parts[p];
       StorageEngine* engine = db_->partition(p);
       const uint64_t slice_start = device->TotalStallNanos();
       const uint64_t start_local = st.clock;
       const uint64_t txn_id = engine->Begin();
-      const bool committed = task.body(engine, txn_id);
+      const bool committed =
+          task.fn != nullptr
+              ? task.fn(task, queue, engine, txn_id, &scratch[p])
+              : queue.closures[task.off](engine, txn_id);
       if (committed) {
         engine->Commit(txn_id);
         result.committed++;
@@ -118,18 +124,16 @@ RunResult Coordinator::Execute(
   return result;
 }
 
-RunResult Coordinator::Run(const std::vector<std::vector<TxnTask>>& queues) {
+RunResult Coordinator::Run(const std::vector<TxnQueue>& queues) {
   assert(queues.size() == db_->num_partitions());
-  std::vector<const std::vector<TxnTask>*> ptrs;
+  std::vector<const TxnQueue*> ptrs;
   ptrs.reserve(queues.size());
   for (const auto& q : queues) ptrs.push_back(&q);
   return Execute(ptrs);
 }
 
-RunResult Coordinator::RunSerial(size_t partition,
-                                 const std::vector<TxnTask>& queue) {
-  std::vector<const std::vector<TxnTask>*> ptrs(db_->num_partitions(),
-                                                nullptr);
+RunResult Coordinator::RunSerial(size_t partition, const TxnQueue& queue) {
+  std::vector<const TxnQueue*> ptrs(db_->num_partitions(), nullptr);
   assert(partition < ptrs.size());
   ptrs[partition] = &queue;
   return Execute(ptrs);

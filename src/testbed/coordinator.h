@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
@@ -9,12 +11,83 @@
 
 namespace nvmdb {
 
-/// One pre-generated transaction bound to a partition. The body runs all
-/// of the transaction's queries against the partition's engine and returns
-/// true to commit, false to abort (Section 3: single-partition
-/// transactions executed serially per partition).
+struct TxnTask;
+struct TxnQueue;
+
+/// Per-partition scratch handed to every transaction body. Buffers grow to
+/// the workload's working size and are reused across millions of
+/// transactions, so steady-state bodies run without heap allocation.
+struct TxnScratch {
+  Tuple tuple;
+  Tuple tuple2;
+  std::vector<ColumnUpdate> updates;
+  std::vector<Value> values;
+  std::vector<Tuple> tuples;
+  std::vector<uint64_t> u64s;
+  std::string str;
+};
+
+/// A transaction body: runs the transaction's queries against the
+/// partition's engine and returns true to commit, false to abort
+/// (Section 3: single-partition transactions executed serially per
+/// partition). Plain function pointer — parameters live in the TxnTask and
+/// the queue's payload pools, so pre-generating millions of transactions
+/// costs no per-transaction heap allocation.
+using TxnFn = bool (*)(const TxnTask& task, const TxnQueue& queue,
+                       StorageEngine* engine, uint64_t txn_id,
+                       TxnScratch* scratch);
+
+/// One pre-generated transaction bound to a partition: a POD parameter
+/// block interpreted by `fn`. Field meaning is up to the generator; by
+/// convention `off`/`len` reference the queue's byte pool and
+/// `woff`/`wcnt` its word pool. When `fn` is null the task dispatches to
+/// `queue.closures[off]` — the escape hatch for ad-hoc bodies (tests,
+/// recovery drills) where per-task std::function cost is irrelevant.
 struct TxnTask {
-  std::function<bool(StorageEngine*, uint64_t txn_id)> body;
+  TxnFn fn = nullptr;
+  uint64_t key = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t col = 0;
+  uint32_t flags = 0;
+  uint32_t off = 0;
+  uint32_t len = 0;
+  uint32_t woff = 0;
+  uint32_t wcnt = 0;
+  double amount = 0.0;
+};
+
+/// A partition's pre-generated transaction queue: POD tasks plus the
+/// pooled variable-length payloads they reference. Two pools (bytes,
+/// words) replace per-task strings/vectors; `ctx` carries optional
+/// workload-owned context (e.g. the TPC-C schema set) shared by every
+/// task in the queue.
+struct TxnQueue {
+  std::vector<TxnTask> tasks;
+  std::string bytes;            // pooled string payloads (off/len)
+  std::vector<uint64_t> words;  // pooled u64 payloads (woff/wcnt)
+  std::shared_ptr<const void> ctx;
+  // Escape hatch: ad-hoc closure bodies, dispatched when task.fn == null.
+  std::vector<std::function<bool(StorageEngine*, uint64_t)>> closures;
+
+  size_t size() const { return tasks.size(); }
+  bool empty() const { return tasks.empty(); }
+  void reserve(size_t n) { tasks.reserve(n); }
+
+  /// Append an ad-hoc closure transaction (escape hatch).
+  void PushBody(std::function<bool(StorageEngine*, uint64_t)> body) {
+    TxnTask task;
+    task.off = static_cast<uint32_t>(closures.size());
+    closures.push_back(std::move(body));
+    tasks.push_back(task);
+  }
+
+  Slice StrAt(uint32_t off, uint32_t len) const {
+    return Slice(bytes.data() + off, len);
+  }
+  const uint64_t* WordsAt(uint32_t woff) const {
+    return words.data() + woff;
+  }
 };
 
 /// Result of a benchmark run.
@@ -75,14 +148,14 @@ class Coordinator {
 
   /// Run the queues (queues.size() must equal the partition count),
   /// interleaving one transaction per partition per round.
-  RunResult Run(const std::vector<std::vector<TxnTask>>& queues);
+  RunResult Run(const std::vector<TxnQueue>& queues);
 
   /// Convenience: run a single partition's queue inline (no threads).
-  RunResult RunSerial(size_t partition, const std::vector<TxnTask>& queue);
+  RunResult RunSerial(size_t partition, const TxnQueue& queue);
 
  private:
   /// Shared body: queues[p] runs on partition p; null entries idle.
-  RunResult Execute(const std::vector<const std::vector<TxnTask>*>& queues);
+  RunResult Execute(const std::vector<const TxnQueue*>& queues);
 
   Database* db_;
 };

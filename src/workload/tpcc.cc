@@ -350,16 +350,11 @@ Status TpccWorkload::Load(Database* db) {
 
 namespace {
 
-struct TxnContext {
-  uint64_t w;
-  TpccConfig cfg;
-};
-
 // Look up a customer 60% by last name (secondary index, pick the median
 // match per the spec) and 40% by id.
 bool FindCustomer(StorageEngine* engine, uint64_t txn, uint64_t w,
                   uint64_t d, bool by_name, uint64_t c_id,
-                  const std::string& c_last, Tuple* out) {
+                  const Slice& c_last, Tuple* out) {
   if (!by_name) {
     return engine
         ->Select(txn, TpccWorkload::kCustomer,
@@ -386,8 +381,8 @@ bool FindCustomer(StorageEngine* engine, uint64_t txn, uint64_t w,
 }
 
 bool DoNewOrder(StorageEngine* engine, uint64_t txn, uint64_t w, uint64_t d,
-                uint64_t c, const std::vector<uint64_t>& items,
-                const std::vector<uint64_t>& quantities,
+                uint64_t c, const uint64_t* items,
+                const uint64_t* quantities, size_t num_items,
                 const std::vector<TableDef>& defs) {
   Tuple warehouse;
   if (!engine->Select(txn, TpccWorkload::kWarehouse, TpccWorkload::WKey(w),
@@ -427,7 +422,7 @@ bool DoNewOrder(StorageEngine* engine, uint64_t txn, uint64_t w, uint64_t d,
   order.SetU64(kOCid, c);
   order.SetU64(5, o_id);
   order.SetU64(kOCarrier, 0);
-  order.SetU64(kOOlCnt, items.size());
+  order.SetU64(kOOlCnt, num_items);
   order.SetU64(8, 1);
   if (!engine->Insert(txn, TpccWorkload::kOrders, order).ok()) return false;
 
@@ -440,7 +435,7 @@ bool DoNewOrder(StorageEngine* engine, uint64_t txn, uint64_t w, uint64_t d,
     return false;
   }
 
-  for (size_t l = 0; l < items.size(); l++) {
+  for (size_t l = 0; l < num_items; l++) {
     Tuple item;
     if (!engine->Select(txn, TpccWorkload::kItem,
                         TpccWorkload::IKey(items[l]), &item)
@@ -488,7 +483,7 @@ bool DoNewOrder(StorageEngine* engine, uint64_t txn, uint64_t w, uint64_t d,
 }
 
 bool DoPayment(StorageEngine* engine, uint64_t txn, uint64_t w, uint64_t d,
-               bool by_name, uint64_t c_id, const std::string& c_last,
+               bool by_name, uint64_t c_id, const Slice& c_last,
                double amount, uint64_t h_seq, const Schema* h_schema) {
   Tuple warehouse;
   if (!engine->Select(txn, TpccWorkload::kWarehouse, TpccWorkload::WKey(w),
@@ -533,11 +528,13 @@ bool DoPayment(StorageEngine* engine, uint64_t txn, uint64_t w, uint64_t d,
                   Value::Dbl(customer.GetDouble(kCYtdPayment) + amount)});
     up.push_back(
         {kCPaymentCnt, Value::U64(customer.GetU64(kCPaymentCnt) + 1)});
+    // Value::Str is non-owning, so the backing string must outlive the
+    // Update call below — keep it in the enclosing scope.
+    std::string data;
     if (customer.GetString(kCCredit) == "BC") {
-      std::string data = std::to_string(found_c) + ":" + std::to_string(d) +
-                         ":" + std::to_string(w) + ":" +
-                         std::to_string(amount) + "|" +
-                         customer.GetString(kCData);
+      data = std::to_string(found_c) + ":" + std::to_string(d) + ":" +
+             std::to_string(w) + ":" + std::to_string(amount) + "|" +
+             customer.GetString(kCData).ToString();
       if (data.size() > 250) data.resize(250);
       up.push_back({kCData, Value::Str(data)});
     }
@@ -556,14 +553,14 @@ bool DoPayment(StorageEngine* engine, uint64_t txn, uint64_t w, uint64_t d,
   history.SetU64(5, w);
   history.SetU64(6, h_seq);
   history.SetDouble(7, amount);
-  history.SetString(8, warehouse.GetString(kWName) + "    " +
-                           district.GetString(3));
+  history.SetString(8, warehouse.GetString(kWName).ToString() + "    " +
+                           district.GetString(3).ToString());
   return engine->Insert(txn, TpccWorkload::kHistory, history).ok();
 }
 
 bool DoOrderStatus(StorageEngine* engine, uint64_t txn, uint64_t w,
                    uint64_t d, bool by_name, uint64_t c_id,
-                   const std::string& c_last) {
+                   const Slice& c_last) {
   Tuple customer;
   if (!FindCustomer(engine, txn, w, d, by_name, c_id, c_last, &customer)) {
     return false;
@@ -691,14 +688,62 @@ bool DoStockLevel(StorageEngine* engine, uint64_t txn, uint64_t w,
   return true;
 }
 
+// POD task bodies. Field conventions (see GenerateQueues):
+//   a = warehouse, key = district, b = customer / threshold / carrier
+//   flags = by-name lookup, off/len = last name in the queue byte pool,
+//   woff/wcnt = item+quantity lists in the queue word pool,
+//   col = history sequence number.
+const std::vector<TableDef>& DefsOf(const TxnQueue& queue) {
+  return *static_cast<const std::vector<TableDef>*>(queue.ctx.get());
+}
+
+bool NewOrderTxn(const TxnTask& t, const TxnQueue& q, StorageEngine* engine,
+                 uint64_t txn, TxnScratch* scratch) {
+  (void)scratch;
+  return DoNewOrder(engine, txn, t.a, t.key, t.b, q.WordsAt(t.woff),
+                    q.WordsAt(t.woff + t.wcnt), t.wcnt, DefsOf(q));
+}
+
+bool PaymentTxn(const TxnTask& t, const TxnQueue& q, StorageEngine* engine,
+                uint64_t txn, TxnScratch* scratch) {
+  (void)scratch;
+  return DoPayment(engine, txn, t.a, t.key, t.flags != 0, t.b,
+                   q.StrAt(t.off, t.len), t.amount, t.col,
+                   &DefsOf(q)[3].schema);
+}
+
+bool OrderStatusTxn(const TxnTask& t, const TxnQueue& q,
+                    StorageEngine* engine, uint64_t txn,
+                    TxnScratch* scratch) {
+  (void)scratch;
+  return DoOrderStatus(engine, txn, t.a, t.key, t.flags != 0, t.b,
+                       q.StrAt(t.off, t.len));
+}
+
+bool DeliveryTxn(const TxnTask& t, const TxnQueue& q, StorageEngine* engine,
+                 uint64_t txn, TxnScratch* scratch) {
+  (void)q;
+  (void)scratch;
+  return DoDelivery(engine, txn, t.a, t.b, t.col);
+}
+
+bool StockLevelTxn(const TxnTask& t, const TxnQueue& q,
+                   StorageEngine* engine, uint64_t txn,
+                   TxnScratch* scratch) {
+  (void)q;
+  (void)scratch;
+  return DoStockLevel(engine, txn, t.a, t.key, t.b);
+}
+
 }  // namespace
 
-std::vector<std::vector<TxnTask>> TpccWorkload::GenerateQueues() {
+std::vector<TxnQueue> TpccWorkload::GenerateQueues() {
   const size_t parts = config_.num_warehouses;
-  std::vector<std::vector<TxnTask>> queues(parts);
+  std::vector<TxnQueue> queues(parts);
   const uint64_t txns_per_part = config_.num_txns / parts;
-  // Shared, immutable schema set for the closures.
-  auto defs = std::make_shared<std::vector<TableDef>>(MakeTableDefs());
+  // Shared, immutable schema set carried by every queue.
+  std::shared_ptr<const std::vector<TableDef>> defs =
+      std::make_shared<std::vector<TableDef>>(MakeTableDefs());
 
   // Only customers 1..min(1000, cpd) carry the deterministic last names,
   // so by-name lookups must draw from that range or they would miss and
@@ -712,65 +757,65 @@ std::vector<std::vector<TxnTask>> TpccWorkload::GenerateQueues() {
     Random rng(config_.seed * 977 + p);
     const uint64_t w = p + 1;
     uint64_t h_seq = 1'000'000;  // beyond any load-time history rows
-    queues[p].reserve(txns_per_part);
+    TxnQueue& queue = queues[p];
+    queue.ctx = defs;
+    queue.reserve(txns_per_part);
 
     for (uint64_t i = 0; i < txns_per_part; i++) {
       const uint64_t dice = rng.Uniform(100);
       const uint64_t d = rng.Range(1, config_.districts_per_warehouse);
+      TxnTask task;
+      task.a = w;
+      task.key = d;
       if (dice < 45) {  // NewOrder
-        const uint64_t c =
+        task.fn = &NewOrderTxn;
+        task.b =
             1 + NuRand(&rng, 1023, 0, config_.customers_per_district - 1);
         const uint64_t ol_cnt = rng.Range(5, 15);
-        std::vector<uint64_t> items, quantities;
+        task.woff = static_cast<uint32_t>(queue.words.size());
+        task.wcnt = static_cast<uint32_t>(ol_cnt);
+        // Items at [woff, woff+ol_cnt), quantities at [woff+ol_cnt, ...).
+        queue.words.resize(queue.words.size() + 2 * ol_cnt);
+        uint64_t* items = &queue.words[task.woff];
+        uint64_t* quantities = items + ol_cnt;
         for (uint64_t l = 0; l < ol_cnt; l++) {
           uint64_t item = 1 + NuRand(&rng, 8191, 0, config_.items - 1);
           // ~1% of NewOrder transactions reference an invalid item and
           // roll back (TPC-C 2.4.1.4).
           if (l == ol_cnt - 1 && rng.Percent(1)) item = config_.items + 999;
-          items.push_back(item);
-          quantities.push_back(rng.Range(1, 10));
+          items[l] = item;
+          quantities[l] = rng.Range(1, 10);
         }
-        queues[p].push_back({[w, d, c, items, quantities, defs](
-                                 StorageEngine* engine, uint64_t txn) {
-          return DoNewOrder(engine, txn, w, d, c, items, quantities, *defs);
-        }});
       } else if (dice < 88) {  // Payment
-        const bool by_name = rng.Percent(60);
-        const uint64_t c =
+        task.fn = &PaymentTxn;
+        task.flags = rng.Percent(60) ? 1 : 0;
+        task.b =
             1 + NuRand(&rng, 1023, 0, config_.customers_per_district - 1);
         const std::string last = LastName(NuRand(&rng, 255, 0, max_name));
-        const double amount =
+        task.off = static_cast<uint32_t>(queue.bytes.size());
+        task.len = static_cast<uint32_t>(last.size());
+        queue.bytes.append(last);
+        task.amount =
             1.0 + static_cast<double>(rng.Uniform(499900)) / 100.0;
-        const uint64_t seq = h_seq++;
-        queues[p].push_back(
-            {[w, d, by_name, c, last, amount, seq, defs](
-                 StorageEngine* engine, uint64_t txn) {
-              return DoPayment(engine, txn, w, d, by_name, c, last, amount,
-                               seq, &(*defs)[3].schema);
-            }});
+        task.col = static_cast<uint32_t>(h_seq++);
       } else if (dice < 92) {  // OrderStatus
-        const bool by_name = rng.Percent(60);
-        const uint64_t c =
+        task.fn = &OrderStatusTxn;
+        task.flags = rng.Percent(60) ? 1 : 0;
+        task.b =
             1 + NuRand(&rng, 1023, 0, config_.customers_per_district - 1);
         const std::string last = LastName(NuRand(&rng, 255, 0, max_name));
-        queues[p].push_back(
-            {[w, d, by_name, c, last](StorageEngine* engine, uint64_t txn) {
-              return DoOrderStatus(engine, txn, w, d, by_name, c, last);
-            }});
+        task.off = static_cast<uint32_t>(queue.bytes.size());
+        task.len = static_cast<uint32_t>(last.size());
+        queue.bytes.append(last);
       } else if (dice < 96) {  // Delivery
-        const uint64_t carrier = rng.Range(1, 10);
-        const uint32_t districts = config_.districts_per_warehouse;
-        queues[p].push_back(
-            {[w, carrier, districts](StorageEngine* engine, uint64_t txn) {
-              return DoDelivery(engine, txn, w, carrier, districts);
-            }});
+        task.fn = &DeliveryTxn;
+        task.b = rng.Range(1, 10);  // carrier
+        task.col = config_.districts_per_warehouse;
       } else {  // StockLevel
-        const uint64_t threshold = rng.Range(10, 20);
-        queues[p].push_back(
-            {[w, d, threshold](StorageEngine* engine, uint64_t txn) {
-              return DoStockLevel(engine, txn, w, d, threshold);
-            }});
+        task.fn = &StockLevelTxn;
+        task.b = rng.Range(10, 20);  // threshold
       }
+      queue.tasks.push_back(task);
     }
   }
   return queues;

@@ -66,7 +66,10 @@ class TpccWorkload {
   static std::string LastName(uint64_t num);
 
   Status Load(Database* db);
-  std::vector<std::vector<TxnTask>> GenerateQueues();
+  /// Pre-generate the fixed per-partition transaction queues as POD tasks
+  /// (customer last names and order-line item/quantity lists live in the
+  /// queues' byte/word pools; the shared schema set rides in queue.ctx).
+  std::vector<TxnQueue> GenerateQueues();
 
   const TpccConfig& config() const { return config_; }
 

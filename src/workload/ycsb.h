@@ -51,8 +51,11 @@ class YcsbWorkload {
   /// Populate the database (key k lives on partition k % P).
   Status Load(Database* db);
 
-  /// Pre-generate the fixed per-partition transaction queues.
-  std::vector<std::vector<TxnTask>> GenerateQueues();
+  /// Pre-generate the fixed per-partition transaction queues. Tasks are
+  /// POD parameter blocks (update values live in the queue's byte pool),
+  /// so generating millions of transactions performs no per-transaction
+  /// heap allocation beyond the pools' amortized growth.
+  std::vector<TxnQueue> GenerateQueues();
 
   const YcsbConfig& config() const { return config_; }
 

@@ -82,10 +82,12 @@ TEST_P(EngineOpsTest, UpdateInlineAndVarlenFields) {
   InTxn([&](uint64_t txn) {
     return engine_->Insert(txn, 1, SimpleTuple(&def_.schema, 2, "old", 5));
   });
+  // Value::Str is non-owning: the backing string must outlive Update.
+  const std::string big(80, 'Z');
   ASSERT_TRUE(InTxn([&](uint64_t txn) {
                 std::vector<ColumnUpdate> up;
                 up.push_back({1, Value::Str("newname")});
-                up.push_back({2, Value::Str(std::string(80, 'Z'))});
+                up.push_back({2, Value::Str(big)});
                 up.push_back({3, Value::U64(6)});
                 return engine_->Update(txn, 1, 2, up);
               }).ok());

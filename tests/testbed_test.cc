@@ -20,16 +20,15 @@ TEST_P(TestbedTest, MultiPartitionRun) {
   ASSERT_TRUE(db->CreateTable(def).ok());
 
   // Each partition inserts its own key range concurrently.
-  std::vector<std::vector<TxnTask>> queues(4);
+  std::vector<TxnQueue> queues(4);
   for (size_t p = 0; p < 4; p++) {
     for (uint64_t i = 0; i < 100; i++) {
       const uint64_t key = p * 1000 + i;
       const Schema* schema = &def.schema;
-      queues[p].push_back({[key, schema](StorageEngine* engine,
-                                         uint64_t txn) {
+      queues[p].PushBody([key, schema](StorageEngine* engine, uint64_t txn) {
         return engine->Insert(txn, 1, SimpleTuple(schema, key, "w", key))
             .ok();
-      }});
+      });
     }
   }
   Coordinator coordinator(db.get());
@@ -53,9 +52,9 @@ TEST_P(TestbedTest, MultiPartitionRun) {
 TEST_P(TestbedTest, AbortedTasksCounted) {
   auto db = testutil::MakeDb(GetParam(), 1);
   ASSERT_TRUE(db->CreateTable(SimpleTable()).ok());
-  std::vector<std::vector<TxnTask>> queues(1);
-  queues[0].push_back(
-      {[](StorageEngine*, uint64_t) { return false; /* abort */ }});
+  std::vector<TxnQueue> queues(1);
+  queues[0].PushBody(
+      [](StorageEngine*, uint64_t) { return false; /* abort */ });
   Coordinator coordinator(db.get());
   const RunResult result = coordinator.Run(queues);
   EXPECT_EQ(result.committed, 0u);
