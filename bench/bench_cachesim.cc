@@ -82,6 +82,63 @@ void BM_FlushHeavy(benchmark::State& state, ConcurrencyMode mode) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Set-probe cost in isolation, hit side: every access finds its line, so
+/// the timed work is exactly the way-probe (SIMD broadcast-compare or the
+/// scalar loop, per the `scalar` flag) plus the LRU bump. The working set
+/// walks all ways of all sets, so probes land at every way index.
+void BM_ProbeHit(benchmark::State& state, bool scalar) {
+  CacheConfig cfg = BenchCacheConfig(ConcurrencyMode::kOwner);
+  cfg.force_scalar_probe = scalar;
+  CacheSim cache(cfg, {});
+  // Fill the whole cache so hits occur in every way, not just way 0.
+  for (uint64_t a = 0; a < cfg.capacity_bytes; a += 64) {
+    cache.Access(a, 8, false);
+  }
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(addr, 8, false));
+    addr = (addr + 64) & (cfg.capacity_bytes - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hit_rate"] =
+      static_cast<double>(cache.hits()) /
+      static_cast<double>(cache.hits() + cache.misses());
+}
+
+/// Set-probe cost in isolation, miss side: a stream 64x the cache, so the
+/// timed work is the failed way-probe plus the victim scan (SIMD
+/// min-reduction over the LRU stamps or the scalar loop) and the dirty
+/// write-back of the evicted line.
+void BM_ProbeMiss(benchmark::State& state, bool scalar) {
+  CacheConfig cfg = BenchCacheConfig(ConcurrencyMode::kOwner);
+  cfg.force_scalar_probe = scalar;
+  CacheSim cache(cfg, {});
+  constexpr uint64_t kStream = 64ull * 1024 * 1024;
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(addr, 8, true));
+    addr = (addr + 64) & (kStream - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Multi-line flush probe: persist-sized dirty ranges flushed without
+/// invalidation (the CLWB regime every engine commit takes), four lines
+/// per call so the FlushRange loop dominates over call overhead.
+void BM_FlushRange(benchmark::State& state, ConcurrencyMode mode) {
+  CacheSim cache(BenchCacheConfig(mode), {});
+  constexpr uint64_t kRegion = 1024 * 1024;
+  constexpr size_t kSpan = 256;  // 4 lines
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    cache.Access(addr, kSpan, true);
+    benchmark::DoNotOptimize(
+        cache.FlushRange(addr, kSpan, /*invalidate=*/false));
+    addr = (addr + kSpan) & (kRegion - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 void BM_Contended(benchmark::State& state) {
   static CacheSim* shared = nullptr;
   if (state.thread_index() == 0) {
@@ -213,6 +270,12 @@ BENCHMARK_CAPTURE(BM_MissDominated, owner, ConcurrencyMode::kOwner);
 BENCHMARK_CAPTURE(BM_MissDominated, shared, ConcurrencyMode::kShared);
 BENCHMARK_CAPTURE(BM_FlushHeavy, owner, ConcurrencyMode::kOwner);
 BENCHMARK_CAPTURE(BM_FlushHeavy, shared, ConcurrencyMode::kShared);
+BENCHMARK_CAPTURE(BM_ProbeHit, simd, /*scalar=*/false);
+BENCHMARK_CAPTURE(BM_ProbeHit, scalar, /*scalar=*/true);
+BENCHMARK_CAPTURE(BM_ProbeMiss, simd, /*scalar=*/false);
+BENCHMARK_CAPTURE(BM_ProbeMiss, scalar, /*scalar=*/true);
+BENCHMARK_CAPTURE(BM_FlushRange, owner, ConcurrencyMode::kOwner);
+BENCHMARK_CAPTURE(BM_FlushRange, shared, ConcurrencyMode::kShared);
 BENCHMARK(BM_Contended)->Threads(8)->UseRealTime();
 BENCHMARK_CAPTURE(BM_DeviceWritePersist, owner, ConcurrencyMode::kOwner);
 BENCHMARK_CAPTURE(BM_DeviceWritePersist, shared, ConcurrencyMode::kShared);

@@ -29,21 +29,23 @@ Status InPEngine::CreateTable(const TableDef& def) {
   // Index nodes live in NVM used as volatile memory (NVM-only hierarchy):
   // route their traffic through the device's cache model.
   NvmDevice* device = allocator_->device();
-  auto hook = [device](const void* p, size_t n, bool w) {
-    device->TouchVirtual(p, n, w);
+  auto hook = +[](void* ctx, const void* p, size_t n, bool w) {
+    static_cast<NvmDevice*>(ctx)->TouchVirtual(p, n, w);
   };
   // Nodes model their traffic at reserved (ASLR-independent) addresses so
   // the cache counters are reproducible across runs.
-  auto valloc = [device](size_t n) { return device->ReserveVirtual(n); };
+  auto valloc = +[](void* ctx, size_t n) {
+    return static_cast<NvmDevice*>(ctx)->ReserveVirtual(n);
+  };
   table.primary = std::make_unique<BTree<uint64_t, uint64_t>>(
       config_.btree_node_bytes);
-  table.primary->SetAccessHook(hook);
-  table.primary->SetVirtualAllocator(valloc);
+  table.primary->SetAccessHook(hook, device);
+  table.primary->SetVirtualAllocator(valloc, device);
   for (const auto& sec : def.secondary_indexes) {
     auto tree = std::make_unique<BTree<uint64_t, uint64_t>>(
         config_.btree_node_bytes);
-    tree->SetAccessHook(hook);
-    tree->SetVirtualAllocator(valloc);
+    tree->SetAccessHook(hook, device);
+    tree->SetVirtualAllocator(valloc, device);
     table.secondaries[sec.index_id] = std::move(tree);
   }
   return Status::OK();

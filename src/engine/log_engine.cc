@@ -22,16 +22,19 @@ Status LogEngine::CreateTable(const TableDef& def) {
       config_.namespace_prefix + ".log.t" + std::to_string(def.table_id),
       config_.lsm_level0_limit);
   NvmDevice* device = allocator_->device();
-  auto hook = [device](const void* p, size_t n, bool w) {
-    device->TouchVirtual(p, n, w);
+  auto hook = +[](void* ctx, const void* p, size_t n, bool w) {
+    static_cast<NvmDevice*>(ctx)->TouchVirtual(p, n, w);
   };
   for (const auto& sec : def.secondary_indexes) {
     auto tree = std::make_unique<BTree<uint64_t, uint64_t>>(
         config_.btree_node_bytes);
-    tree->SetAccessHook(hook);
+    tree->SetAccessHook(hook, device);
     // Reserved node addresses keep the modeled counters ASLR-independent.
     tree->SetVirtualAllocator(
-        [device](size_t n) { return device->ReserveVirtual(n); });
+        +[](void* ctx, size_t n) {
+          return static_cast<NvmDevice*>(ctx)->ReserveVirtual(n);
+        },
+        device);
     table.secondaries[sec.index_id] = std::move(tree);
   }
   return Status::OK();

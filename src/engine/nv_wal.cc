@@ -34,8 +34,11 @@ uint64_t NvWal::Push(const void* payload, size_t n) {
   hdr.next = head();
   hdr.length = static_cast<uint32_t>(n);
   hdr.pad = 0;
-  device_->Write(entry_off, &hdr, sizeof(hdr));
-  if (n > 0) device_->Write(entry_off + sizeof(hdr), payload, n);
+  // Header and payload are adjacent: one segmented write, same modeled
+  // per-line stream as the two calls it replaces.
+  const NvmDevice::WriteSeg segs[2] = {{&hdr, sizeof(hdr)},
+                                       {payload, hdr.length}};
+  device_->WriteSegments(entry_off, segs, 2);
   // Entry first, head swap second: a crash before the swap leaves the
   // entry unreachable and allocator recovery reclaims it (it is still in
   // the allocated-not-persisted state until MarkPersisted below).
@@ -57,9 +60,13 @@ void NvWal::ForEach(
         allocator_->StateOf(off) != PmemAllocator::SlotState::kPersisted) {
       break;
     }
+    // Peek the header from the working image (unmodeled) to size the
+    // payload, then model header + payload as ONE segmented read — the
+    // same per-line stream as the Read + TouchRead pair it replaces.
     EntryHeader hdr;
-    device_->Read(off, &hdr, sizeof(hdr));
-    device_->TouchRead(device_->PtrAt(off + sizeof(hdr)), hdr.length);
+    memcpy(&hdr, device_->PtrAt(off), sizeof(hdr));
+    const uint32_t lens[2] = {sizeof(EntryHeader), hdr.length};
+    device_->TouchSegments(off, lens, 2, /*is_write=*/false);
     fn(static_cast<const uint8_t*>(device_->PtrAt(off + sizeof(hdr))),
        hdr.length);
     off = hdr.next;

@@ -24,9 +24,12 @@ uint64_t TableHeap::WriteVarlen(const Slice& value) {
       kVarlenHeader + value.size(), StorageTag::kTable,
       /*sync_header=*/!nvm_aware_);
   if (off == 0) return 0;
+  // Header and payload are adjacent: one segmented write models the same
+  // per-line stream as the two calls it replaces (a zero-length payload
+  // segment models nothing, like the `if (!empty)` call it replaces).
   const uint32_t len = static_cast<uint32_t>(value.size());
-  device_->Write(off, &len, 4);
-  if (!value.empty()) device_->Write(off + 4, value.data(), value.size());
+  const NvmDevice::WriteSeg segs[2] = {{&len, 4}, {value.data(), len}};
+  device_->WriteSegments(off, segs, 2);
   if (nvm_aware_) {
     allocator_->PersistPayloadAndMark(off, kVarlenHeader + value.size());
   }
@@ -34,26 +37,34 @@ uint64_t TableHeap::WriteVarlen(const Slice& value) {
 }
 
 std::string TableHeap::ReadVarlen(uint64_t varlen_slot) const {
+  // Peek the stored length straight from the working image — host-side
+  // and unmodeled, so header + payload can be sized and then modeled as
+  // ONE segmented read whose header segment re-reads the same bytes
+  // through the instrumented path.
   uint32_t len = 0;
-  device_->Read(varlen_slot, &len, 4);
+  memcpy(&len, device_->PtrAt(varlen_slot), 4);
   // A length can never exceed its slot's capacity; clamping costs nothing
   // on the simulated clock (header metadata is host-side) and keeps a
   // torn varlen payload from driving an out-of-bounds read in recovery.
   const size_t cap = allocator_->UsableSize(varlen_slot);
   if (len > cap - kVarlenHeader) len = static_cast<uint32_t>(cap - kVarlenHeader);
   std::string out(len, '\0');
-  if (len > 0) device_->Read(varlen_slot + 4, out.data(), len);
+  uint32_t stored_len = 0;
+  const NvmDevice::ReadSeg segs[2] = {{&stored_len, 4}, {out.data(), len}};
+  device_->ReadSegments(varlen_slot, segs, 2);
   return out;
 }
 
 void TableHeap::ReadVarlenInto(uint64_t varlen_slot, Tuple* out,
                                size_t col) const {
   uint32_t len = 0;
-  device_->Read(varlen_slot, &len, 4);
+  memcpy(&len, device_->PtrAt(varlen_slot), 4);
   const size_t cap = allocator_->UsableSize(varlen_slot);
   if (len > cap - kVarlenHeader) len = static_cast<uint32_t>(cap - kVarlenHeader);
   char* dst = out->AppendStringUninit(col, len);
-  if (len > 0) device_->Read(varlen_slot + 4, dst, len);
+  uint32_t stored_len = 0;
+  const NvmDevice::ReadSeg segs[2] = {{&stored_len, 4}, {dst, len}};
+  device_->ReadSegments(varlen_slot, segs, 2);
 }
 
 uint64_t TableHeap::Insert(const Tuple& tuple, bool defer_mark) {
@@ -175,12 +186,15 @@ void TableHeap::AppendString(uint64_t slot, size_t col,
     return;
   }
   uint32_t len = 0;
-  device_->Read(v, &len, 4);
+  memcpy(&len, device_->PtrAt(v), 4);
   const size_t cap = allocator_->UsableSize(v);
   if (len > cap - kVarlenHeader) len = static_cast<uint32_t>(cap - kVarlenHeader);
   const size_t off = out->size();
   out->resize(off + len);
-  if (len > 0) device_->Read(v + 4, &(*out)[off], len);
+  uint32_t stored_len = 0;
+  const NvmDevice::ReadSeg segs[2] = {{&stored_len, 4},
+                                      {out->data() + off, len}};
+  device_->ReadSegments(v, segs, 2);
 }
 
 Status TableHeap::Update(uint64_t slot,
@@ -264,8 +278,8 @@ uint64_t TableHeap::AllocVarlenUnmarked(const Slice& value) {
       allocator_->Alloc(kVarlenHeader + value.size(), StorageTag::kTable);
   if (off == 0) return 0;
   const uint32_t len = static_cast<uint32_t>(value.size());
-  device_->Write(off, &len, 4);
-  if (!value.empty()) device_->Write(off + 4, value.data(), value.size());
+  const NvmDevice::WriteSeg segs[2] = {{&len, 4}, {value.data(), len}};
+  device_->WriteSegments(off, segs, 2);
   // Nothing synced yet: PersistVarlenAndMark runs after the WAL entry
   // referencing this slot is durable.
   return off;

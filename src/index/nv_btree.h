@@ -92,7 +92,7 @@ class NvBTree {
     const uint64_t leaf_off = Descend(key, &path);
     NodeHeader* leaf = NodeAt(leaf_off);
     Entry* entries = LeafEntries(leaf);
-    device_->TouchRead(entries, leaf->committed * sizeof(Entry));
+    TouchLeaf(leaf_off, leaf);
     for (uint32_t i = 0; i < leaf->committed; i++) {
       if (entries[i].key == key) {
         const bool was_live = entries[i].value != kTombstone;
@@ -122,7 +122,7 @@ class NvBTree {
     const uint64_t leaf_off = Descend(key, nullptr);
     const NodeHeader* leaf = NodeAt(leaf_off);
     const Entry* entries = LeafEntries(leaf);
-    device_->TouchRead(entries, leaf->committed * sizeof(Entry));
+    TouchLeaf(leaf_off, leaf);
     for (uint32_t i = 0; i < leaf->committed; i++) {
       if (entries[i].key == key) {
         if (entries[i].value == kTombstone) return false;
@@ -141,7 +141,7 @@ class NvBTree {
     const uint64_t leaf_off = Descend(key, nullptr);
     NodeHeader* leaf = NodeAt(leaf_off);
     Entry* entries = LeafEntries(leaf);
-    device_->TouchRead(entries, leaf->committed * sizeof(Entry));
+    TouchLeaf(leaf_off, leaf);
     for (uint32_t i = 0; i < leaf->committed; i++) {
       if (entries[i].key == key) {
         if (entries[i].value == kTombstone) return false;
@@ -313,8 +313,21 @@ class NvBTree {
       off = children[lo];
       n = NodeAt(off);
     }
-    device_->TouchRead(n, sizeof(NodeHeader));
+    // The leaf's header read is modeled by the caller (TouchLeaf), fused
+    // with the adjacent entry-array read into one segmented access.
     return off;
+  }
+
+  /// Model the leaf-header + entry-array read that ends every descent.
+  /// The header and LeafEntries() are adjacent by layout, so one
+  /// segmented touch replays the exact per-line stream of the two
+  /// TouchRead calls it replaces (header first, then entries; an empty
+  /// leaf models only the header, matching TouchRead's n==0 guard).
+  void TouchLeaf(uint64_t leaf_off, const NodeHeader* leaf) const {
+    const uint32_t lens[2] = {
+        sizeof(NodeHeader),
+        leaf->committed * static_cast<uint32_t>(sizeof(Entry))};
+    device_->TouchSegments(leaf_off, lens, 2, /*is_write=*/false);
   }
 
   void SplitAndInsert(uint64_t leaf_off, const std::vector<PathEntry>& path,

@@ -35,12 +35,20 @@ class BTree {
   BTree(const BTree&) = delete;
   BTree& operator=(const BTree&) = delete;
 
-  /// Memory-traffic hook: called with (address, bytes, is_write) for every
-  /// node visited. The testbed routes this into the NVM device's cache
-  /// model because in an NVM-only hierarchy even "volatile" index nodes
-  /// live in NVM (Section 2.1) — their misses are NVM loads.
-  using AccessHook = std::function<void(const void*, size_t, bool)>;
-  void SetAccessHook(AccessHook hook) { access_hook_ = std::move(hook); }
+  /// Memory-traffic hook: called with (context, address, bytes, is_write)
+  /// for every node visited. The testbed routes this into the NVM
+  /// device's cache model because in an NVM-only hierarchy even
+  /// "volatile" index nodes live in NVM (Section 2.1) — their misses are
+  /// NVM loads. Raw function pointer + context rather than std::function
+  /// for the same reason as CacheCallbacks: the hook fires per node visit
+  /// on every index operation, and the std::function indirection is
+  /// measurable there.
+  using AccessHook = void (*)(void* ctx, const void* addr, size_t bytes,
+                              bool is_write);
+  void SetAccessHook(AccessHook hook, void* ctx) {
+    access_hook_ = hook;
+    hook_ctx_ = ctx;
+  }
 
   /// Stable modeled-address provider (NvmDevice::ReserveVirtual). When
   /// set, every node created from then on is assigned a reserved range and
@@ -49,8 +57,11 @@ class BTree {
   /// model's set indices — and hence the load/store counters — drift
   /// between otherwise identical executions; reserved addresses depend
   /// only on node-creation order, so the model becomes bit-reproducible.
-  using VirtualAllocFn = std::function<uint64_t(size_t)>;
-  void SetVirtualAllocator(VirtualAllocFn fn) { valloc_ = std::move(fn); }
+  using VirtualAllocFn = uint64_t (*)(void* ctx, size_t bytes);
+  void SetVirtualAllocator(VirtualAllocFn fn, void* ctx) {
+    valloc_ = fn;
+    valloc_ctx_ = ctx;
+  }
 
   /// Insert or overwrite. Returns false if the key already existed.
   bool Insert(const Key& key, const Value& value) {
@@ -210,12 +221,12 @@ class BTree {
   /// split) guarantees Touch never reads past a node's own range.
   template <typename N>
   N* Reserve(N* node) {
-    if (valloc_) node->vaddr = valloc_(node_bytes_ + 128);
+    if (valloc_ != nullptr) node->vaddr = valloc_(valloc_ctx_, node_bytes_ + 128);
     return node;
   }
 
   void Touch(const Node* node, bool is_write) const {
-    if (!access_hook_) return;
+    if (access_hook_ == nullptr) return;
     size_t bytes = node->keys.size() * sizeof(Key);
     if (node->leaf) {
       bytes += static_cast<const Leaf*>(node)->values.size() * sizeof(Value);
@@ -227,7 +238,7 @@ class BTree {
     // virtual allocator is installed) stands in for its storage.
     const void* addr =
         node->vaddr != 0 ? reinterpret_cast<const void*>(node->vaddr) : node;
-    access_hook_(addr, bytes < 16 ? 16 : bytes, is_write);
+    access_hook_(hook_ctx_, addr, bytes < 16 ? 16 : bytes, is_write);
   }
 
   size_t LowerBound(const std::vector<Key>& keys, const Key& key) const {
@@ -385,8 +396,10 @@ class BTree {
   }
 
   Compare cmp_;
-  AccessHook access_hook_;
-  VirtualAllocFn valloc_;
+  AccessHook access_hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
+  VirtualAllocFn valloc_ = nullptr;
+  void* valloc_ctx_ = nullptr;
   size_t node_bytes_;
   size_t inner_cap_;
   size_t leaf_cap_;

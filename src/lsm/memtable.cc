@@ -12,13 +12,17 @@ MemTable::MemTable(PmemAllocator* allocator, size_t index_node_bytes)
   // The MemTable's index is "volatile" only in the logical sense — its
   // nodes occupy NVM in the single-tier hierarchy, so their traffic goes
   // through the cache model too.
-  NvmDevice* device = device_;
-  index_.SetAccessHook([device](const void* p, size_t n, bool w) {
-    device->TouchVirtual(p, n, w);
-  });
+  index_.SetAccessHook(
+      +[](void* ctx, const void* p, size_t n, bool w) {
+        static_cast<NvmDevice*>(ctx)->TouchVirtual(p, n, w);
+      },
+      device_);
   // Reserved node addresses keep the modeled counters ASLR-independent.
   index_.SetVirtualAllocator(
-      [device](size_t n) { return device->ReserveVirtual(n); });
+      +[](void* ctx, size_t n) {
+        return static_cast<NvmDevice*>(ctx)->ReserveVirtual(n);
+      },
+      device_);
 }
 
 MemTable::~MemTable() { ReleaseAll(); }

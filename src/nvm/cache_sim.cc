@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "nvm/cache_sim_inl.h"
+
 namespace nvmdb {
 
 namespace {
@@ -26,20 +28,6 @@ unsigned Log2(size_t pow2) {
   return s;
 }
 
-/// RAII bank lock that compiles to nothing in kOwner mode: the inner
-/// loops are instantiated per mode, so the owner path contains no lock,
-/// no atomic, and no mode branch.
-template <ConcurrencyMode M>
-struct BankGuard {
-  explicit BankGuard(std::mutex&) {}
-};
-
-template <>
-struct BankGuard<ConcurrencyMode::kShared> {
-  explicit BankGuard(std::mutex& mu) : lock(mu) {}
-  std::lock_guard<std::mutex> lock;
-};
-
 }  // namespace
 
 ConcurrencyMode ResolveConcurrencyMode(ConcurrencyMode requested) {
@@ -52,8 +40,35 @@ ConcurrencyMode ResolveConcurrencyMode(ConcurrencyMode requested) {
   return requested;
 }
 
+ProbeKind ResolveProbeKind(bool force_scalar) {
+#if defined(NVMDB_FORCE_SCALAR_PROBE)
+  // Compile-time pin: the CI fallback build proves the scalar loop can
+  // never drift from the SIMD kinds.
+  (void)force_scalar;
+  return ProbeKind::kScalar;
+#else
+  if (force_scalar) return ProbeKind::kScalar;
+  const char* v = std::getenv("NVMDB_FORCE_SCALAR_PROBE");
+  if (v != nullptr && *v != '\0' && *v != '0') return ProbeKind::kScalar;
+#if NVMDB_PROBE_X86
+#if defined(NVMDB_HAVE_AVX2_PROBE) && defined(__GNUC__)
+  // Same runtime-dispatch pattern as the CRC32C implementation: detect
+  // once per construction (constructions are off the hot path), never
+  // per access. __builtin_cpu_supports includes the OS XSAVE check.
+  if (__builtin_cpu_supports("avx2")) return ProbeKind::kAvx2;
+#endif
+  return ProbeKind::kSse2;
+#else
+  return ProbeKind::kScalar;
+#endif
+#endif
+}
+
 CacheSim::CacheSim(const CacheConfig& config, CacheCallbacks callbacks)
-    : mode_(ResolveConcurrencyMode(config.mode)), callbacks_(callbacks) {
+    : mode_(ResolveConcurrencyMode(config.mode)),
+      probe_kind_(ResolveProbeKind(config.force_scalar_probe)),
+      scalar_probe_(probe_kind_ == ProbeKind::kScalar),
+      callbacks_(callbacks) {
   line_size_ = CeilPow2(std::max<size_t>(1, config.line_size));
   line_shift_ = Log2(line_size_);
   associativity_ = std::max<size_t>(1, config.associativity);
@@ -83,24 +98,55 @@ void CacheSim::OwnerViolation() {
 }
 #endif
 
-template <ConcurrencyMode M>
-CacheAccessResult CacheSim::AccessExImpl(uint64_t addr, size_t size,
-                                         bool is_write) {
-  CacheAccessResult result;
-  const uint64_t first = addr >> line_shift_;
-  const uint64_t last = (addr + size - 1) >> line_shift_;
-
-  for (uint64_t idx = first; idx <= last; idx++) {
-    const uint64_t h = MixLineIndex(idx);
-    const size_t bank_idx = h & bank_mask_;
-    const size_t set_idx = (h >> bank_shift_) & set_mask_;
-    Bank& bank = banks_[bank_idx];
-    BankGuard<M> guard(bank.mu);
-    result.missed += AccessLine(bank, bank_idx * sets_per_bank_ + set_idx,
-                                idx, is_write, &result);
-  }
-  return result;
+#if NVMDB_STREAM_CHECKS
+void CacheSim::StreamCheckViolation() {
+  std::fprintf(stderr,
+               "CacheSim stream-check violation: AccessSegments visited a "
+               "different per-line sequence than the uncoalesced calls it "
+               "replaces would have\n");
+  std::abort();
 }
+#endif
+
+// The scalar and SSE2 kinds live in this translation unit; the AVX2 kind
+// is instantiated only in cache_sim_avx2.cc (built with -mavx2) and
+// surfaced here through explicit instantiation declarations.
+NVMDB_CACHE_SIM_INSTANTIATE(ConcurrencyMode::kOwner, ProbeKind::kScalar);
+NVMDB_CACHE_SIM_INSTANTIATE(ConcurrencyMode::kShared, ProbeKind::kScalar);
+#if NVMDB_PROBE_X86
+NVMDB_CACHE_SIM_INSTANTIATE(ConcurrencyMode::kOwner, ProbeKind::kSse2);
+NVMDB_CACHE_SIM_INSTANTIATE(ConcurrencyMode::kShared, ProbeKind::kSse2);
+#endif
+#if defined(NVMDB_HAVE_AVX2_PROBE)
+NVMDB_CACHE_SIM_DECLARE(ConcurrencyMode::kOwner, ProbeKind::kAvx2);
+NVMDB_CACHE_SIM_DECLARE(ConcurrencyMode::kShared, ProbeKind::kAvx2);
+#endif
+
+// Per-call dispatch: one switch on the construction-resolved probe kind
+// (perfectly predicted — it never changes for an instance) selects the
+// inner-loop instantiation; kinds the build lacks fall through to scalar,
+// which ResolveProbeKind then never selects anyway.
+#if defined(NVMDB_HAVE_AVX2_PROBE)
+#define NVMDB_AVX2_CASE(IMPL, M, ...) \
+  case ProbeKind::kAvx2:              \
+    return IMPL<M, ProbeKind::kAvx2>(__VA_ARGS__);
+#else
+#define NVMDB_AVX2_CASE(IMPL, M, ...)
+#endif
+#if NVMDB_PROBE_X86
+#define NVMDB_SSE2_CASE(IMPL, M, ...) \
+  case ProbeKind::kSse2:              \
+    return IMPL<M, ProbeKind::kSse2>(__VA_ARGS__);
+#else
+#define NVMDB_SSE2_CASE(IMPL, M, ...)
+#endif
+#define NVMDB_PROBE_DISPATCH(IMPL, M, ...)              \
+  switch (probe_kind_) {                                \
+    NVMDB_AVX2_CASE(IMPL, M, __VA_ARGS__)               \
+    NVMDB_SSE2_CASE(IMPL, M, __VA_ARGS__)               \
+    default:                                            \
+      return IMPL<M, ProbeKind::kScalar>(__VA_ARGS__);  \
+  }
 
 CacheAccessResult CacheSim::AccessEx(uint64_t addr, size_t size,
                                      bool is_write) {
@@ -109,44 +155,27 @@ CacheAccessResult CacheSim::AccessEx(uint64_t addr, size_t size,
 #if NVMDB_OWNER_CHECKS
     CheckOwner();
 #endif
-    return AccessExImpl<ConcurrencyMode::kOwner>(addr, size, is_write);
+    NVMDB_PROBE_DISPATCH(AccessExImpl, ConcurrencyMode::kOwner, addr, size,
+                         is_write)
   }
-  return AccessExImpl<ConcurrencyMode::kShared>(addr, size, is_write);
+  NVMDB_PROBE_DISPATCH(AccessExImpl, ConcurrencyMode::kShared, addr, size,
+                       is_write)
 }
 
-template <ConcurrencyMode M>
-size_t CacheSim::FlushRangeImpl(uint64_t addr, size_t size,
-                                bool invalidate) {
-  const uint64_t first = addr >> line_shift_;
-  const uint64_t last = (addr + size - 1) >> line_shift_;
-  size_t flushed = 0;
-
-  for (uint64_t idx = first; idx <= last; idx++) {
-    const uint64_t h = MixLineIndex(idx);
-    const size_t bank_idx = h & bank_mask_;
-    const size_t set_idx = (h >> bank_shift_) & set_mask_;
-    Bank& bank = banks_[bank_idx];
-    BankGuard<M> guard(bank.mu);
-    uint64_t* const ways =
-        &entries_[(bank_idx * sets_per_bank_ + set_idx) * associativity_];
-    const uint64_t match = idx << 1;
-    for (size_t w = 0; w < associativity_; w++) {
-      const uint64_t e = ways[w];
-      if ((e & ~uint64_t{1}) != match) continue;
-      if (e & 1) {
-        flushed++;
-        bank.write_backs++;
-        if (callbacks_.write_back) {
-          callbacks_.write_back(callbacks_.ctx, idx << line_shift_,
-                                line_size_);
-        }
-        ways[w] = match;  // clean
-      }
-      if (invalidate) ways[w] = kInvalidEntry;
-      break;
-    }
+CacheAccessResult CacheSim::AccessSegments(uint64_t addr,
+                                           const uint32_t* lens,
+                                           size_t num_segments,
+                                           bool is_write) {
+  if (num_segments == 0) return CacheAccessResult{};
+  if (mode_ == ConcurrencyMode::kOwner) {
+#if NVMDB_OWNER_CHECKS
+    CheckOwner();
+#endif
+    NVMDB_PROBE_DISPATCH(AccessSegmentsImpl, ConcurrencyMode::kOwner, addr,
+                         lens, num_segments, is_write)
   }
-  return flushed;
+  NVMDB_PROBE_DISPATCH(AccessSegmentsImpl, ConcurrencyMode::kShared, addr,
+                       lens, num_segments, is_write)
 }
 
 size_t CacheSim::FlushRange(uint64_t addr, size_t size, bool invalidate) {
@@ -155,9 +184,11 @@ size_t CacheSim::FlushRange(uint64_t addr, size_t size, bool invalidate) {
 #if NVMDB_OWNER_CHECKS
     CheckOwner();
 #endif
-    return FlushRangeImpl<ConcurrencyMode::kOwner>(addr, size, invalidate);
+    NVMDB_PROBE_DISPATCH(FlushRangeImpl, ConcurrencyMode::kOwner, addr,
+                         size, invalidate)
   }
-  return FlushRangeImpl<ConcurrencyMode::kShared>(addr, size, invalidate);
+  NVMDB_PROBE_DISPATCH(FlushRangeImpl, ConcurrencyMode::kShared, addr,
+                       size, invalidate)
 }
 
 template <ConcurrencyMode M>
@@ -166,7 +197,7 @@ size_t CacheSim::WriteBackAllImpl() {
   const size_t per_bank = sets_per_bank_ * associativity_;
   for (size_t b = 0; b < num_banks_; b++) {
     Bank& bank = banks_[b];
-    BankGuard<M> guard(bank.mu);
+    cache_detail::BankGuard<M> guard(bank.mu);
     uint64_t* const ways = &entries_[b * per_bank];
     for (size_t i = 0; i < per_bank; i++) {
       const uint64_t e = ways[i];
@@ -201,7 +232,7 @@ void CacheSim::DropDirty() {
   const size_t per_bank = sets_per_bank_ * associativity_;
   for (size_t b = 0; b < num_banks_; b++) {
     Bank& bank = banks_[b];
-    BankGuard<ConcurrencyMode::kShared> guard(bank.mu);
+    cache_detail::BankGuard<ConcurrencyMode::kShared> guard(bank.mu);
     std::fill_n(entries_.begin() + b * per_bank, per_bank, kInvalidEntry);
     std::fill_n(stamps_.begin() + b * per_bank, per_bank, uint64_t{0});
     bank.lru_clock = 0;

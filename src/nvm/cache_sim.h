@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "nvm/cache_probe.h"
+
 /// Debug-build owner checks: in kOwner mode the cache records the first
 /// accessing thread and aborts on any access from another thread, making
 /// silent cross-thread use of a zero-synchronization cache impossible.
@@ -16,6 +18,19 @@
 #define NVMDB_OWNER_CHECKS 1
 #else
 #define NVMDB_OWNER_CHECKS 0
+#endif
+
+/// Debug-build stream checks: AccessSegments re-derives the uncoalesced
+/// per-line visit sequence of the segments it was handed and aborts if the
+/// coalesced walk diverged from it — the executable statement of the
+/// coalescing contract (a merged call must visit exactly the lines, in
+/// exactly the order, with exactly the duplicate boundary visits, that the
+/// separate calls it replaced would have). Same build gating as the owner
+/// checks, and forced by the same CI sanitizer job.
+#if !defined(NDEBUG) || defined(NVMDB_FORCE_OWNER_CHECKS)
+#define NVMDB_STREAM_CHECKS 1
+#else
+#define NVMDB_STREAM_CHECKS 0
 #endif
 
 namespace nvmdb {
@@ -66,7 +81,21 @@ struct CacheConfig {
   /// driven on one thread (see ConcurrencyMode). Multi-threaded users of
   /// a *single* instance must select kShared explicitly.
   ConcurrencyMode mode = ConcurrencyMode::kOwner;
+  /// Pin the portable scalar set probe regardless of what the CPU
+  /// supports (the NVMDB_FORCE_SCALAR_PROBE environment variable and the
+  /// compile-time define of the same name do the same thing; see
+  /// ResolveProbeKind). The model is identical either way — this exists
+  /// so tests and benchmarks can compare the implementations.
+  bool force_scalar_probe = false;
 };
+
+/// Effective probe implementation for an instance requesting
+/// `force_scalar`: a compile-time -DNVMDB_FORCE_SCALAR_PROBE, the
+/// NVMDB_FORCE_SCALAR_PROBE environment variable, or the config flag pin
+/// the scalar loop; otherwise the best instruction set this CPU supports
+/// (AVX2 when the binary carries the -mavx2 translation unit, else SSE2 on
+/// x86-64, else scalar). Consulted at construction time only.
+ProbeKind ResolveProbeKind(bool force_scalar);
 
 /// Events the cache raises toward the owning device. Raw function
 /// pointers + context rather than std::function: these fire on every
@@ -91,6 +120,11 @@ struct CacheCallbacks {
 struct CacheAccessResult {
   uint32_t missed = 0;       // lines not found resident
   uint32_t write_backs = 0;  // dirty victims evicted to NVM
+  /// Total per-line visits the call performed (hits = lines - missed).
+  /// Filled by AccessSegments only: AccessEx callers derive the count
+  /// from the byte range arithmetically, but a segmented access can visit
+  /// a boundary line once per touching segment, so the cache reports it.
+  uint32_t lines = 0;
 };
 
 /// Set-associative write-back, write-allocate cache simulator.
@@ -131,6 +165,21 @@ class CacheSim {
     return AccessEx(addr, size, is_write).missed;
   }
 
+  /// Model `num_segments` adjacent sub-ranges in ONE call: segment s
+  /// covers lens[s] bytes starting where segment s-1 ended (the first at
+  /// `addr`). The per-line visit sequence — and therefore every counter,
+  /// LRU stamp, eviction, and callback — is exactly what num_segments
+  /// separate AccessEx calls over the same sub-ranges would produce:
+  /// segments visit their lines in address order, and a line shared by
+  /// two adjacent segments is visited once per segment (the later visits
+  /// are guaranteed hits, replayed without re-probing the set).
+  /// Zero-length segments model nothing, matching the `if (!empty)
+  /// Access(...)` call sites this API coalesces. `result.lines` carries
+  /// the total visit count so the caller can charge hit latency as
+  /// `lines - missed` in a single accumulation.
+  CacheAccessResult AccessSegments(uint64_t addr, const uint32_t* lens,
+                                   size_t num_segments, bool is_write);
+
   /// Owner-mode fast path, safe to inline at call sites: if [addr,
   /// addr+size) lies within one cache line AND that line is resident,
   /// perform the hit (LRU stamp, dirty marking, hit counter) and return
@@ -148,20 +197,16 @@ class CacheSim {
     const uint64_t h = MixLineIndex(idx);
     const size_t bank_idx = h & bank_mask_;
     const size_t set_idx = (h >> bank_shift_) & set_mask_;
-    const size_t global_set = bank_idx * sets_per_bank_ + set_idx;
-    uint64_t* const ways = &entries_[global_set * associativity_];
-    const uint64_t match = idx << 1;
-    for (size_t w = 0; w < associativity_; w++) {
-      const uint64_t e = ways[w];
-      if ((e & ~uint64_t{1}) == match) {
-        Bank& bank = banks_[bank_idx];
-        stamps_[global_set * associativity_ + w] = ++bank.lru_clock;
-        if (is_write) ways[w] = e | 1;
-        bank.hits++;
-        return true;
-      }
-    }
-    return false;
+    const size_t base =
+        (bank_idx * sets_per_bank_ + set_idx) * associativity_;
+    uint64_t* const ways = &entries_[base];
+    const int w = FindWayInline(ways, idx << 1);
+    if (w < 0) return false;
+    Bank& bank = banks_[bank_idx];
+    stamps_[base + static_cast<size_t>(w)] = ++bank.lru_clock;
+    if (is_write) ways[w] |= 1;
+    bank.hits++;
+    return true;
   }
 
   /// CLFLUSH/CLWB semantics over [addr, addr+size): dirty lines are written
@@ -189,10 +234,9 @@ class CacheSim {
         &entries_[(bank_idx * sets_per_bank_ + set_idx) * associativity_];
     const uint64_t match = idx << 1;
     int flushed = 0;
-    for (size_t w = 0; w < associativity_; w++) {
-      const uint64_t e = ways[w];
-      if ((e & ~uint64_t{1}) != match) continue;
-      if (e & 1) {
+    const int w = FindWayInline(ways, match);
+    if (w >= 0) {
+      if (ways[w] & 1) {
         flushed = 1;
         banks_[bank_idx].write_backs++;
         if (callbacks_.write_back) {
@@ -202,7 +246,6 @@ class CacheSim {
         ways[w] = match;  // clean
       }
       if (invalidate) ways[w] = kInvalidEntry;
-      break;
     }
     return flushed;
   }
@@ -226,6 +269,10 @@ class CacheSim {
   uint64_t write_backs() const;
 
   size_t line_size() const { return line_size_; }
+
+  /// Probe implementation the instance runs (after every override); the
+  /// golden test and bench_cachesim report it.
+  ProbeKind probe_kind() const { return probe_kind_; }
 
  private:
   // Packed line entry: (line_index << 1) | dirty. line_index is the line
@@ -253,74 +300,58 @@ class CacheSim {
     return h;
   }
 
-  // Mode-instantiated inner loops behind the public dispatchers; kShared
-  // takes the bank lock per line, kOwner compiles it away entirely.
-  template <ConcurrencyMode M>
+  // Inner loops behind the public dispatchers, instantiated per
+  // (concurrency mode, probe kind): kShared takes the bank lock per line
+  // and kOwner compiles it away; the probe kind selects the SIMD width of
+  // the set scans with zero per-line dispatch. Bodies live in
+  // cache_sim_inl.h — included by cache_sim.cc (scalar + SSE2
+  // instantiations) and cache_sim_avx2.cc (AVX2 instantiations, the only
+  // translation unit built with -mavx2).
+  template <ConcurrencyMode M, ProbeKind K>
   CacheAccessResult AccessExImpl(uint64_t addr, size_t size, bool is_write);
-  template <ConcurrencyMode M>
+  template <ConcurrencyMode M, ProbeKind K>
+  CacheAccessResult AccessSegmentsImpl(uint64_t addr, const uint32_t* lens,
+                                       size_t num_segments, bool is_write);
+  template <ConcurrencyMode M, ProbeKind K>
   size_t FlushRangeImpl(uint64_t addr, size_t size, bool invalidate);
   template <ConcurrencyMode M>
   size_t WriteBackAllImpl();
 
   // Touch one line; requires the owning bank's lock in kShared mode.
   // Returns 1 if the line missed and adds any dirty-victim write-back to
-  // `result`. Force-inlined into the per-line loops in AccessExImpl: at
-  // ~8.5 lines per engine access the call overhead alone profiled as the
-  // single hottest entry in the whole bench suite, and GCC's size
-  // heuristics refuse the inline on their own.
+  // `result`; `*way_out` receives the way the line now occupies (the
+  // segmented walk caches it for boundary-line re-visits). Force-inlined
+  // into the per-line loops: at ~8.5 lines per engine access the call
+  // overhead alone profiled as the single hottest entry in the whole
+  // bench suite, and GCC's size heuristics refuse the inline on their
+  // own. Defined in cache_sim_inl.h.
+  template <ProbeKind K>
 #if defined(__GNUC__)
   __attribute__((always_inline))
 #endif
-  inline uint32_t AccessLine(Bank& bank, size_t global_set,
-                             uint64_t line_index, bool is_write,
-                             CacheAccessResult* result) {
-    uint64_t* const ways = &entries_[global_set * associativity_];
-    uint64_t* const stamps = &stamps_[global_set * associativity_];
-    const uint64_t match = line_index << 1;
+  inline uint32_t AccessLineT(Bank& bank, size_t global_set,
+                              uint64_t line_index, bool is_write,
+                              CacheAccessResult* result, size_t* way_out);
 
-    // Hit probe first, over the packed entries alone: the common case
-    // touches half the metadata (no stamps, no victim bookkeeping) and
-    // compiles to a tight compare loop.
-    for (size_t w = 0; w < associativity_; w++) {
-      const uint64_t e = ways[w];
-      if ((e & ~uint64_t{1}) == match) {
-        stamps[w] = ++bank.lru_clock;
-        if (is_write) ways[w] = e | 1;
-        bank.hits++;
-        return 0;
-      }
+  /// Probe used by the header-inlined Owner*Fast paths: baseline SSE2 on
+  /// x86-64 (no target attribute needed, so it inlines into callers in
+  /// any translation unit) with a one-branch fallback honoring the
+  /// forced-scalar override. The out-of-line loops upgrade to AVX2 when
+  /// available; both find the identical way.
+  int FindWayInline(const uint64_t* ways, uint64_t match) const {
+#if NVMDB_PROBE_X86
+    if (!scalar_probe_) {
+      return probe::FindWaySse2(ways, associativity_, match);
     }
-
-    // Miss: pick the victim — the last empty way if any exists, else the
-    // LRU-minimal way (identical choice to the seed's one-pass scan) —
-    // write it back if dirty, then fill.
-    size_t victim = 0;
-    for (size_t w = 0; w < associativity_; w++) {
-      if (ways[w] == kInvalidEntry) {
-        victim = w;
-      } else if (ways[victim] != kInvalidEntry &&
-                 stamps[w] < stamps[victim]) {
-        victim = w;
-      }
-    }
-    bank.misses++;
-    const uint64_t evicted = ways[victim];
-    if (evicted != kInvalidEntry && (evicted & 1)) {
-      bank.write_backs++;
-      result->write_backs++;
-      if (callbacks_.write_back) {
-        callbacks_.write_back(callbacks_.ctx, (evicted >> 1) << line_shift_,
-                              line_size_);
-      }
-    }
-    if (callbacks_.fill) {
-      callbacks_.fill(callbacks_.ctx, line_index << line_shift_,
-                      line_size_);
-    }
-    ways[victim] = match | (is_write ? 1 : 0);
-    stamps[victim] = ++bank.lru_clock;
-    return 1;
+#endif
+    return probe::FindWayScalar(ways, associativity_, match);
   }
+
+#if NVMDB_STREAM_CHECKS
+  /// The coalesced walk of AccessSegments diverged from the uncoalesced
+  /// per-line sequence it must replay: abort loudly (debug builds only).
+  [[noreturn]] static void StreamCheckViolation();
+#endif
 
 #if NVMDB_OWNER_CHECKS
   /// Record the first accessing thread of a kOwner instance and abort on
@@ -350,6 +381,11 @@ class CacheSim {
   unsigned bank_shift_;     // log2(num_banks_)
   uint64_t set_mask_;       // sets_per_bank_ - 1
   ConcurrencyMode mode_;
+  /// Probe implementation selected at construction (ResolveProbeKind).
+  ProbeKind probe_kind_;
+  /// probe_kind_ == kScalar, pre-tested so the header-inlined fast paths
+  /// pay one predictable branch instead of a switch.
+  bool scalar_probe_;
 
   CacheCallbacks callbacks_;
   std::vector<Bank> banks_;

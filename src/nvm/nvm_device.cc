@@ -135,6 +135,44 @@ void NvmDevice::ChargeAccess(uint64_t addr, size_t n, bool is_write) {
               r.write_backs * StoreCostNs());
 }
 
+void NvmDevice::TouchSegments(uint64_t addr, const uint32_t* lens,
+                              size_t k, bool is_write) {
+  const CacheAccessResult r = cache_->AccessSegments(addr, lens, k, is_write);
+  if (r.lines == 0) return;  // every segment empty: nothing was modeled
+  // Identical total to the per-call charges of the uncoalesced stream:
+  // the summands are order-independent and AccessSegments reports the
+  // exact visit count (boundary lines visited once per touching segment).
+  ChargeStall(r.missed * latency_.read_latency_ns +
+              (r.lines - r.missed) * latency_.cache_hit_ns +
+              r.write_backs * StoreCostNs());
+}
+
+void NvmDevice::ReadSegments(uint64_t offset, const ReadSeg* segs,
+                             size_t k) {
+  assert(k <= kMaxIoSegments);
+  uint32_t lens[kMaxIoSegments] = {};
+  for (size_t i = 0; i < k; i++) lens[i] = segs[i].len;
+  TouchSegments(offset, lens, k, /*is_write=*/false);
+  for (size_t i = 0; i < k; i++) {
+    assert(offset + segs[i].len <= capacity_);
+    if (segs[i].len != 0) memcpy(segs[i].dst, working_ + offset, segs[i].len);
+    offset += segs[i].len;
+  }
+}
+
+void NvmDevice::WriteSegments(uint64_t offset, const WriteSeg* segs,
+                              size_t k) {
+  assert(k <= kMaxIoSegments);
+  uint32_t lens[kMaxIoSegments] = {};
+  for (size_t i = 0; i < k; i++) lens[i] = segs[i].len;
+  TouchSegments(offset, lens, k, /*is_write=*/true);
+  for (size_t i = 0; i < k; i++) {
+    assert(offset + segs[i].len <= capacity_);
+    if (segs[i].len != 0) memcpy(working_ + offset, segs[i].src, segs[i].len);
+    offset += segs[i].len;
+  }
+}
+
 void NvmDevice::Read(uint64_t offset, void* dst, size_t n) {
   assert(offset + n <= capacity_);
   // Same owner-mode resident-hit fast path as Touch(): a single-line hit —

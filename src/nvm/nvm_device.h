@@ -129,6 +129,39 @@ class NvmDevice {
   /// Write n bytes from `src` at `offset` (volatile until persisted).
   void Write(uint64_t offset, const void* src, size_t n);
 
+  /// One destination of a segmented read / one source of a segmented
+  /// write (below).
+  struct ReadSeg {
+    void* dst;
+    uint32_t len;
+  };
+  struct WriteSeg {
+    const void* src;
+    uint32_t len;
+  };
+  /// Most segments any segmented entry point accepts (engine call sites
+  /// coalesce 2–3 adjacent accesses; the stack scratch is sized to this).
+  static constexpr size_t kMaxIoSegments = 8;
+
+  /// Model `k` adjacent sub-ranges (segment s covers lens[s] bytes
+  /// starting where s-1 ended, the first at `offset`) as ONE segmented
+  /// cache access and charge the combined cost in a single accumulation.
+  /// The modeled stream is exactly what k separate Touch/Read/Write calls
+  /// over the same sub-ranges would produce — CacheSim::AccessSegments
+  /// replays the per-line visit sequence verbatim, duplicate boundary
+  /// visits included, and zero-length segments model nothing just like
+  /// the `if (!empty)`-guarded calls they replace. Addresses follow
+  /// TouchVirtual rules (region offsets or reserved virtual addresses).
+  void TouchSegments(uint64_t addr, const uint32_t* lens, size_t k,
+                     bool is_write);
+
+  /// Segmented Read: model every segment in one access (one probe loop,
+  /// one stall accumulation), then copy each segment into its
+  /// destination. Counters and bytes identical to k adjacent Read calls.
+  void ReadSegments(uint64_t offset, const ReadSeg* segs, size_t k);
+  /// Segmented Write: the write-side mirror of ReadSegments.
+  void WriteSegments(uint64_t offset, const WriteSeg* segs, size_t k);
+
   /// Model a read access to memory already mapped at `p` (no copy).
   void TouchRead(const void* p, size_t n) {
     if (!Contains(p) || n == 0) return;

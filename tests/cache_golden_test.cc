@@ -197,15 +197,19 @@ CacheCallbacks EventRecorder(std::vector<Event>* events) {
 }
 
 /// Drives the randomized trace through the reference model and through a
-/// fast CacheSim in *each* concurrency mode: kOwner (zero-synchronization
-/// loop, inlinable hit path) and kShared (bank locks) must both reproduce
-/// the reference's hit/miss/write-back sequences exactly — the modes
-/// differ only in synchronization, never in the model.
+/// fast CacheSim in *each* concurrency mode — kOwner (zero-synchronization
+/// loop, inlinable hit path) and kShared (bank locks) — plus a
+/// forced-scalar kOwner instance: the SIMD probe (SSE2/AVX2, whatever
+/// ResolveProbeKind picked on this CPU) and the scalar loop must both
+/// reproduce the reference's hit/miss/write-back sequences exactly. The
+/// trace also issues segmented accesses, which the reference models as the
+/// uncoalesced adjacent calls and the fast caches as one AccessSegments.
 void RunTrace(const CacheConfig& base_cfg, uint64_t seed, uint64_t num_ops,
               uint64_t address_space) {
   std::vector<Event> ref_events;
   std::vector<Event> owner_events;
   std::vector<Event> shared_events;
+  std::vector<Event> scalar_events;
   ReferenceCache reference(base_cfg, &ref_events);
 
   CacheConfig cfg = base_cfg;
@@ -215,6 +219,10 @@ void RunTrace(const CacheConfig& base_cfg, uint64_t seed, uint64_t num_ops,
   cfg.mode = ConcurrencyMode::kShared;
   CacheSim shared(cfg, EventRecorder(&shared_events));
   ASSERT_EQ(shared.mode(), ConcurrencyMode::kShared);
+  cfg.mode = ConcurrencyMode::kOwner;
+  cfg.force_scalar_probe = true;
+  CacheSim scalar(cfg, EventRecorder(&scalar_events));
+  ASSERT_EQ(scalar.probe_kind(), ProbeKind::kScalar);
 
   std::mt19937_64 rng(seed);
   for (uint64_t op = 0; op < num_ops; op++) {
@@ -222,9 +230,9 @@ void RunTrace(const CacheConfig& base_cfg, uint64_t seed, uint64_t num_ops,
     const uint64_t addr = rng() % address_space;
     const size_t size = 1 + rng() % 256;
     const bool flag = (rng() & 1) != 0;
-    if (kind < 80) {
+    if (kind < 70) {
       const size_t expected = reference.Access(addr, size, flag);
-      // Drive the owner cache the way NvmDevice::Touch does: try the
+      // Drive the owner caches the way NvmDevice::Touch does: try the
       // inlined resident-hit fast path first (a fast-path hit is a
       // zero-miss access), fall back to the full path otherwise.
       const size_t owner_missed = owner.OwnerHitFast(addr, size, flag)
@@ -232,9 +240,45 @@ void RunTrace(const CacheConfig& base_cfg, uint64_t seed, uint64_t num_ops,
                                       : owner.Access(addr, size, flag);
       ASSERT_EQ(expected, owner_missed) << "op " << op;
       ASSERT_EQ(expected, shared.Access(addr, size, flag)) << "op " << op;
+      const size_t scalar_missed = scalar.OwnerHitFast(addr, size, flag)
+                                       ? 0
+                                       : scalar.Access(addr, size, flag);
+      ASSERT_EQ(expected, scalar_missed) << "op " << op;
+    } else if (kind < 80) {
+      // Segmented access: the reference performs the uncoalesced adjacent
+      // calls (skipping empty segments, as the engines' `if (!empty)`
+      // guards did); each fast cache models them as ONE AccessSegments.
+      // Totals and the event sequences checked below must match —
+      // including the double visit of a line shared by two segments.
+      uint32_t lens[3] = {0, 0, 0};
+      const size_t nseg = 2 + rng() % 2;
+      size_t expected = 0;
+      size_t ref_lines = 0;
+      uint64_t seg_addr = addr;
+      for (size_t s = 0; s < nseg; s++) {
+        lens[s] = static_cast<uint32_t>(rng() % 200);  // 0-length legal
+        if (lens[s] != 0) {
+          expected += reference.Access(seg_addr, lens[s], flag);
+          ref_lines += (seg_addr + lens[s] - 1) / base_cfg.line_size -
+                       seg_addr / base_cfg.line_size + 1;
+        }
+        seg_addr += lens[s];
+      }
+      const CacheAccessResult owner_r =
+          owner.AccessSegments(addr, lens, nseg, flag);
+      ASSERT_EQ(expected, owner_r.missed) << "op " << op;
+      ASSERT_EQ(ref_lines, owner_r.lines) << "op " << op;
+      const CacheAccessResult shared_r =
+          shared.AccessSegments(addr, lens, nseg, flag);
+      ASSERT_EQ(expected, shared_r.missed) << "op " << op;
+      ASSERT_EQ(ref_lines, shared_r.lines) << "op " << op;
+      const CacheAccessResult scalar_r =
+          scalar.AccessSegments(addr, lens, nseg, flag);
+      ASSERT_EQ(expected, scalar_r.missed) << "op " << op;
+      ASSERT_EQ(ref_lines, scalar_r.lines) << "op " << op;
     } else if (kind < 94) {
       const size_t expected = reference.FlushRange(addr, size, flag);
-      // Drive the owner cache the way NvmDevice::FlushLines does: the
+      // Drive the owner caches the way NvmDevice::FlushLines does: the
       // inlined single-line flush when it applies, FlushRange otherwise.
       const int fast = owner.OwnerFlushFast(addr, size, flag);
       const size_t owner_flushed = fast >= 0
@@ -243,27 +287,36 @@ void RunTrace(const CacheConfig& base_cfg, uint64_t seed, uint64_t num_ops,
       ASSERT_EQ(expected, owner_flushed) << "op " << op;
       ASSERT_EQ(expected, shared.FlushRange(addr, size, flag))
           << "op " << op;
+      const int sfast = scalar.OwnerFlushFast(addr, size, flag);
+      const size_t scalar_flushed =
+          sfast >= 0 ? static_cast<size_t>(sfast)
+                     : scalar.FlushRange(addr, size, flag);
+      ASSERT_EQ(expected, scalar_flushed) << "op " << op;
     } else if (kind < 97) {
       const size_t expected = reference.WriteBackAll();
       ASSERT_EQ(expected, owner.WriteBackAll()) << "op " << op;
       ASSERT_EQ(expected, shared.WriteBackAll()) << "op " << op;
+      ASSERT_EQ(expected, scalar.WriteBackAll()) << "op " << op;
     } else {
       // Crash: all cached state vanishes, nothing is written back.
       reference.DropDirty();
       owner.DropDirty();
       shared.DropDirty();
+      scalar.DropDirty();
     }
     ASSERT_EQ(ref_events.size(), owner_events.size()) << "op " << op;
     ASSERT_EQ(ref_events.size(), shared_events.size()) << "op " << op;
+    ASSERT_EQ(ref_events.size(), scalar_events.size()) << "op " << op;
   }
 
-  for (const CacheSim* fast : {&owner, &shared}) {
+  for (const CacheSim* fast : {&owner, &shared, &scalar}) {
     EXPECT_EQ(reference.hits, fast->hits());
     EXPECT_EQ(reference.misses, fast->misses());
     EXPECT_EQ(reference.write_backs, fast->write_backs());
   }
   ASSERT_EQ(ref_events.size(), owner_events.size());
   ASSERT_EQ(ref_events.size(), shared_events.size());
+  ASSERT_EQ(ref_events.size(), scalar_events.size());
   for (size_t i = 0; i < ref_events.size(); i++) {
     ASSERT_TRUE(ref_events[i] == owner_events[i])
         << "event " << i << ": ref kind " << int(ref_events[i].kind)
@@ -275,6 +328,11 @@ void RunTrace(const CacheConfig& base_cfg, uint64_t seed, uint64_t num_ops,
         << " line " << ref_events[i].line_addr << " vs shared kind "
         << int(shared_events[i].kind) << " line "
         << shared_events[i].line_addr;
+    ASSERT_TRUE(ref_events[i] == scalar_events[i])
+        << "event " << i << ": ref kind " << int(ref_events[i].kind)
+        << " line " << ref_events[i].line_addr << " vs scalar kind "
+        << int(scalar_events[i].kind) << " line "
+        << scalar_events[i].line_addr;
   }
 }
 
@@ -308,6 +366,73 @@ TEST(CacheGoldenTest, HighPressureEvictions) {
   cfg.num_banks = 4;
   RunTrace(cfg, /*seed=*/3, /*num_ops=*/50000,
            /*address_space=*/16 * 1024 * 1024);
+}
+
+// Forced-scalar vs SIMD equivalence across the associativities the SIMD
+// probe treats differently: 4 ways fill exactly one AVX2 vector, 8 two, 16
+// (the bench default) four; each also exercises the SSE2 pair width and
+// the scalar tail handling. RunTrace drives a forced-scalar instance in
+// lockstep with the dispatch-selected one, so on an AVX2/SSE2 machine this
+// is a direct scalar-vs-vector sweep.
+TEST(CacheGoldenTest, ProbeEquivalenceAssociativitySweep) {
+  for (const size_t assoc : {size_t{4}, size_t{8}, size_t{16}}) {
+    CacheConfig cfg;
+    cfg.capacity_bytes = 64 * 1024;
+    cfg.line_size = 64;
+    cfg.associativity = assoc;
+    cfg.num_banks = 8;
+    RunTrace(cfg, /*seed=*/100 + assoc, /*num_ops=*/30000,
+             /*address_space=*/8 * 1024 * 1024);
+  }
+}
+
+// Write-heavy trace on an overcommitted cache: nearly every miss evicts a
+// dirty victim, so the SIMD victim min-reduction (and its first-minimum
+// tie-break) is what decides which line is written back. Any divergence
+// from the scalar scan shows up as a write-back event mismatch.
+TEST(CacheGoldenTest, DirtyVictimEvictionStorm) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 16 * 1024;
+  cfg.line_size = 64;
+  cfg.associativity = 16;  // one set per bank: deep scans, constant churn
+  cfg.num_banks = 4;
+  RunTrace(cfg, /*seed=*/7, /*num_ops=*/50000,
+           /*address_space=*/32 * 1024 * 1024);
+}
+
+// CLFLUSH-style regime: the trace's flush ops invalidate (flag is random,
+// so ~half do), making the flush-probe + invalidate + re-fill cycle the
+// dominant pattern. A probe that mis-handles an invalidated way would
+// re-hit a dead line here.
+TEST(CacheGoldenTest, FlushWithInvalidateChurn) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 32 * 1024;
+  cfg.line_size = 64;
+  cfg.associativity = 8;
+  cfg.num_banks = 2;
+  RunTrace(cfg, /*seed=*/11, /*num_ops=*/50000,
+           /*address_space=*/256 * 1024);
+}
+
+// The NVMDB_FORCE_SCALAR_PROBE environment variable must pin the scalar
+// loop at construction time, overriding whatever the CPU supports.
+TEST(CacheGoldenTest, ForceScalarProbeEnvVar) {
+  setenv("NVMDB_FORCE_SCALAR_PROBE", "1", /*overwrite=*/1);
+  CacheConfig cfg;
+  cfg.capacity_bytes = 4 * 1024;
+  cfg.line_size = 64;
+  cfg.associativity = 4;
+  cfg.num_banks = 1;
+  {
+    CacheSim sim(cfg, CacheCallbacks{});
+    EXPECT_EQ(sim.probe_kind(), ProbeKind::kScalar);
+  }
+  unsetenv("NVMDB_FORCE_SCALAR_PROBE");
+  // And with it unset the construction-time choice is dispatch-selected
+  // again (whatever this CPU offers) while the config flag still forces.
+  cfg.force_scalar_probe = true;
+  CacheSim forced(cfg, CacheCallbacks{});
+  EXPECT_EQ(forced.probe_kind(), ProbeKind::kScalar);
 }
 
 }  // namespace
